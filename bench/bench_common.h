@@ -1,0 +1,137 @@
+#pragma once
+
+/// Shared plumbing for the figure-reproduction drivers.
+///
+/// Scale: the paper's default workload is |H| = 100,000, |D| = 10,000,
+/// b = 2,000. The drivers run a scaled-down instance by default so the full
+/// suite completes in minutes on one core; set SC_SCALE=1.0 to reproduce at
+/// paper scale (and SC_SCALE=0.1 for a quick smoke run). All REPORTED
+/// numbers are actual measurements at the chosen scale.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "util/timer.h"
+
+namespace smartcrawl::benchx {
+
+inline double Scale() {
+  const char* s = std::getenv("SC_SCALE");
+  if (s == nullptr) return 0.3;
+  double v = std::atof(s);
+  return v > 0 ? v : 0.3;
+}
+
+inline size_t Scaled(size_t paper_value) {
+  double v = static_cast<double>(paper_value) * Scale();
+  size_t out = static_cast<size_t>(v + 0.5);
+  return out == 0 ? 1 : out;
+}
+
+/// Evenly spaced budget checkpoints 1/n, 2/n, ..., b.
+inline std::vector<size_t> Checkpoints(size_t budget, size_t n = 10) {
+  std::vector<size_t> out;
+  for (size_t i = 1; i <= n; ++i) {
+    size_t b = budget * i / n;
+    if (b == 0) b = 1;
+    if (out.empty() || b != out.back()) out.push_back(b);
+  }
+  return out;
+}
+
+/// When SC_CSV_DIR is set, each curve table is also written there as CSV
+/// (file name derived from the title) for external plotting.
+inline void MaybeDumpCsv(const std::string& title,
+                         const core::ExperimentOutcome& outcome) {
+  const char* dir = std::getenv("SC_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::string name;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      name += static_cast<char>(std::tolower(c));
+    } else if (!name.empty() && name.back() != '_') {
+      name += '_';
+    }
+  }
+  std::string path = std::string(dir) + "/" + name + ".csv";
+  auto st = core::WriteSeriesCsv(path, core::ToSeriesTable(outcome));
+  if (!st.ok()) {
+    std::fprintf(stderr, "CSV dump failed: %s\n", st.ToString().c_str());
+  }
+}
+
+inline void PrintRule() {
+  std::printf("-------------------------------------------------------------"
+              "-----------------\n");
+}
+
+/// Runs the configured experiment and prints one coverage-vs-budget table:
+/// rows = budget checkpoints, columns = arms.
+inline int RunAndPrintCurves(const std::string& title,
+                             core::ExperimentConfig cfg) {
+  StopWatch sw;
+  auto out = core::RunDblpExperiment(cfg);
+  if (!out.ok()) {
+    std::printf("%s FAILED: %s\n", title.c_str(),
+                out.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%s   (|H|=%zu |D|=%zu k=%zu theta=%.3f%% deltaD=%zu "
+              "err=%.0f%%; matchable=%zu) [%.1fs]\n",
+              title.c_str(), cfg.hidden_size, cfg.local_size, cfg.k,
+              cfg.theta * 100.0, cfg.delta_d, cfg.error_pct * 100.0,
+              out->num_matchable, sw.ElapsedSeconds());
+  PrintRule();
+  std::printf("%10s", "budget");
+  for (const auto& arm : out->arms) std::printf("%14s", arm.name.c_str());
+  std::printf("\n");
+  PrintRule();
+  for (size_t i = 0; i < out->checkpoints.size(); ++i) {
+    std::printf("%10zu", out->checkpoints[i]);
+    for (const auto& arm : out->arms) {
+      std::printf("%14zu", arm.coverage_at_checkpoints[i]);
+    }
+    std::printf("\n");
+  }
+  PrintRule();
+  MaybeDumpCsv(title, *out);
+  return 0;
+}
+
+/// Prints a one-row-per-x summary table (final coverage per arm).
+struct SummaryRow {
+  std::string x_label;
+  std::vector<core::ArmOutcome> arms;
+  size_t num_matchable = 0;
+};
+
+inline void PrintSummary(const std::string& title, const std::string& x_name,
+                         const std::vector<SummaryRow>& rows,
+                         bool relative = false) {
+  if (rows.empty()) return;
+  std::printf("\n%s\n", title.c_str());
+  PrintRule();
+  std::printf("%12s", x_name.c_str());
+  for (const auto& arm : rows[0].arms) std::printf("%14s", arm.name.c_str());
+  std::printf("\n");
+  PrintRule();
+  for (const auto& row : rows) {
+    std::printf("%12s", row.x_label.c_str());
+    for (const auto& arm : row.arms) {
+      if (relative) {
+        std::printf("%13.1f%%", 100.0 * arm.relative_coverage);
+      } else {
+        std::printf("%14zu", arm.final_coverage);
+      }
+    }
+    std::printf("\n");
+  }
+  PrintRule();
+}
+
+}  // namespace smartcrawl::benchx

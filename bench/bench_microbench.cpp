@@ -1,0 +1,233 @@
+/// Engine microbenchmarks (google-benchmark):
+///   * inverted-index intersection,
+///   * FP-growth vs Apriori mining cost (Sec. 3.1 pool generation),
+///   * lazy priority queue + delta updates vs eager full re-scan
+///     (the Sec. 6.3 on-demand updating mechanism),
+///   * query-pool generation end to end,
+///   * Jaccard similarity join,
+///   * tokenizer throughput.
+
+#include <array>
+
+#include <benchmark/benchmark.h>
+
+#include "core/estimator.h"
+#include "core/query_pool.h"
+#include "util/hypergeometric.h"
+#include "datagen/dblp_gen.h"
+#include "fpm/itemset.h"
+#include "index/inverted_index.h"
+#include "index/lazy_priority_queue.h"
+#include "match/similarity_join.h"
+#include "text/tokenizer.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace smartcrawl;  // NOLINT
+
+std::vector<text::Document> MakeDocs(size_t n, text::TermDictionary* dict) {
+  datagen::DblpOptions opt;
+  opt.corpus_size = n;
+  opt.seed = 123;
+  table::Table t = datagen::GenerateDblpCorpus(opt);
+  return t.BuildDocuments(*dict, {"title", "venue", "authors"});
+}
+
+void BM_InvertedIndexBuild(benchmark::State& state) {
+  text::TermDictionary dict;
+  auto docs = MakeDocs(static_cast<size_t>(state.range(0)), &dict);
+  for (auto _ : state) {
+    index::InvertedIndex idx(docs, dict.size());
+    benchmark::DoNotOptimize(idx.num_docs());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InvertedIndexBuild)->Arg(1000)->Arg(10000);
+
+void BM_InvertedIndexIntersect(benchmark::State& state) {
+  text::TermDictionary dict;
+  auto docs = MakeDocs(5000, &dict);
+  index::InvertedIndex idx(docs, dict.size());
+  // Random 2-term queries drawn from document contents.
+  Rng rng(7);
+  std::vector<std::vector<text::TermId>> queries;
+  for (int i = 0; i < 256; ++i) {
+    const auto& d = docs[rng.UniformIndex(docs.size())];
+    if (d.size() < 2) continue;
+    text::TermId a = d.terms()[rng.UniformIndex(d.size())];
+    text::TermId b = d.terms()[rng.UniformIndex(d.size())];
+    std::vector<text::TermId> q = {std::min(a, b), std::max(a, b)};
+    queries.push_back(q);
+  }
+  size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        idx.IntersectionSize(queries[qi++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_InvertedIndexIntersect);
+
+void BM_FpGrowth(benchmark::State& state) {
+  text::TermDictionary dict;
+  auto docs = MakeDocs(static_cast<size_t>(state.range(0)), &dict);
+  std::vector<std::vector<text::TermId>> txns;
+  for (const auto& d : docs) txns.push_back(d.terms());
+  fpm::MiningOptions opt;
+  opt.min_support = 2;
+  opt.max_itemset_size = 3;
+  for (auto _ : state) {
+    auto result = fpm::MineFrequentItemsets(txns, opt);
+    benchmark::DoNotOptimize(result.itemsets.size());
+  }
+}
+BENCHMARK(BM_FpGrowth)->Arg(500)->Arg(2000);
+
+void BM_Apriori(benchmark::State& state) {
+  text::TermDictionary dict;
+  auto docs = MakeDocs(static_cast<size_t>(state.range(0)), &dict);
+  std::vector<std::vector<text::TermId>> txns;
+  for (const auto& d : docs) txns.push_back(d.terms());
+  fpm::MiningOptions opt;
+  opt.min_support = 2;
+  opt.max_itemset_size = 3;
+  for (auto _ : state) {
+    auto result = fpm::MineFrequentItemsetsApriori(txns, opt);
+    benchmark::DoNotOptimize(result.itemsets.size());
+  }
+}
+BENCHMARK(BM_Apriori)->Arg(500);
+
+void BM_QueryPoolGeneration(benchmark::State& state) {
+  text::TermDictionary dict;
+  auto docs = MakeDocs(static_cast<size_t>(state.range(0)), &dict);
+  core::QueryPoolOptions opt;
+  for (auto _ : state) {
+    auto pool = core::GenerateQueryPool(docs, dict, opt);
+    benchmark::DoNotOptimize(pool.size());
+  }
+}
+BENCHMARK(BM_QueryPoolGeneration)->Arg(1000)->Arg(5000);
+
+/// The Sec. 6.3 selection loop: lazy PQ with delta updates.
+void BM_LazyPqSelection(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(17);
+  std::vector<double> base(n);
+  for (auto& b : base) b = static_cast<double>(rng.UniformIndex(500) + 1);
+  for (auto _ : state) {
+    std::vector<double> prio = base;
+    index::LazyPriorityQueue pq([&](uint32_t q) { return prio[q]; });
+    for (uint32_t i = 0; i < n; ++i) pq.Push(i, prio[i]);
+    Rng decay(23);
+    uint32_t id;
+    double p;
+    size_t pops = 0;
+    while (pq.PopMax(&id, &p)) {
+      ++pops;
+      // Simulate covering records shared with ~8 other queries.
+      for (int j = 0; j < 8; ++j) {
+        uint32_t v = static_cast<uint32_t>(decay.UniformIndex(n));
+        if (prio[v] > 0) {
+          prio[v] -= 1.0;
+          pq.MarkDirty(v);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(pops);
+  }
+}
+BENCHMARK(BM_LazyPqSelection)->Arg(10000)->Arg(100000);
+
+/// The naive alternative: rescan all queries to find the max each round.
+void BM_EagerRescanSelection(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(17);
+  std::vector<double> base(n);
+  for (auto& b : base) b = static_cast<double>(rng.UniformIndex(500) + 1);
+  for (auto _ : state) {
+    std::vector<double> prio = base;
+    std::vector<uint8_t> alive(n, 1);
+    Rng decay(23);
+    size_t pops = 0;
+    for (size_t round = 0; round < n; ++round) {
+      size_t best = n;
+      double best_p = -1;
+      for (size_t i = 0; i < n; ++i) {
+        if (alive[i] && prio[i] > best_p) {
+          best_p = prio[i];
+          best = i;
+        }
+      }
+      if (best == n) break;
+      alive[best] = 0;
+      ++pops;
+      for (int j = 0; j < 8; ++j) {
+        size_t v = decay.UniformIndex(n);
+        if (prio[v] > 0) prio[v] -= 1.0;
+      }
+    }
+    benchmark::DoNotOptimize(pops);
+  }
+}
+BENCHMARK(BM_EagerRescanSelection)->Arg(10000);
+
+void BM_JaccardJoin(benchmark::State& state) {
+  text::TermDictionary dict;
+  auto docs = MakeDocs(1000, &dict);
+  std::vector<text::Document> left(docs.begin(), docs.begin() + 500);
+  std::vector<text::Document> right(docs.begin() + 400, docs.end());
+  for (auto _ : state) {
+    auto pairs = match::JaccardJoin(left, right, 0.9);
+    benchmark::DoNotOptimize(pairs.size());
+  }
+}
+BENCHMARK(BM_JaccardJoin);
+
+void BM_EstimatorEvaluation(benchmark::State& state) {
+  // The inner loop of query selection: one benefit estimate.
+  core::EstimatorContext ctx;
+  ctx.k = 100;
+  ctx.theta = 0.005;
+  ctx.alpha = 0.1;
+  Rng rng(3);
+  std::vector<std::array<uint32_t, 3>> inputs;
+  for (int i = 0; i < 512; ++i) {
+    inputs.push_back({static_cast<uint32_t>(rng.UniformIndex(2000)),
+                      static_cast<uint32_t>(rng.UniformIndex(20)),
+                      static_cast<uint32_t>(rng.UniformIndex(10))});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& in = inputs[i++ % inputs.size()];
+    benchmark::DoNotOptimize(core::EstimateBenefit(
+        core::EstimatorKind::kBiased, in[0], in[1], in[2], ctx));
+  }
+}
+BENCHMARK(BM_EstimatorEvaluation);
+
+void BM_FisherNchMean(benchmark::State& state) {
+  // The ω != 1 estimator path: exact noncentral hypergeometric mean.
+  Rng rng(9);
+  for (auto _ : state) {
+    uint64_t N = 1000 + rng.UniformIndex(20000);
+    uint64_t n = rng.UniformIndex(500);
+    benchmark::DoNotOptimize(FisherNchMean(N, 100, n, 2.5));
+  }
+}
+BENCHMARK(BM_FisherNchMean);
+
+void BM_Tokenizer(benchmark::State& state) {
+  std::string text_block =
+      "Progressive Deep Web Crawling Through Keyword Queries For Data "
+      "Enrichment, SIGMOD 2019; the quick brown fox jumps over the lazy "
+      "dog while crawling hidden databases with top-k constraints.";
+  for (auto _ : state) {
+    auto toks = text::Tokenize(text_block);
+    benchmark::DoNotOptimize(toks.size());
+  }
+  state.SetBytesProcessed(state.iterations() * text_block.size());
+}
+BENCHMARK(BM_Tokenizer);
+
+}  // namespace

@@ -1,0 +1,94 @@
+/// Extension experiment — the Sec. 5.3 odds ratio ω.
+///
+/// The paper fixes ω = 1 ("it is hard for a user to specify ω"), i.e. it
+/// assumes a query's local matches are spread uniformly through the hidden
+/// ranking. This bench constructs the situation where that is FALSE: the
+/// simulated DBLP engine ranks by year and the local database contains
+/// only *recent* community papers, so the top-k page of any query is much
+/// more likely to cover D than the tail (ω > 1). The ω-aware overflow
+/// estimator (Fisher's noncentral hypergeometric mean, util/hypergeometric)
+/// should then rank overflowing shared queries more accurately than the
+/// ω = 1 closed form, which systematically under-estimates them.
+///
+/// Reported: SmartCrawl-B coverage as ω sweeps, on (a) the recent-papers
+/// local database (true ω > 1) and (b) the paper's unbiased local database
+/// (true ω ≈ 1; larger ω should not help, and may mildly hurt).
+
+#include "bench_common.h"
+#include "core/metrics.h"
+#include "core/smart_crawler.h"
+#include "datagen/scenario.h"
+#include "hidden/budget.h"
+#include "sample/sampler.h"
+
+using namespace smartcrawl;        // NOLINT
+using namespace smartcrawl::benchx;  // NOLINT
+
+namespace {
+
+size_t RunWithOmega(const datagen::Scenario& s,
+                    const sample::HiddenSample& sample, double omega,
+                    size_t budget) {
+  core::SmartCrawlOptions opt;
+  opt.policy = core::SelectionPolicy::kEstBiased;
+  opt.local_text_fields = s.local_text_fields;
+  opt.omega = omega;
+  core::SmartCrawler crawler(&s.local, std::move(opt), &sample);
+  s.hidden->ResetQueryCounter();
+  hidden::BudgetedInterface iface(s.hidden.get(), budget);
+  auto r = crawler.Crawl(&iface, budget);
+  if (!r.ok()) return 0;
+  return core::FinalCoverage(s.local, *r);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension: odds ratio omega, Sec 5.3 (SC_SCALE=%.2f) "
+              "===\n",
+              Scale());
+  const size_t budget = Scaled(500);
+
+  struct Setting {
+    const char* label;
+    int local_min_year;
+  };
+  const Setting settings[] = {
+      {"recent-papers D (true omega > 1)", 2012},
+      {"uniform D (true omega ~ 1)", 0},
+  };
+  const double omegas[] = {0.5, 1.0, 2.0, 5.0, 10.0};
+
+  for (const auto& setting : settings) {
+    datagen::DblpScenarioConfig cfg;
+    cfg.corpus.corpus_size = Scaled(220000);
+    cfg.corpus.db_community_fraction = 0.4;
+    cfg.hidden_size = Scaled(100000);
+    cfg.local_size = Scaled(10000);
+    cfg.top_k = 100;
+    cfg.seed = 13;
+    cfg.local_min_year = setting.local_min_year;
+    auto s = datagen::BuildDblpScenario(cfg);
+    if (!s.ok()) {
+      std::printf("%s FAILED: %s\n", setting.label,
+                  s.status().ToString().c_str());
+      return 1;
+    }
+    auto sample = sample::BernoulliSample(*s->hidden, 0.005, 77);
+
+    std::printf("\n%s  (|D|=%zu |H|=%zu b=%zu)\n", setting.label,
+                s->local.size(), s->hidden->OracleSize(), budget);
+    PrintRule();
+    std::printf("%12s%14s\n", "omega", "coverage");
+    PrintRule();
+    for (double omega : omegas) {
+      size_t cov = RunWithOmega(*s, sample, omega, budget);
+      std::printf("%12.1f%14zu\n", omega, cov);
+    }
+    PrintRule();
+  }
+  std::printf("\nExpected shape: on the recent-papers D, coverage improves "
+              "as omega moves above 1;\non the uniform D, omega = 1 is "
+              "(near-)best — matching the paper's default.\n");
+  return 0;
+}

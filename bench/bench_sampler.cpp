@@ -1,0 +1,116 @@
+/// Sampler characterization (paper Sec. 5.1 / 7.1.2): the quality of the
+/// query-based hidden-database sampler the estimators depend on.
+///
+/// For the conjunctive DBLP-style engine and the semi-conjunctive
+/// Yelp-style engine, reports: queries spent per accepted record, the
+/// capture–recapture |Ĥ| and θ̂ against ground truth, and a coarse
+/// uniformity check (fraction of the sample falling in each half of the
+/// entity-id space; 0.50 = perfectly balanced).
+
+#include <unordered_set>
+
+#include "bench_common.h"
+#include "datagen/scenario.h"
+#include "sample/sampler.h"
+#include "text/tokenizer.h"
+
+using namespace smartcrawl;        // NOLINT
+using namespace smartcrawl::benchx;  // NOLINT
+
+namespace {
+
+std::vector<std::string> KeywordPool(const table::Table& t) {
+  std::unordered_set<std::string> kw;
+  text::TokenizerOptions tok;
+  for (const auto& rec : t.records()) {
+    for (size_t f = 0; f < rec.fields.size(); ++f) {
+      for (auto& w : text::Tokenize(rec.fields[f], tok)) kw.insert(w);
+    }
+  }
+  std::vector<std::string> out(kw.begin(), kw.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Characterize(const char* label, hidden::HiddenDatabase* db,
+                  const std::vector<std::string>& pool, size_t target) {
+  sample::KeywordSamplerOptions opt;
+  opt.target_sample_size = target;
+  opt.seed = 77;
+  db->ResetQueryCounter();
+  auto s = sample::KeywordSample(db, pool, opt);
+  if (!s.ok()) {
+    std::printf("%-24s sampler failed: %s\n", label,
+                s.status().ToString().c_str());
+    return;
+  }
+  // Uniformity check over the hidden table's ROW order (entity ids are
+  // corpus-global and not dense in [0, |H|)).
+  std::unordered_set<table::EntityId> lower_half_entities;
+  for (const auto& rec : db->OracleTable().records()) {
+    if (rec.id < db->OracleSize() / 2) {
+      lower_half_entities.insert(rec.entity_id);
+    }
+  }
+  size_t low = 0;
+  for (const auto& rec : s->records.records()) {
+    if (lower_half_entities.count(rec.entity_id)) ++low;
+  }
+  double true_theta =
+      static_cast<double>(s->records.size()) /
+      static_cast<double>(db->OracleSize());
+  std::printf("%-24s %8zu %10zu %10.1f %12.0f/%-8zu %9.5f/%-9.5f %8.2f\n",
+              label, s->records.size(), s->queries_spent,
+              static_cast<double>(s->queries_spent) /
+                  static_cast<double>(s->records.size()),
+              s->estimated_hidden_size, db->OracleSize(), s->theta,
+              true_theta,
+              static_cast<double>(low) /
+                  static_cast<double>(s->records.size()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Keyword-sampler characterization (SC_SCALE=%.2f) ===\n\n",
+              Scale());
+  std::printf("%-24s %8s %10s %10s %21s %19s %8s\n", "engine", "records",
+              "queries", "cost/rec", "|H|-hat/true", "theta-hat/true",
+              "low-half");
+  PrintRule();
+
+  {
+    datagen::DblpScenarioConfig cfg;
+    cfg.corpus.corpus_size = Scaled(120000);
+    cfg.corpus.db_community_fraction = 0.4;
+    cfg.hidden_size = Scaled(50000);
+    cfg.local_size = Scaled(5000);
+    cfg.seed = 7;
+    auto s = datagen::BuildDblpScenario(cfg);
+    if (!s.ok()) return 1;
+    auto pool = KeywordPool(s->local);
+    Characterize("DBLP (conjunctive)", s->hidden.get(), pool,
+                 std::max<size_t>(50, Scaled(500)));
+  }
+  {
+    datagen::YelpScenarioConfig cfg;
+    cfg.corpus.corpus_size = Scaled(36500);
+    cfg.local_size = Scaled(3000);
+    cfg.error_rate = 0.0;
+    cfg.seed = 7;
+    auto s = datagen::BuildYelpScenario(cfg);
+    if (!s.ok()) return 1;
+    auto pool = KeywordPool(s->local);
+    Characterize("Yelp (semi-conjunctive)", s->hidden.get(), pool,
+                 std::max<size_t>(50, Scaled(500)));
+  }
+  PrintRule();
+  std::printf(
+      "cost/rec: interface queries per accepted record (the paper's Yelp\n"
+      "sample cost 6483 queries for 500 records, ~13/rec). low-half: share\n"
+      "of sampled entities in the lower id half (0.50 = balanced). The\n"
+      "capture-recapture |H|-hat counts only the keyword-REACHABLE part of\n"
+      "H; on semi-conjunctive engines most single keywords overflow, so it\n"
+      "under-estimates |H| — the theta bias SmartCrawl tolerates (Fig 4).\n");
+  return 0;
+}

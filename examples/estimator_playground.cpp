@@ -1,0 +1,94 @@
+/// Estimator playground: prints Table 1's four estimators on the paper's
+/// running example (Figure 1 / Table 2) and shows how the biased/unbiased
+/// estimates react to k, θ and the α fallback. A compact way to see the
+/// estimator math of Sec. 5-6 with real numbers.
+
+#include <cstdio>
+#include <initializer_list>
+
+#include "core/estimator.h"
+
+using namespace smartcrawl::core;  // NOLINT: example brevity
+
+namespace {
+
+void PrintRow(const char* name, size_t freq_d, size_t freq_hs, size_t inter,
+              const EstimatorContext& ctx) {
+  QueryType type = PredictQueryType(freq_hs, freq_d, ctx);
+  double biased = EstimateBenefit(EstimatorKind::kBiased, type, freq_d,
+                                  freq_hs, inter, ctx);
+  double unbiased = EstimateBenefit(EstimatorKind::kUnbiased, type, freq_d,
+                                    freq_hs, inter, ctx);
+  std::printf("  %-20s |q(D)|=%-3zu |q(Hs)|=%-2zu inter=%-2zu  %-11s "
+              "biased=%-7.3f unbiased=%.3f\n",
+              name, freq_d, freq_hs, inter,
+              type == QueryType::kSolid ? "solid" : "overflowing", biased,
+              unbiased);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Running example (paper Figure 1): k=2, theta=1/3\n");
+  EstimatorContext ctx;
+  ctx.k = 2;
+  ctx.theta = 1.0 / 3.0;
+  ctx.alpha_fallback = false;
+  PrintRow("q1 Thai Noodle House", 1, 0, 0, ctx);
+  PrintRow("q2 (naive d2)", 1, 0, 0, ctx);
+  PrintRow("q3 Thai House", 1, 1, 1, ctx);
+  PrintRow("q4 (naive d4)", 1, 0, 0, ctx);
+  PrintRow("q5 House", 3, 2, 1, ctx);
+  PrintRow("q6 Thai", 3, 1, 2, ctx);
+  PrintRow("q7 Noodle House", 2, 0, 0, ctx);
+
+  std::printf("\nEffect of k (|q(D)|=40, |q(Hs)|=3, inter=2, theta=0.5%%):\n");
+  for (size_t k : {1, 50, 100, 500}) {
+    EstimatorContext c;
+    c.k = k;
+    c.theta = 0.005;
+    char label[32];
+    std::snprintf(label, sizeof(label), "k=%zu", k);
+    PrintRow(label, 40, 3, 2, c);
+  }
+
+  std::printf("\nEffect of theta (|q(D)|=40, |q(Hs)|=3, inter=2, k=100):\n");
+  for (double theta : {0.001, 0.002, 0.005, 0.01}) {
+    EstimatorContext c;
+    c.k = 100;
+    c.theta = theta;
+    char label[32];
+    std::snprintf(label, sizeof(label), "theta=%.3f", theta);
+    PrintRow(label, 40, 3, 2, c);
+  }
+
+  std::printf("\nOdds ratio omega (Sec 5.3: top-k records omega-times more "
+              "likely to cover D;\n|q(D)|=40, |q(Hs)|=3, inter=2, k=100, "
+              "theta=0.5%%):\n");
+  for (double omega : {0.2, 1.0, 3.0, 10.0}) {
+    EstimatorContext c;
+    c.k = 100;
+    c.theta = 0.005;
+    c.omega = omega;
+    char label[32];
+    std::snprintf(label, sizeof(label), "omega=%.1f", omega);
+    PrintRow(label, 40, 3, 2, c);
+  }
+
+  std::printf("\nInadequate sample (|q(Hs)|=0) with/without alpha "
+              "fallback (k=100, theta=0.5%%, |D|=10000, |Hs|=500):\n");
+  {
+    EstimatorContext c;
+    c.k = 100;
+    c.theta = 0.005;
+    c.alpha = ComputeAlpha(c.theta, 10000, 500);
+    c.alpha_fallback = true;
+    std::printf(" alpha = %.3f\n", c.alpha);
+    PrintRow("freq_d=5000, fb on", 5000, 0, 0, c);
+    c.alpha_fallback = false;
+    PrintRow("freq_d=5000, fb off", 5000, 0, 0, c);
+    c.alpha_fallback = true;
+    PrintRow("freq_d=3, fb on", 3, 0, 0, c);
+  }
+  return 0;
+}

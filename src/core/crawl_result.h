@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+/// \file crawl_result.h
+/// Output of a crawl run, shared by all crawlers.
+///
+/// Crawlers record, per issued query, the entities on the returned page.
+/// Evaluation metrics (coverage / recall curves) are computed by the
+/// harness from these logs against ground truth — deliberately decoupled
+/// from the crawler's own (possibly imperfect) matcher state.
+
+namespace smartcrawl::core {
+
+struct IterationLog {
+  /// The query as sent (keywords joined by spaces).
+  std::string query;
+  /// Number of records on the returned page.
+  uint32_t page_size = 0;
+  /// Ground-truth entity ids of the returned records (evaluation only).
+  std::vector<table::EntityId> page_entities;
+  /// The benefit the selector believed the query had when selecting it
+  /// (0 for baselines without estimates).
+  double estimated_benefit = 0.0;
+};
+
+/// Engine-internal counters mirroring the cost terms of the paper's
+/// Appendix B complexity analysis; useful for performance debugging and
+/// the Sec. 6.3 ablation.
+struct CrawlStats {
+  /// Queries in the generated pool (|Q|).
+  size_t pool_size = 0;
+  /// Lazy-priority-queue repairs performed ("t" in the paper's analysis:
+  /// how often a stale top element had to be recomputed).
+  size_t pq_recomputes = 0;
+  /// Sum over removed records of |F(d)| — the delta-update fan-out.
+  size_t fanout_updates = 0;
+  /// Total records fetched across all pages.
+  size_t records_fetched = 0;
+};
+
+struct CrawlResult {
+  std::vector<IterationLog> iterations;
+  size_t queries_issued = 0;
+  CrawlStats stats;
+  /// True when the crawler stopped before exhausting the budget (pool dry,
+  /// every remaining query had zero estimated benefit, or D fully covered).
+  bool stopped_early = false;
+  /// Local record ids the crawler itself believes are covered (via its
+  /// entity-resolution matcher). CUMULATIVE across resumed sessions of the
+  /// same SmartCrawler (coverage is crawler state, not session state).
+  std::vector<table::RecordId> covered_local_ids;
+  /// Hidden records first crawled in THIS session (deduplicated against
+  /// earlier sessions too), kept only when keep_crawled_records was
+  /// requested — used by the enrichment API.
+  std::vector<table::Record> crawled_records;
+};
+
+}  // namespace smartcrawl::core

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/crawl_result.h"
+#include "table/table.h"
+#include "util/result.h"
+
+/// \file enrich.h
+/// The end-to-end purpose of the system: extend the local database with new
+/// attributes from the crawled hidden records (the "data enrichment" of the
+/// paper's title; schema matching is assumed done, per Sec. 2).
+
+namespace smartcrawl::core {
+
+struct EnrichmentSpec {
+  /// How crawled records are matched back to local records (the ER black
+  /// box). kJaccard is the realistic default; kEntityOracle works on
+  /// generated data only.
+  enum class MatchMode { kEntityOracle, kExact, kJaccard };
+  MatchMode mode = MatchMode::kJaccard;
+  double jaccard_threshold = 0.6;
+
+  /// Local fields used to build the matching text (empty = all).
+  std::vector<std::string> local_match_fields;
+
+  /// Hidden-side fields to import: (field index in the crawled records,
+  /// name of the new local column).
+  std::vector<std::pair<size_t, std::string>> import_fields;
+};
+
+struct EnrichmentOutcome {
+  table::Table enriched;
+  size_t records_enriched = 0;
+};
+
+/// Joins `crawled` against `local` and returns a copy of `local` extended
+/// with the imported columns (empty strings where no match was found).
+Result<EnrichmentOutcome> EnrichTable(
+    const table::Table& local, const std::vector<table::Record>& crawled,
+    const EnrichmentSpec& spec);
+
+}  // namespace smartcrawl::core

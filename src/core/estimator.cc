@@ -1,0 +1,83 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+
+#include "util/hypergeometric.h"
+
+namespace smartcrawl::core {
+
+double ComputeAlpha(double theta, size_t local_size, size_t sample_size) {
+  if (sample_size == 0) return 0.0;
+  return theta * static_cast<double>(local_size) /
+         static_cast<double>(sample_size);
+}
+
+QueryType PredictQueryType(size_t freq_hs, size_t freq_d,
+                           const EstimatorContext& ctx) {
+  if (freq_hs > 0 && ctx.theta > 0.0) {
+    double est_freq_h = static_cast<double>(freq_hs) / ctx.theta;
+    return est_freq_h > static_cast<double>(ctx.k) ? QueryType::kOverflowing
+                                                   : QueryType::kSolid;
+  }
+  // freq_hs == 0: the naive prediction is "solid" (0/θ <= k). The Sec. 6.2
+  // fallback additionally treats D as a sample of H with ratio α.
+  if (ctx.alpha_fallback && ctx.alpha > 0.0) {
+    double est_freq_h = static_cast<double>(freq_d) / ctx.alpha;
+    if (est_freq_h > static_cast<double>(ctx.k)) {
+      return QueryType::kOverflowing;
+    }
+  }
+  return QueryType::kSolid;
+}
+
+double EstimateBenefit(EstimatorKind kind, QueryType type, size_t freq_d,
+                       size_t freq_hs, size_t inter,
+                       const EstimatorContext& ctx) {
+  double est = 0.0;
+  const double k = static_cast<double>(ctx.k);
+  if (type == QueryType::kSolid) {
+    if (kind == EstimatorKind::kBiased) {
+      est = static_cast<double>(freq_d);
+    } else {
+      est = ctx.theta > 0.0 ? static_cast<double>(inter) / ctx.theta : 0.0;
+    }
+  } else {  // overflowing
+    if (freq_hs > 0) {
+      if (ctx.omega != 1.0 && ctx.theta > 0.0) {
+        // Sec. 5.3 generalization: expected covered = mean of Fisher's
+        // noncentral hypergeometric with population N ≈ freq_hs/θ,
+        // K = k black balls (the page) and n draws (the matched pairs).
+        auto N = static_cast<uint64_t>(
+            static_cast<double>(freq_hs) / ctx.theta + 0.5);
+        if (N < 1) N = 1;
+        uint64_t K = std::min<uint64_t>(ctx.k, N);
+        uint64_t n = kind == EstimatorKind::kBiased
+                         ? static_cast<uint64_t>(freq_d)
+                         : static_cast<uint64_t>(
+                               static_cast<double>(inter) / ctx.theta + 0.5);
+        n = std::min<uint64_t>(n, N);
+        est = FisherNchMean(N, K, n, ctx.omega);
+      } else if (kind == EstimatorKind::kBiased) {
+        est = static_cast<double>(freq_d) * k * ctx.theta /
+              static_cast<double>(freq_hs);
+      } else {
+        est = static_cast<double>(inter) * k / static_cast<double>(freq_hs);
+      }
+    } else {
+      // Predicted overflowing via the α fallback (freq_hs = 0): the
+      // estimator of Sec. 6.2 replaces (Hs, θ) by (D, α), giving k·α.
+      // The unbiased family has no analogue (its numerator inter is 0
+      // in expectation here), so it degenerates to 0.
+      est = (kind == EstimatorKind::kBiased) ? k * ctx.alpha : 0.0;
+    }
+  }
+  return std::clamp(est, 0.0, k);
+}
+
+double EstimateBenefit(EstimatorKind kind, size_t freq_d, size_t freq_hs,
+                       size_t inter, const EstimatorContext& ctx) {
+  return EstimateBenefit(kind, PredictQueryType(freq_hs, freq_d, ctx), freq_d,
+                         freq_hs, inter, ctx);
+}
+
+}  // namespace smartcrawl::core

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file estimator.h
+/// Query-benefit estimation under the top-k constraint (paper Sec. 5-6,
+/// Table 1).
+///
+/// Inputs per query q (all computable WITHOUT issuing q):
+///   freq_d  = |q(D)|   current frequency in the (uncovered) local database
+///   freq_hs = |q(Hs)|  frequency in the hidden-database sample (static)
+///   inter   = |q(D) ∩~ q(Hs)|  matched pairs between current q(D) and
+///             q(Hs) (the fuzzy intersection of Sec. 6.1)
+///
+/// Estimators (Table 1):
+///   solid    unbiased: inter / θ            biased: freq_d
+///   overflow unbiased: inter · k/freq_hs    biased: freq_d · kθ/freq_hs
+///
+/// Inadequate-sample fallback (Sec. 6.2): when freq_hs = 0, treat D itself
+/// as a sample of H with ratio α = θ|D|/|Hs|; the type check becomes
+/// freq_d/α > k and the biased overflow benefit becomes k·α.
+
+namespace smartcrawl::core {
+
+enum class EstimatorKind {
+  kBiased,    // SMARTCRAWL-B
+  kUnbiased,  // SMARTCRAWL-U
+};
+
+enum class QueryType { kSolid, kOverflowing };
+
+struct EstimatorContext {
+  size_t k = 100;       // result-page limit
+  double theta = 0.0;   // sampling ratio of Hs
+  double alpha = 0.0;   // θ|D|/|Hs|, the "D as a sample of H" ratio
+  bool alpha_fallback = true;  // enable the Sec. 6.2 fallback
+  /// Odds ratio ω of the Sec. 5.3 discussion: how much more likely a
+  /// top-k record is to cover the local table than a non-top-k record.
+  /// ω = 1 (the paper's assumption, since users cannot specify it)
+  /// recovers the closed-form n·k/N; other values evaluate the mean of
+  /// Fisher's noncentral hypergeometric distribution. Applies only to
+  /// overflow estimates backed by the sample (not the α fallback, whose
+  /// estimated population shrinks with |q(D)| and would break the
+  /// monotone-priority invariant of the lazy queue).
+  double omega = 1.0;
+};
+
+/// Computes α = θ|D| / |Hs| (0 when the sample is empty).
+double ComputeAlpha(double theta, size_t local_size, size_t sample_size);
+
+/// Predicts whether q is solid or overflowing from sample frequencies
+/// (paper Sec. 5.1 + the Sec. 6.2 fallback for freq_hs = 0).
+QueryType PredictQueryType(size_t freq_hs, size_t freq_d,
+                           const EstimatorContext& ctx);
+
+/// Estimated benefit of q. `type` should come from PredictQueryType.
+/// All estimates are clamped to [0, k]: no query's true benefit can exceed
+/// the page size (Sec. 5).
+double EstimateBenefit(EstimatorKind kind, QueryType type, size_t freq_d,
+                       size_t freq_hs, size_t inter,
+                       const EstimatorContext& ctx);
+
+/// Convenience: predict-then-estimate.
+double EstimateBenefit(EstimatorKind kind, size_t freq_d, size_t freq_hs,
+                       size_t inter, const EstimatorContext& ctx);
+
+}  // namespace smartcrawl::core

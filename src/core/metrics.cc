@@ -1,0 +1,62 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace smartcrawl::core {
+
+std::vector<size_t> CoverageCurve(const table::Table& local,
+                                  const CrawlResult& result) {
+  std::unordered_map<table::EntityId, table::RecordId> entity_to_local;
+  entity_to_local.reserve(local.size() * 2);
+  for (const auto& rec : local.records()) {
+    if (rec.entity_id != table::kUnknownEntity) {
+      entity_to_local.emplace(rec.entity_id, rec.id);
+    }
+  }
+  std::vector<uint8_t> covered(local.size(), 0);
+  size_t count = 0;
+  std::vector<size_t> curve;
+  curve.reserve(result.iterations.size());
+  for (const auto& it : result.iterations) {
+    for (table::EntityId e : it.page_entities) {
+      auto found = entity_to_local.find(e);
+      if (found != entity_to_local.end() && !covered[found->second]) {
+        covered[found->second] = 1;
+        ++count;
+      }
+    }
+    curve.push_back(count);
+  }
+  return curve;
+}
+
+size_t FinalCoverage(const table::Table& local, const CrawlResult& result) {
+  auto curve = CoverageCurve(local, result);
+  return curve.empty() ? 0 : curve.back();
+}
+
+std::vector<size_t> CoverageAtBudgets(const table::Table& local,
+                                      const CrawlResult& result,
+                                      const std::vector<size_t>& budgets) {
+  auto curve = CoverageCurve(local, result);
+  std::vector<size_t> out;
+  out.reserve(budgets.size());
+  for (size_t b : budgets) {
+    if (curve.empty() || b == 0) {
+      out.push_back(0);
+    } else {
+      size_t idx = std::min(b, curve.size()) - 1;
+      out.push_back(curve[idx]);
+    }
+  }
+  return out;
+}
+
+double RelativeCoverage(size_t coverage, size_t num_matchable) {
+  if (num_matchable == 0) return 0.0;
+  return static_cast<double>(coverage) / static_cast<double>(num_matchable);
+}
+
+}  // namespace smartcrawl::core

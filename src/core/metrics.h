@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/crawl_result.h"
+#include "table/table.h"
+
+/// \file metrics.h
+/// Evaluation metrics (paper Sec. 7.1.1/7.1.2).
+///
+/// Metrics are computed by the harness from the iteration logs against
+/// ground-truth entity ids: "we assumed that once a hidden record is
+/// crawled, the entity resolution component can perfectly find its matching
+/// local record". This keeps the metric independent of whatever
+/// (possibly imperfect) matcher the crawler used internally.
+///
+///  * coverage(b') — number of local records covered by the hidden records
+///    crawled within the first b' queries.
+///  * relative coverage — coverage / |D − ΔD|.
+///  * recall — covered matching pairs / all matching pairs (== relative
+///    coverage when ΔD are the only unmatchable records).
+
+namespace smartcrawl::core {
+
+/// Coverage after each issued query: curve[i] = #covered local records
+/// after i+1 queries. Empty result -> empty curve.
+std::vector<size_t> CoverageCurve(const table::Table& local,
+                                  const CrawlResult& result);
+
+/// Final coverage (last point of the curve; 0 for an empty run).
+size_t FinalCoverage(const table::Table& local, const CrawlResult& result);
+
+/// Coverage at specific budget checkpoints (each clamped to the number of
+/// issued queries).
+std::vector<size_t> CoverageAtBudgets(const table::Table& local,
+                                      const CrawlResult& result,
+                                      const std::vector<size_t>& budgets);
+
+/// coverage / max(num_matchable, 1).
+double RelativeCoverage(size_t coverage, size_t num_matchable);
+
+}  // namespace smartcrawl::core

@@ -1,0 +1,98 @@
+#include "core/online.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sample/sampler.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace smartcrawl::core {
+
+Result<CrawlResult> OnlineSampleCrawl(const table::Table& local,
+                                      hidden::KeywordSearchInterface* iface,
+                                      size_t budget,
+                                      const OnlineCrawlOptions& options) {
+  if (options.sample_budget_fraction <= 0.0 ||
+      options.sample_budget_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "sample_budget_fraction must be in (0, 1)");
+  }
+  if (options.smart.policy != SelectionPolicy::kEstBiased &&
+      options.smart.policy != SelectionPolicy::kEstUnbiased) {
+    return Status::InvalidArgument(
+        "online sampling only helps the estimator policies");
+  }
+
+  // Phase 1: sample through the metered interface.
+  size_t sample_budget = static_cast<size_t>(
+      static_cast<double>(budget) * options.sample_budget_fraction);
+  if (sample_budget == 0) sample_budget = 1;
+
+  std::vector<std::string> pool;
+  {
+    std::unordered_set<std::string> kw;
+    text::TokenizerOptions tok;
+    for (const auto& rec : local.records()) {
+      std::string textv;
+      if (options.smart.local_text_fields.empty()) {
+        textv = local.ConcatenatedText(rec.id);
+      } else {
+        auto t = local.ConcatenatedText(rec.id,
+                                        options.smart.local_text_fields);
+        if (!t.ok()) return t.status();
+        textv = std::move(t).value();
+      }
+      for (auto& w : text::Tokenize(textv, tok)) kw.insert(std::move(w));
+    }
+    pool.assign(kw.begin(), kw.end());
+    std::sort(pool.begin(), pool.end());
+  }
+
+  CrawlResult combined;
+  sample::KeywordSamplerOptions sopt;
+  sopt.target_sample_size =
+      options.target_sample_size == 0 ? budget : options.target_sample_size;
+  sopt.max_queries = sample_budget;
+  sopt.seed = options.seed;
+  sopt.page_observer = [&combined](const std::vector<std::string>& query,
+                                   const std::vector<table::Record>& page) {
+    IterationLog log;
+    log.query = Join(query, " ");
+    log.page_size = static_cast<uint32_t>(page.size());
+    log.page_entities.reserve(page.size());
+    for (const auto& rec : page) log.page_entities.push_back(rec.entity_id);
+    combined.iterations.push_back(std::move(log));
+    ++combined.queries_issued;
+  };
+  auto sample_or = sample::KeywordSample(iface, pool, sopt);
+
+  // Phase 2: crawl with the remaining budget. If the sampling phase
+  // accepted nothing (tiny budget, hostile interface), there is no θ to
+  // estimate with — degrade gracefully to QSEL-SIMPLE instead of failing.
+  size_t spent = combined.queries_issued;
+  if (spent >= budget) return combined;
+  SmartCrawlOptions smart = options.smart;
+  const sample::HiddenSample* sample_ptr = nullptr;
+  if (sample_or.ok()) {
+    sample_ptr = &sample_or.value();
+  } else if (sample_or.status().IsNotFound()) {
+    smart.policy = SelectionPolicy::kSimple;
+  } else {
+    return sample_or.status();
+  }
+  SmartCrawler crawler(&local, std::move(smart), sample_ptr);
+  SC_ASSIGN_OR_RETURN(CrawlResult crawl,
+                      crawler.Crawl(iface, budget - spent));
+
+  combined.queries_issued += crawl.queries_issued;
+  combined.stopped_early = crawl.stopped_early;
+  combined.covered_local_ids = std::move(crawl.covered_local_ids);
+  combined.crawled_records = std::move(crawl.crawled_records);
+  for (auto& it : crawl.iterations) {
+    combined.iterations.push_back(std::move(it));
+  }
+  return combined;
+}
+
+}  // namespace smartcrawl::core

@@ -1,0 +1,180 @@
+#include "core/query_pool.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fpm/itemset.h"
+#include "util/hash.h"
+
+namespace smartcrawl::core {
+
+std::string Query::Display() const {
+  std::string out;
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += keywords[i];
+  }
+  return out;
+}
+
+namespace {
+
+/// Builds the keyword-string form of a term vector.
+std::vector<std::string> TermsToKeywords(const std::vector<text::TermId>& terms,
+                                         const text::TermDictionary& dict) {
+  std::vector<std::string> out;
+  out.reserve(terms.size());
+  for (text::TermId t : terms) out.push_back(dict.TermOf(t));
+  return out;
+}
+
+}  // namespace
+
+QueryPool GenerateQueryPool(const std::vector<text::Document>& local_docs,
+                            const text::TermDictionary& dict,
+                            const QueryPoolOptions& options) {
+  QueryPool pool;
+
+  // Candidate term sets, deduplicated.
+  std::unordered_set<size_t> seen_hashes;
+  std::vector<std::vector<text::TermId>> term_sets;
+  std::vector<uint8_t> is_naive;
+
+  auto add_candidate = [&](std::vector<text::TermId> terms, bool naive) {
+    if (terms.empty()) return;
+    size_t h = HashVector(terms);
+    // Hash-only dedup: a 64-bit collision between distinct term sets is
+    // negligible at pool scales (<= millions of queries).
+    if (!seen_hashes.insert(h).second) return;
+    term_sets.push_back(std::move(terms));
+    is_naive.push_back(naive ? 1 : 0);
+  };
+
+  // Q_naive: one specific query per record — all its keywords.
+  if (options.include_naive) {
+    for (const auto& doc : local_docs) {
+      add_candidate(doc.terms(), /*naive=*/true);
+    }
+  }
+
+  // Mined queries: frequent keyword itemsets with support >= t.
+  {
+    std::vector<std::vector<text::TermId>> txns;
+    txns.reserve(local_docs.size());
+    for (const auto& doc : local_docs) txns.push_back(doc.terms());
+    fpm::MiningOptions mopt;
+    mopt.min_support = options.min_support;
+    mopt.max_itemset_size = options.max_itemset_size;
+    mopt.max_results = options.max_mined_itemsets;
+    fpm::MiningResult mined = fpm::MineFrequentItemsets(txns, mopt);
+    pool.mining_truncated = mined.truncated;
+    for (auto& fis : mined.itemsets) {
+      add_candidate(std::move(fis.items), /*naive=*/false);
+    }
+  }
+
+  // Compute q(D) posting lists through a local inverted index.
+  index::InvertedIndex local_index(local_docs, dict.size());
+  std::vector<std::vector<index::DocIndex>> postings(term_sets.size());
+  for (size_t i = 0; i < term_sets.size(); ++i) {
+    postings[i] = local_index.IntersectPostings(term_sets[i]);
+  }
+
+  // Dominance pruning: bucket queries by their exact q(D) set; within a
+  // bucket keep only queries not strictly contained (keyword-wise) in
+  // another kept query.
+  std::vector<uint8_t> keep(term_sets.size(), 1);
+  if (options.dominance_prune) {
+    std::unordered_map<size_t, std::vector<uint32_t>> buckets;
+    for (size_t i = 0; i < term_sets.size(); ++i) {
+      if (postings[i].empty()) {
+        keep[i] = 0;  // |q(D)| = 0: outside the considered space Q
+        continue;
+      }
+      buckets[HashVector(postings[i])].push_back(static_cast<uint32_t>(i));
+    }
+    for (auto& [h, bucket] : buckets) {
+      if (bucket.size() < 2) continue;
+      // Longest term sets first: they can only dominate, not be dominated
+      // by, later (shorter) ones.
+      std::sort(bucket.begin(), bucket.end(), [&](uint32_t a, uint32_t b) {
+        if (term_sets[a].size() != term_sets[b].size()) {
+          return term_sets[a].size() > term_sets[b].size();
+        }
+        return term_sets[a] < term_sets[b];
+      });
+      std::vector<uint32_t> kept_in_bucket;
+      for (uint32_t qi : bucket) {
+        bool dominated = false;
+        for (uint32_t kj : kept_in_bucket) {
+          if (term_sets[kj].size() <= term_sets[qi].size()) continue;
+          // Verify the posting sets are truly equal (guard against hash
+          // collision) and that kj's keywords are a superset of qi's.
+          if (postings[kj] != postings[qi]) continue;
+          if (std::includes(term_sets[kj].begin(), term_sets[kj].end(),
+                            term_sets[qi].begin(), term_sets[qi].end())) {
+            dominated = true;
+            break;
+          }
+        }
+        if (dominated) {
+          keep[qi] = 0;
+        } else {
+          kept_in_bucket.push_back(qi);
+        }
+      }
+    }
+  } else {
+    for (size_t i = 0; i < term_sets.size(); ++i) {
+      if (postings[i].empty()) keep[i] = 0;
+    }
+  }
+
+  // Enforce the pool-size cap: all naive queries survive; mined queries
+  // are kept in decreasing |q(D)| order (ties to smaller index) until the
+  // cap is reached.
+  if (options.max_pool_size > 0) {
+    size_t kept_total = 0;
+    size_t kept_naive = 0;
+    for (size_t i = 0; i < term_sets.size(); ++i) {
+      if (!keep[i]) continue;
+      ++kept_total;
+      if (is_naive[i]) ++kept_naive;
+    }
+    if (kept_total > options.max_pool_size) {
+      std::vector<uint32_t> mined;
+      for (size_t i = 0; i < term_sets.size(); ++i) {
+        if (keep[i] && !is_naive[i]) mined.push_back(static_cast<uint32_t>(i));
+      }
+      std::sort(mined.begin(), mined.end(), [&](uint32_t a, uint32_t b) {
+        if (postings[a].size() != postings[b].size()) {
+          return postings[a].size() > postings[b].size();
+        }
+        return a < b;
+      });
+      size_t mined_budget = options.max_pool_size > kept_naive
+                                ? options.max_pool_size - kept_naive
+                                : 0;
+      for (size_t m = mined_budget; m < mined.size(); ++m) {
+        keep[mined[m]] = 0;
+      }
+    }
+  }
+
+  // Materialize the pool.
+  for (size_t i = 0; i < term_sets.size(); ++i) {
+    if (!keep[i]) continue;
+    Query q;
+    q.terms = std::move(term_sets[i]);
+    q.keywords = TermsToKeywords(q.terms, dict);
+    q.is_naive = is_naive[i] != 0;
+    pool.local_frequency.push_back(
+        static_cast<uint32_t>(postings[i].size()));
+    pool.local_postings.push_back(std::move(postings[i]));
+    pool.queries.push_back(std::move(q));
+  }
+  return pool;
+}
+
+}  // namespace smartcrawl::core

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "text/dictionary.h"
+#include "text/document.h"
+
+/// \file query_pool.h
+/// Query-pool generation (paper Sec. 3.1).
+///
+/// The pool is the union of
+///  * Q_naive — one specific query per local record (all its keywords), so
+///    every record has at least one query that can reach it, and
+///  * mined queries — keyword itemsets with |q(D)| >= t found by frequent
+///    pattern mining, which can cover multiple records at once,
+/// followed by dominance pruning: q2 is dropped when some q1 with the same
+/// q(D) contains all of q2's keywords (the extra keywords narrow q(H) for
+/// free — e.g. "Noodle" is dominated by "Noodle House").
+
+namespace smartcrawl::core {
+
+using QueryIdx = uint32_t;
+
+/// A keyword query over the crawler's dictionary.
+struct Query {
+  /// Sorted unique term ids (crawler-side dictionary).
+  std::vector<text::TermId> terms;
+  /// The keyword strings to send through the search interface.
+  std::vector<std::string> keywords;
+  /// True if this query came from Q_naive (vs pattern mining).
+  bool is_naive = false;
+
+  std::string Display() const;
+};
+
+struct QueryPoolOptions {
+  /// Minimum support t for mined queries (paper default t = 2).
+  uint32_t min_support = 2;
+  /// Cap on mined-itemset cardinality (see fpm::MiningOptions).
+  size_t max_itemset_size = 4;
+  /// Hard cap on mined itemsets enumerated (0 = unlimited).
+  size_t max_mined_itemsets = 2'000'000;
+  /// Include the per-record naive queries.
+  bool include_naive = true;
+  /// Apply dominance pruning.
+  bool dominance_prune = true;
+  /// Cap on the final pool size (0 = unlimited). When exceeded, all naive
+  /// queries are kept (they guarantee every record stays reachable —
+  /// principle 1 of Sec. 3.1) and the mined queries with the highest
+  /// |q(D)| fill the remainder.
+  size_t max_pool_size = 0;
+};
+
+struct QueryPool {
+  std::vector<Query> queries;
+  /// Initial |q(D)| per query, aligned with `queries`.
+  std::vector<uint32_t> local_frequency;
+  /// Initial q(D) posting lists (sorted local record indices).
+  std::vector<std::vector<index::DocIndex>> local_postings;
+  /// True if itemset mining hit the max_mined_itemsets cap.
+  bool mining_truncated = false;
+
+  size_t size() const { return queries.size(); }
+};
+
+/// Generates the pool from the local documents.
+/// `local_docs[i]` must be the document of local record i over `dict`.
+QueryPool GenerateQueryPool(const std::vector<text::Document>& local_docs,
+                            const text::TermDictionary& dict,
+                            const QueryPoolOptions& options);
+
+}  // namespace smartcrawl::core

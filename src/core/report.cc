@@ -1,0 +1,71 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+#include "util/csv.h"
+
+namespace smartcrawl::core {
+
+SeriesTable ToSeriesTable(const ExperimentOutcome& outcome) {
+  SeriesTable table;
+  table.x_name = "budget";
+  table.x = outcome.checkpoints;
+  for (const auto& arm : outcome.arms) {
+    std::vector<double> ys;
+    ys.reserve(arm.coverage_at_checkpoints.size());
+    for (size_t c : arm.coverage_at_checkpoints) {
+      ys.push_back(static_cast<double>(c));
+    }
+    table.series.emplace_back(arm.name, std::move(ys));
+  }
+  return table;
+}
+
+Status WriteSeriesCsv(const std::string& path, const SeriesTable& table) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header = {table.x_name};
+  for (const auto& [name, ys] : table.series) header.push_back(name);
+  rows.push_back(std::move(header));
+  for (size_t i = 0; i < table.x.size(); ++i) {
+    std::vector<std::string> row = {std::to_string(table.x[i])};
+    for (const auto& [name, ys] : table.series) {
+      if (i < ys.size()) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%g", ys[i]);
+        row.emplace_back(buf);
+      } else {
+        row.emplace_back();
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return WriteCsvFile(path, rows);
+}
+
+std::string FormatSeriesTable(const SeriesTable& table, int precision) {
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%12s", table.x_name.c_str());
+  out += buf;
+  for (const auto& [name, ys] : table.series) {
+    std::snprintf(buf, sizeof(buf), "%14s", name.c_str());
+    out += buf;
+  }
+  out += '\n';
+  for (size_t i = 0; i < table.x.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%12zu", table.x[i]);
+    out += buf;
+    for (const auto& [name, ys] : table.series) {
+      if (i < ys.size()) {
+        std::snprintf(buf, sizeof(buf), "%14.*f", precision, ys[i]);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%14s", "-");
+      }
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace smartcrawl::core

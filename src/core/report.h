@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/status.h"
+
+/// \file report.h
+/// Result export: coverage curves and experiment outcomes as CSV (for
+/// plotting) and as aligned text tables (for terminals). Used by the CLI
+/// tools; the bench drivers print through the same table formatter.
+
+namespace smartcrawl::core {
+
+/// A set of named series sharing the same x values.
+struct SeriesTable {
+  std::string x_name;
+  std::vector<size_t> x;  // e.g. budget checkpoints
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+};
+
+/// Builds a SeriesTable from an experiment outcome (coverage per arm at
+/// each checkpoint).
+SeriesTable ToSeriesTable(const ExperimentOutcome& outcome);
+
+/// Writes `budget,<arm1>,<arm2>,...` rows.
+Status WriteSeriesCsv(const std::string& path, const SeriesTable& table);
+
+/// Renders an aligned text table.
+std::string FormatSeriesTable(const SeriesTable& table, int precision = 0);
+
+}  // namespace smartcrawl::core

@@ -1,0 +1,444 @@
+#include "core/smart_crawler.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "index/inverted_index.h"
+#include "index/lazy_priority_queue.h"
+#include "match/similarity_join.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace smartcrawl::core {
+
+std::string PolicyName(SelectionPolicy policy) {
+  switch (policy) {
+    case SelectionPolicy::kSimple:
+      return "QSel-Simple";
+    case SelectionPolicy::kBound:
+      return "QSel-Bound";
+    case SelectionPolicy::kEstBiased:
+      return "SmartCrawl-B";
+    case SelectionPolicy::kEstUnbiased:
+      return "SmartCrawl-U";
+    case SelectionPolicy::kIdeal:
+      return "IdealCrawl";
+  }
+  return "?";
+}
+
+SmartCrawler::SmartCrawler(const table::Table* local,
+                           SmartCrawlOptions options,
+                           const sample::HiddenSample* sample,
+                           const hidden::HiddenDatabase* oracle)
+    : local_(local),
+      options_(std::move(options)),
+      sample_(sample),
+      oracle_(oracle) {
+  local_docs_ = local_->BuildDocuments(dict_, options_.local_text_fields);
+  pool_ = GenerateQueryPool(local_docs_, dict_, options_.pool);
+  freq_d_ = pool_.local_frequency;
+
+  // Forward index record -> queries (Figure 3(b)).
+  forward_ = index::ForwardIndex(local_->size());
+  for (QueryIdx q = 0; q < pool_.size(); ++q) {
+    for (index::DocIndex d : pool_.local_postings[q]) {
+      forward_.Add(d, q);
+    }
+  }
+
+  removed_.assign(local_->size(), 0);
+  covered_.assign(local_->size(), 0);
+  num_active_ = local_->size();
+
+  // ER helper maps.
+  for (const auto& rec : local_->records()) {
+    if (rec.entity_id != table::kUnknownEntity) {
+      entity_to_local_.emplace(rec.entity_id, rec.id);
+    }
+    doc_hash_to_local_[HashVector(local_docs_[rec.id].terms())].push_back(
+        rec.id);
+  }
+
+  freq_hs_.assign(pool_.size(), 0);
+  inter_.assign(pool_.size(), 0);
+  if (options_.policy == SelectionPolicy::kEstBiased ||
+      options_.policy == SelectionPolicy::kEstUnbiased) {
+    if (sample_ == nullptr) {
+      init_status_ = Status::InvalidArgument(
+          "estimator policies require a hidden-database sample");
+      return;
+    }
+    InitSampleState();
+  }
+  if (options_.policy == SelectionPolicy::kIdeal) {
+    if (oracle_ == nullptr) {
+      init_status_ =
+          Status::InvalidArgument("kIdeal requires oracle access");
+      return;
+    }
+    InitIdealState();
+  }
+}
+
+void SmartCrawler::InitSampleState() {
+  assert(sample_ != nullptr &&
+         "estimator policies require a hidden-database sample");
+  ctx_.k = 0;  // filled in Crawl() from the interface
+  ctx_.theta = sample_->theta;
+  ctx_.alpha =
+      ComputeAlpha(sample_->theta, local_->size(), sample_->records.size());
+  ctx_.alpha_fallback = options_.alpha_fallback;
+  ctx_.omega = options_.omega;
+
+  // Sample documents, interned into the crawler dictionary so containment
+  // checks against pool queries work directly.
+  sample_docs_.reserve(sample_->records.size());
+  for (const auto& rec : sample_->records.records()) {
+    std::string textv = sample_->records.ConcatenatedText(rec.id);
+    sample_docs_.push_back(text::Document::FromText(textv, dict_));
+  }
+
+  // |q(Hs)| for every pool query via an inverted index over the sample.
+  index::InvertedIndex sample_index(sample_docs_, dict_.size());
+  for (QueryIdx q = 0; q < pool_.size(); ++q) {
+    freq_hs_[q] =
+        static_cast<uint32_t>(sample_index.IntersectionSize(
+            pool_.queries[q].terms));
+  }
+
+  // Match D against Hs once (the crawler legitimately owns both) to get the
+  // fuzzy intersection counts |q(D) ∩~ q(Hs)|.
+  record_sample_matches_.assign(local_->size(), {});
+  switch (options_.er_mode) {
+    case SmartCrawlOptions::ErMode::kEntityOracle: {
+      for (uint32_t s = 0; s < sample_->records.size(); ++s) {
+        const auto& rec = sample_->records.record(s);
+        auto it = entity_to_local_.find(rec.entity_id);
+        if (it != entity_to_local_.end()) {
+          record_sample_matches_[it->second].push_back(s);
+        }
+      }
+      break;
+    }
+    case SmartCrawlOptions::ErMode::kExact: {
+      for (uint32_t s = 0; s < sample_->records.size(); ++s) {
+        auto it = doc_hash_to_local_.find(
+            HashVector(sample_docs_[s].terms()));
+        if (it == doc_hash_to_local_.end()) continue;
+        for (table::RecordId d : it->second) {
+          if (local_docs_[d] == sample_docs_[s]) {
+            record_sample_matches_[d].push_back(s);
+          }
+        }
+      }
+      break;
+    }
+    case SmartCrawlOptions::ErMode::kJaccard: {
+      auto pairs = match::JaccardJoin(local_docs_, sample_docs_,
+                                      options_.jaccard_threshold);
+      for (const auto& p : pairs) {
+        record_sample_matches_[p.left].push_back(p.right);
+      }
+      break;
+    }
+  }
+  for (QueryIdx q = 0; q < pool_.size(); ++q) {
+    uint32_t count = 0;
+    for (index::DocIndex d : pool_.local_postings[q]) {
+      for (uint32_t s : record_sample_matches_[d]) {
+        if (sample_docs_[s].ContainsAll(pool_.queries[q].terms)) ++count;
+      }
+    }
+    inter_[q] = count;
+  }
+}
+
+void SmartCrawler::InitIdealState() {
+  assert(oracle_ != nullptr && "kIdeal requires oracle access");
+  cover_count_.assign(pool_.size(), 0);
+  cover_forward_ = index::ForwardIndex(local_->size());
+  for (QueryIdx q = 0; q < pool_.size(); ++q) {
+    std::vector<table::RecordId> top =
+        oracle_->OracleTopK(pool_.queries[q].keywords);
+    std::vector<table::Record> page;
+    page.reserve(top.size());
+    for (table::RecordId id : top) page.push_back(oracle_->OracleTable().record(id));
+    std::vector<table::RecordId> covered =
+        MatchPage(q, page, /*active_only=*/false);
+    std::sort(covered.begin(), covered.end());
+    covered.erase(std::unique(covered.begin(), covered.end()),
+                  covered.end());
+    cover_count_[q] = static_cast<uint32_t>(covered.size());
+    for (table::RecordId d : covered) cover_forward_.Add(d, q);
+  }
+}
+
+double SmartCrawler::PriorityOf(QueryIdx q) const {
+  // For the estimator policies, a query whose estimate is 0 but which still
+  // matches uncovered records is not *useless* — with a sparse sample most
+  // unbiased estimates are exactly 0 and the paper's SMARTCRAWL-U keeps
+  // issuing such (tied) queries. The epsilon keeps them above the
+  // stop-on-zero threshold without disturbing the ordering of real
+  // estimates; ties are then broken deterministically by query id.
+  constexpr double kActiveEpsilon = 1e-9;
+  switch (options_.policy) {
+    case SelectionPolicy::kSimple:
+    case SelectionPolicy::kBound:
+      return static_cast<double>(freq_d_[q]);
+    case SelectionPolicy::kIdeal:
+      return static_cast<double>(cover_count_[q]);
+    case SelectionPolicy::kEstBiased:
+      return EstimateBenefit(EstimatorKind::kBiased, freq_d_[q], freq_hs_[q],
+                             inter_[q], ctx_) +
+             (freq_d_[q] > 0 ? kActiveEpsilon : 0.0);
+    case SelectionPolicy::kEstUnbiased:
+      return EstimateBenefit(EstimatorKind::kUnbiased, freq_d_[q],
+                             freq_hs_[q], inter_[q], ctx_) +
+             (freq_d_[q] > 0 ? kActiveEpsilon : 0.0);
+  }
+  return 0.0;
+}
+
+std::vector<table::RecordId> SmartCrawler::ActivePostings(QueryIdx q) const {
+  std::vector<table::RecordId> out;
+  for (index::DocIndex d : pool_.local_postings[q]) {
+    if (!removed_[d]) out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<table::RecordId> SmartCrawler::MatchPage(
+    QueryIdx q, const std::vector<table::Record>& page, bool active_only) {
+  std::vector<table::RecordId> matched;
+  switch (options_.er_mode) {
+    case SmartCrawlOptions::ErMode::kEntityOracle: {
+      for (const auto& rec : page) {
+        auto it = entity_to_local_.find(rec.entity_id);
+        if (it != entity_to_local_.end()) matched.push_back(it->second);
+      }
+      break;
+    }
+    case SmartCrawlOptions::ErMode::kExact: {
+      for (const auto& rec : page) {
+        std::string textv;
+        for (size_t i = 0; i < rec.fields.size(); ++i) {
+          if (i > 0) textv += ' ';
+          textv += rec.fields[i];
+        }
+        text::Document doc = text::Document::FromText(textv, dict_);
+        auto it = doc_hash_to_local_.find(HashVector(doc.terms()));
+        if (it == doc_hash_to_local_.end()) continue;
+        for (table::RecordId d : it->second) {
+          if (local_docs_[d] == doc) matched.push_back(d);
+        }
+      }
+      break;
+    }
+    case SmartCrawlOptions::ErMode::kJaccard: {
+      // Sec. 6.1: similarity join between q(D) and the returned page.
+      std::vector<table::RecordId> candidates = ActivePostings(q);
+      if (!active_only) {
+        candidates.assign(pool_.local_postings[q].begin(),
+                          pool_.local_postings[q].end());
+      }
+      std::vector<text::Document> left;
+      left.reserve(candidates.size());
+      for (table::RecordId d : candidates) left.push_back(local_docs_[d]);
+      std::vector<text::Document> right;
+      right.reserve(page.size());
+      for (const auto& rec : page) {
+        std::string textv;
+        for (size_t i = 0; i < rec.fields.size(); ++i) {
+          if (i > 0) textv += ' ';
+          textv += rec.fields[i];
+        }
+        right.push_back(text::Document::FromText(textv, dict_));
+      }
+      for (const auto& p :
+           match::JaccardJoin(left, right, options_.jaccard_threshold)) {
+        matched.push_back(candidates[p.left]);
+      }
+      break;
+    }
+  }
+  if (active_only) {
+    matched.erase(std::remove_if(matched.begin(), matched.end(),
+                                 [this](table::RecordId d) {
+                                   return removed_[d] != 0;
+                                 }),
+                  matched.end());
+  }
+  std::sort(matched.begin(), matched.end());
+  matched.erase(std::unique(matched.begin(), matched.end()), matched.end());
+  return matched;
+}
+
+void SmartCrawler::RemoveRecords(const std::vector<table::RecordId>& ids,
+                                 std::vector<QueryIdx>* dirtied) {
+  for (table::RecordId d : ids) {
+    if (removed_[d]) continue;
+    removed_[d] = 1;
+    --num_active_;
+    for (index::QueryIdx q : forward_.Queries(d)) {
+      --freq_d_[q];
+      if (!record_sample_matches_.empty()) {
+        for (uint32_t s : record_sample_matches_[d]) {
+          if (sample_docs_[s].ContainsAll(pool_.queries[q].terms)) {
+            if (inter_[q] > 0) --inter_[q];
+          }
+        }
+      }
+      dirtied->push_back(q);
+    }
+    if (!cover_count_.empty()) {
+      for (index::QueryIdx q : cover_forward_.Queries(d)) {
+        if (cover_count_[q] > 0) --cover_count_[q];
+        dirtied->push_back(q);
+      }
+    }
+  }
+}
+
+Result<CrawlResult> SmartCrawler::Crawl(hidden::KeywordSearchInterface* iface,
+                                        size_t budget) {
+  if (!init_status_.ok()) return init_status_;
+  if (pq_ == nullptr) {
+    // First session: fix k and seed the selection state.
+    ctx_.k = iface->top_k();
+    pq_ = std::make_unique<index::LazyPriorityQueue>(
+        [this](uint32_t q) { return PriorityOf(q); });
+    for (QueryIdx q = 0; q < pool_.size(); ++q) {
+      pq_->Push(q, PriorityOf(q));
+    }
+  } else if (ctx_.k != iface->top_k()) {
+    return Status::InvalidArgument(
+        "resumed Crawl() must use an interface with the same top-k (" +
+        std::to_string(ctx_.k) + " vs " + std::to_string(iface->top_k()) +
+        ")");
+  }
+  index::LazyPriorityQueue& pq = *pq_;
+
+  CrawlResult result;
+
+  size_t budget_left = budget;
+  while (budget_left > 0 && num_active_ > 0) {
+    uint32_t q = 0;
+    double priority = 0.0;
+    if (!pq.PopMax(&q, &priority)) {
+      result.stopped_early = true;
+      break;
+    }
+    if (priority <= 0.0 && options_.stop_on_zero_benefit) {
+      result.stopped_early = true;
+      break;
+    }
+
+    auto page_or = iface->Search(pool_.queries[q].keywords);
+    if (!page_or.ok()) {
+      if (page_or.status().IsBudgetExhausted()) {
+        // Out of quota mid-session: keep the selected query for the next
+        // session (resumability) and stop.
+        pq.Push(q, priority);
+        break;
+      }
+      // Query rejected by the interface (not counted): drop it and go on.
+      continue;
+    }
+    const std::vector<table::Record>& page = page_or.value();
+    --budget_left;
+    ++result.queries_issued;
+
+    const bool est_policy = options_.policy == SelectionPolicy::kEstBiased ||
+                            options_.policy == SelectionPolicy::kEstUnbiased;
+    IterationLog log;
+    log.query = pool_.queries[q].Display();
+    log.page_size = static_cast<uint32_t>(page.size());
+    // Strip the liveness epsilon so the log shows the raw estimate.
+    log.estimated_benefit = (est_policy && freq_d_[q] > 0 && priority >= 1e-9)
+                                ? priority - 1e-9
+                                : priority;
+    log.page_entities.reserve(page.size());
+    for (const auto& rec : page) log.page_entities.push_back(rec.entity_id);
+    result.iterations.push_back(std::move(log));
+
+    if (options_.keep_crawled_records) {
+      for (const auto& rec : page) {
+        uint64_t key = rec.entity_id != table::kUnknownEntity
+                           ? rec.entity_id
+                           : static_cast<uint64_t>(rec.id);
+        // Dedup across resumed sessions; this session's result only gets
+        // records first crawled now.
+        if (crawled_keys_.emplace(key, crawled_records_.size()).second) {
+          crawled_records_.push_back(rec);
+          result.crawled_records.push_back(rec);
+        }
+      }
+    }
+
+    std::vector<table::RecordId> covered_now =
+        MatchPage(q, page, /*active_only=*/true);
+    for (table::RecordId d : covered_now) covered_[d] = 1;
+
+    std::vector<QueryIdx> dirtied;
+    const bool page_solid = page.size() < iface->top_k();
+
+    switch (options_.policy) {
+      case SelectionPolicy::kBound: {
+        // Algorithm 3: unmatched active records of q(D) are q(ΔD).
+        std::vector<table::RecordId> active = ActivePostings(q);
+        std::vector<table::RecordId> unmatched;
+        for (table::RecordId d : active) {
+          if (!std::binary_search(covered_now.begin(), covered_now.end(),
+                                  d)) {
+            unmatched.push_back(d);
+          }
+        }
+        if (unmatched.empty()) {
+          RemoveRecords(covered_now, &dirtied);
+          // Query retired (not re-pushed).
+        } else {
+          RemoveRecords(unmatched, &dirtied);
+          // Covered records stay in D; the query stays in the pool.
+          pq.Push(q, PriorityOf(q));
+        }
+        break;
+      }
+      case SelectionPolicy::kEstBiased:
+      case SelectionPolicy::kEstUnbiased: {
+        std::vector<table::RecordId> to_remove = covered_now;
+        if (page_solid && options_.remove_unmatched_solid) {
+          // Sec. 4.2: for a solid query, q(H) was fully returned; any
+          // unmatched record of q(D) provably has no match in H.
+          for (table::RecordId d : ActivePostings(q)) {
+            if (!std::binary_search(covered_now.begin(), covered_now.end(),
+                                    d)) {
+              to_remove.push_back(d);
+            }
+          }
+        }
+        RemoveRecords(to_remove, &dirtied);
+        break;
+      }
+      case SelectionPolicy::kSimple:
+      case SelectionPolicy::kIdeal: {
+        RemoveRecords(covered_now, &dirtied);
+        break;
+      }
+    }
+
+    result.stats.fanout_updates += dirtied.size();
+    result.stats.records_fetched += page.size();
+    for (QueryIdx dq : dirtied) pq.MarkDirty(dq);
+  }
+  if (num_active_ == 0) result.stopped_early = true;
+
+  for (table::RecordId d = 0; d < covered_.size(); ++d) {
+    if (covered_[d]) result.covered_local_ids.push_back(d);
+  }
+  result.stats.pool_size = pool_.size();
+  result.stats.pq_recomputes = pq.num_recomputes();
+  return result;
+}
+
+}  // namespace smartcrawl::core

@@ -1,0 +1,193 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/crawl_result.h"
+#include "core/estimator.h"
+#include "core/query_pool.h"
+#include "hidden/hidden_database.h"
+#include "hidden/search_interface.h"
+#include "index/forward_index.h"
+#include "index/lazy_priority_queue.h"
+#include "match/matcher.h"
+#include "sample/sampler.h"
+#include "table/table.h"
+#include "text/dictionary.h"
+#include "text/document.h"
+#include "util/result.h"
+
+/// \file smart_crawler.h
+/// The SMARTCRAWL framework (paper Sec. 3-6) and its query-selection
+/// strategies, plus the oracle QSEL-IDEAL used as the experimental upper
+/// bound.
+///
+/// One engine implements all strategies — they share the query pool, the
+/// inverted/forward indices and the lazy priority queue (Sec. 6.3), and
+/// differ only in (a) how a query's priority is computed and (b) how the
+/// engine reacts to a query's result:
+///
+///   kSimple       Algorithm 2 — priority |q(D)|; remove covered records.
+///   kBound        Algorithm 3 — priority |q(D)|; if the result proves
+///                 |q(ΔD)| > 0, remove only q(ΔD) and KEEP the query
+///                 (covered records stay in D, exactly as in the paper).
+///   kEstBiased    Algorithm 4 with the biased estimators (SMARTCRAWL-B).
+///   kEstUnbiased  Algorithm 4, unbiased estimators (SMARTCRAWL-U).
+///   kIdeal        Algorithm 1 — true benefits via oracle access
+///                 (evaluation upper bound; impossible against a real
+///                 hidden site).
+///
+/// For the kEst* strategies the engine also performs the ΔD mitigation of
+/// Sec. 4.2: when an issued query's page proves solid (page size < k),
+/// every record of q(D) left unmatched provably has no match in H and is
+/// removed from D.
+
+namespace smartcrawl::core {
+
+enum class SelectionPolicy {
+  kSimple,
+  kBound,
+  kEstBiased,
+  kEstUnbiased,
+  kIdeal,
+};
+
+/// Short stable display name ("QSel-Simple", "SmartCrawl-B", ...).
+std::string PolicyName(SelectionPolicy policy);
+
+struct SmartCrawlOptions {
+  SelectionPolicy policy = SelectionPolicy::kEstBiased;
+  QueryPoolOptions pool;
+
+  /// Fields of the local table used to build crawler-side documents and
+  /// queries (empty = all fields).
+  std::vector<std::string> local_text_fields;
+
+  /// How returned/sampled hidden records are matched to local records
+  /// (the entity-resolution black box of Sec. 2).
+  enum class ErMode {
+    kEntityOracle,  // perfect ER via ground-truth ids (paper's evaluation)
+    kExact,         // Assumption 3: document equality
+    kJaccard,       // Sec. 6.1: similarity join with a threshold
+  };
+  ErMode er_mode = ErMode::kEntityOracle;
+  double jaccard_threshold = 0.9;
+
+  /// Sec. 4.2 ΔD mitigation (only sound under conjunctive search).
+  bool remove_unmatched_solid = true;
+
+  /// Sec. 6.2 α fallback for queries absent from the sample.
+  bool alpha_fallback = true;
+
+  /// Sec. 5.3 odds ratio ω (1.0 = the paper's random-sample assumption;
+  /// see EstimatorContext::omega).
+  double omega = 1.0;
+
+  /// Stop as soon as the best estimated benefit reaches 0 (no remaining
+  /// query matches any uncovered record).
+  bool stop_on_zero_benefit = true;
+
+  /// Retain the crawled hidden records in the result (for enrichment).
+  bool keep_crawled_records = false;
+};
+
+class SmartCrawler {
+ public:
+  /// \param local the local database D (must outlive the crawler)
+  /// \param options crawl configuration
+  /// \param sample hidden-database sample (required for kEst* policies)
+  /// \param oracle the hidden database itself (required for kIdeal only)
+  SmartCrawler(const table::Table* local, SmartCrawlOptions options,
+               const sample::HiddenSample* sample = nullptr,
+               const hidden::HiddenDatabase* oracle = nullptr);
+
+  SmartCrawler(const SmartCrawler&) = delete;
+  SmartCrawler& operator=(const SmartCrawler&) = delete;
+
+  /// Runs the crawl: iteratively selects and issues up to `budget` queries
+  /// through `iface`. Crawls are RESUMABLE: calling Crawl again continues
+  /// from the retained selection state (covered records stay covered,
+  /// issued queries stay retired), which is how a budget larger than a
+  /// daily quota is spent across days (see hidden/daily_quota.h). All
+  /// calls must use interfaces with the same top-k; each call returns the
+  /// logs of its own session only.
+  Result<CrawlResult> Crawl(hidden::KeywordSearchInterface* iface,
+                            size_t budget);
+
+  /// The generated query pool (valid after construction).
+  const QueryPool& pool() const { return pool_; }
+
+  /// Local records the crawler still considers part of D.
+  size_t NumActive() const { return num_active_; }
+
+  /// Estimated benefit the engine would currently assign to pool query
+  /// `q` (exposed for tests and the estimator examples).
+  double PriorityOf(QueryIdx q) const;
+
+ private:
+  void InitSampleState();
+  void InitIdealState();
+
+  /// Matches a returned page against local records; returns the matched
+  /// local record ids (restricted to records satisfying `q` for the
+  /// Jaccard mode, per Sec. 6.1).
+  std::vector<table::RecordId> MatchPage(
+      QueryIdx q, const std::vector<table::Record>& page,
+      bool active_only);
+
+  /// Removes records from D, updating frequencies / intersections / cover
+  /// counts and dirtying affected queries in `dirty` (query -> needs PQ
+  /// repair).
+  void RemoveRecords(const std::vector<table::RecordId>& ids,
+                     std::vector<QueryIdx>* dirtied);
+
+  /// Current q(D): the still-active subset of the query's posting list.
+  std::vector<table::RecordId> ActivePostings(QueryIdx q) const;
+
+  // Construction inputs.
+  const table::Table* local_;
+  SmartCrawlOptions options_;
+  const sample::HiddenSample* sample_;
+  const hidden::HiddenDatabase* oracle_;
+
+  // Crawler-side text state.
+  text::TermDictionary dict_;
+  std::vector<text::Document> local_docs_;
+
+  // Pool and maintained statistics.
+  QueryPool pool_;
+  index::ForwardIndex forward_;    // record -> queries with d ∈ q(D)
+  std::vector<uint32_t> freq_d_;   // current |q(D)|
+  std::vector<uint32_t> freq_hs_;  // static |q(Hs)|
+  std::vector<uint32_t> inter_;    // current |q(D) ∩~ q(Hs)|
+  EstimatorContext ctx_;
+
+  // Sample-side state (kEst*).
+  std::vector<text::Document> sample_docs_;
+  std::vector<std::vector<uint32_t>> record_sample_matches_;
+
+  // Oracle state (kIdeal).
+  index::ForwardIndex cover_forward_;
+  std::vector<uint32_t> cover_count_;
+
+  // Coverage state.
+  std::vector<uint8_t> removed_;  // no longer in D
+  std::vector<uint8_t> covered_;  // believed covered (reporting)
+  size_t num_active_ = 0;
+
+  // Entity-resolution helpers.
+  std::unordered_map<table::EntityId, table::RecordId> entity_to_local_;
+  std::unordered_map<size_t, std::vector<table::RecordId>> doc_hash_to_local_;
+
+  Status init_status_;  // construction-time configuration errors
+  /// Selection state shared across Crawl() sessions (resumability).
+  std::unique_ptr<index::LazyPriorityQueue> pq_;
+  /// Crawled-record dedup across sessions (keep_crawled_records).
+  std::unordered_map<uint64_t, size_t> crawled_keys_;
+  std::vector<table::Record> crawled_records_;
+};
+
+}  // namespace smartcrawl::core

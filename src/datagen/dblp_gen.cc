@@ -1,0 +1,109 @@
+#include "datagen/dblp_gen.h"
+
+#include <cassert>
+
+#include "datagen/vocabulary.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace smartcrawl::datagen {
+
+const std::vector<std::string>& DbCommunityVenues() {
+  static const std::vector<std::string> kVenues = {
+      "SIGMOD", "VLDB", "ICDE",  "CIKM", "CIDR",
+      "KDD",    "WWW",  "AAAI",  "NIPS", "IJCAI"};
+  return kVenues;
+}
+
+const std::vector<std::string>& AllVenues() {
+  static const std::vector<std::string> kVenues = [] {
+    std::vector<std::string> v = DbCommunityVenues();
+    const char* others[] = {"SOSP",  "OSDI", "PLDI",  "POPL",  "ISCA",
+                            "MICRO", "CHI",  "CSCW",  "SIGIR", "ACL",
+                            "EMNLP", "CVPR", "ICCV",  "SODA",  "FOCS",
+                            "STOC",  "CRYPTO", "NSDI", "EuroSys", "ATC"};
+    for (const char* o : others) v.emplace_back(o);
+    return v;
+  }();
+  return kVenues;
+}
+
+table::Table GenerateDblpCorpus(const DblpOptions& options) {
+  Rng rng(options.seed);
+
+  std::vector<std::string> title_vocab =
+      GenerateVocabulary(options.title_vocab_size, rng.Next());
+  ZipfDistribution title_dist(title_vocab.size(), options.title_zipf_s);
+
+  // Author names: first/last pools sized so full names are unique-ish but
+  // individual name words repeat across authors.
+  size_t name_pool = options.author_pool_size / 4 + 16;
+  std::vector<std::string> first_names =
+      GenerateVocabulary(name_pool, rng.Next(), 2, 3);
+  std::vector<std::string> last_names =
+      GenerateVocabulary(name_pool, rng.Next() ^ 0x9e37ULL, 2, 3);
+  std::vector<std::string> authors;
+  authors.reserve(options.author_pool_size);
+  for (size_t i = 0; i < options.author_pool_size; ++i) {
+    authors.push_back(
+        Capitalize(first_names[rng.UniformIndex(first_names.size())]) + " " +
+        Capitalize(last_names[rng.UniformIndex(last_names.size())]));
+  }
+  // Author productivity is skewed: papers pick authors Zipf-wise.
+  ZipfDistribution author_dist(authors.size(), 0.8);
+
+  const auto& community = DbCommunityVenues();
+  const auto& all_venues = AllVenues();
+
+  table::Table t(table::Schema{{"title", "venue", "authors", "year"}});
+  for (size_t row = 0; row < options.corpus_size; ++row) {
+    // Title.
+    size_t num_words = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(options.min_title_words),
+                       static_cast<int64_t>(options.max_title_words)));
+    std::string title;
+    for (size_t w = 0; w < num_words; ++w) {
+      if (w > 0) title += ' ';
+      title += Capitalize(title_vocab[title_dist.Sample(rng)]);
+    }
+    // Venue.
+    std::string venue;
+    if (rng.Bernoulli(options.db_community_fraction)) {
+      venue = community[rng.UniformIndex(community.size())];
+    } else {
+      venue = all_venues[community.size() +
+                         rng.UniformIndex(all_venues.size() -
+                                          community.size())];
+    }
+    // Authors.
+    size_t num_authors = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(options.min_authors),
+                       static_cast<int64_t>(options.max_authors)));
+    std::string author_str;
+    for (size_t a = 0; a < num_authors; ++a) {
+      if (a > 0) author_str += ", ";
+      author_str += authors[author_dist.Sample(rng)];
+    }
+    // Year.
+    std::string year = std::to_string(
+        rng.UniformInt(options.min_year, options.max_year));
+
+    auto appended = t.Append({title, venue, author_str, year},
+                             /*entity_id=*/row);
+    assert(appended.ok());
+    (void)appended;
+  }
+  return t;
+}
+
+bool InDbCommunity(const table::Record& rec, const table::Table& corpus) {
+  auto idx = corpus.schema().FieldIndex("venue");
+  if (!idx.has_value()) return false;
+  const std::string& venue = rec.fields[*idx];
+  for (const auto& v : DbCommunityVenues()) {
+    if (v == venue) return true;
+  }
+  return false;
+}
+
+}  // namespace smartcrawl::datagen

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+
+#include "table/table.h"
+
+/// \file dblp_gen.h
+/// Synthetic DBLP-like publication corpus (substitute for the real DBLP
+/// dump used in paper Sec. 7.1.1 — see DESIGN.md).
+///
+/// Schema: {title, venue, authors, year}. Entity id = corpus row index.
+/// Properties mirrored from real bibliographic text:
+///  * title words follow a Zipf distribution over a topic vocabulary
+///    (a few ubiquitous words like "data"/"query"-analogues, a long tail),
+///  * venues come from a small list, a designated subset of which marks the
+///    "database & data mining" community the local database is drawn from,
+///  * authors are drawn from a pool with per-author productivity skew
+///    (the same names recur across papers),
+///  * years span a range (the simulated search engine ranks by year).
+
+namespace smartcrawl::datagen {
+
+struct DblpOptions {
+  size_t corpus_size = 200000;
+  uint64_t seed = 42;
+  /// Distinct title words.
+  size_t title_vocab_size = 5000;
+  /// Zipf exponent for title-word frequencies.
+  double title_zipf_s = 1.05;
+  size_t min_title_words = 4;
+  size_t max_title_words = 10;
+  /// Distinct author full names (first+last drawn from smaller pools, so
+  /// first/last names are shared across authors as in reality).
+  size_t author_pool_size = 20000;
+  size_t min_authors = 1;
+  size_t max_authors = 4;
+  int min_year = 1990;
+  int max_year = 2018;
+  /// Fraction of the corpus published in the "database community" venues
+  /// (from which the local database is drawn).
+  double db_community_fraction = 0.3;
+};
+
+/// The venue names of the simulated database/data-mining community
+/// (mirrors the paper's list: SIGMOD, VLDB, ICDE, CIKM, CIDR, KDD, WWW,
+/// AAAI, NIPS, IJCAI).
+const std::vector<std::string>& DbCommunityVenues();
+
+/// All venue names (community venues + others).
+const std::vector<std::string>& AllVenues();
+
+/// Generates the corpus. Record entity ids are the corpus row indices.
+table::Table GenerateDblpCorpus(const DblpOptions& options);
+
+/// True if `rec` (from a GenerateDblpCorpus table) belongs to the database
+/// community (by venue).
+bool InDbCommunity(const table::Record& rec, const table::Table& corpus);
+
+}  // namespace smartcrawl::datagen

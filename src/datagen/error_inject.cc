@@ -1,0 +1,76 @@
+#include "datagen/error_inject.h"
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace smartcrawl::datagen {
+
+namespace {
+/// Synthesizes a junk word unlikely to collide with corpus vocabulary or
+/// other junk words: a short prefix plus random digits. Using fresh random
+/// junk per corruption (instead of a small fixed list) keeps junk words
+/// infrequent, so they never form frequent itemsets of their own.
+std::string RandomJunkWord(Rng& rng) {
+  std::string w = "xq";
+  for (int i = 0; i < 5; ++i) {
+    w += static_cast<char>('0' + rng.UniformIndex(10));
+  }
+  return w;
+}
+}  // namespace
+
+ErrorInjectReport InjectErrors(table::Table* t,
+                               const ErrorInjectOptions& options) {
+  ErrorInjectReport report;
+  auto field_idx = t->schema().FieldIndex(options.target_field);
+  if (!field_idx.has_value() || options.error_rate <= 0.0) return report;
+
+  Rng rng(options.seed);
+  auto junk_word = [&]() -> std::string {
+    if (options.junk_words.empty()) return RandomJunkWord(rng);
+    return options.junk_words[rng.UniformIndex(options.junk_words.size())];
+  };
+  size_t num_corrupt = static_cast<size_t>(
+      static_cast<double>(t->size()) * options.error_rate + 0.5);
+  std::vector<size_t> victims =
+      SampleIndicesWithoutReplacement(t->size(), num_corrupt, rng);
+
+  for (size_t rec_idx : victims) {
+    // Table::record returns const; we mutate through a controlled
+    // const_cast here rather than widening the Table API to arbitrary
+    // mutation (injection is the only writer after construction).
+    auto& rec = const_cast<table::Record&>(
+        t->record(static_cast<table::RecordId>(rec_idx)));
+    std::vector<std::string> words =
+        SplitWhitespace(rec.fields[*field_idx]);
+    if (words.empty()) continue;
+    ++report.records_corrupted;
+
+    // Choose the corruption uniformly: drop / add / replace (p = 1/3 each).
+    uint64_t op = rng.UniformIndex(3);
+    switch (op) {
+      case 0: {  // remove a word
+        size_t pos = rng.UniformIndex(words.size());
+        words.erase(words.begin() + static_cast<long>(pos));
+        ++report.words_dropped;
+        break;
+      }
+      case 1: {  // add a new word
+        size_t pos = rng.UniformIndex(words.size() + 1);
+        words.insert(words.begin() + static_cast<long>(pos), junk_word());
+        ++report.words_added;
+        break;
+      }
+      default: {  // replace an existing word
+        size_t pos = rng.UniformIndex(words.size());
+        words[pos] = junk_word();
+        ++report.words_replaced;
+        break;
+      }
+    }
+    rec.fields[*field_idx] = Join(words, " ");
+  }
+  return report;
+}
+
+}  // namespace smartcrawl::datagen

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+/// \file error_inject.h
+/// Data-error injection for the fuzzy-matching experiments
+/// (paper Sec. 7.1.1, parameter error%).
+///
+/// "Suppose error% = 10%. We will randomly select 10% records from D. For
+/// each record, we removed a word, added a new word, and replaced an
+/// existing word with the probability of 1/3."
+
+namespace smartcrawl::datagen {
+
+struct ErrorInjectOptions {
+  /// Fraction of records to corrupt, in [0, 1].
+  double error_rate = 0.0;
+  uint64_t seed = 123;
+  /// Field to corrupt (errors hit the content users actually type, e.g.
+  /// "title" or "name"). Must exist in the table schema.
+  std::string target_field;
+  /// Vocabulary for inserted/substituted garbage words; if empty, a fixed
+  /// internal junk list is used.
+  std::vector<std::string> junk_words;
+};
+
+/// Statistics about an injection run.
+struct ErrorInjectReport {
+  size_t records_corrupted = 0;
+  size_t words_dropped = 0;
+  size_t words_added = 0;
+  size_t words_replaced = 0;
+};
+
+/// Corrupts `t` in place. Deterministic in the seed. Records whose target
+/// field has no words are skipped (counted as not corrupted).
+ErrorInjectReport InjectErrors(table::Table* t,
+                               const ErrorInjectOptions& options);
+
+}  // namespace smartcrawl::datagen

@@ -1,0 +1,90 @@
+#include "datagen/movies_gen.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "datagen/vocabulary.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace smartcrawl::datagen {
+
+const std::vector<std::string>& MovieGenres() {
+  static const std::vector<std::string> kGenres = {
+      "Drama",    "Comedy",  "Action",   "Thriller", "Horror",
+      "Romance",  "Sci-Fi",  "Fantasy",  "Crime",    "Mystery",
+      "Western",  "War",     "Musical",  "Animation", "Documentary"};
+  return kGenres;
+}
+
+table::Table GenerateMoviesCorpus(const MoviesOptions& options) {
+  Rng rng(options.seed);
+
+  std::vector<std::string> title_vocab =
+      GenerateVocabulary(options.title_vocab_size, rng.Next(), 1, 3);
+  ZipfDistribution title_dist(title_vocab.size(), options.title_zipf_s);
+
+  auto make_people = [&rng](size_t pool, uint64_t salt) {
+    std::vector<std::string> first =
+        GenerateVocabulary(pool / 6 + 8, salt, 2, 3);
+    std::vector<std::string> last =
+        GenerateVocabulary(pool / 6 + 8, salt ^ 0x77ULL, 2, 3);
+    std::vector<std::string> people;
+    people.reserve(pool);
+    for (size_t i = 0; i < pool; ++i) {
+      people.push_back(Capitalize(first[rng.UniformIndex(first.size())]) +
+                       " " +
+                       Capitalize(last[rng.UniformIndex(last.size())]));
+    }
+    return people;
+  };
+  std::vector<std::string> directors =
+      make_people(options.director_pool, rng.Next());
+  std::vector<std::string> actors = make_people(options.actor_pool,
+                                                rng.Next());
+  ZipfDistribution director_dist(directors.size(), 0.9);
+  ZipfDistribution actor_dist(actors.size(), 0.9);
+
+  // Franchise suffixes / connective words that recur across titles.
+  static constexpr const char* kFranchiseWords[] = {
+      "Returns", "II", "III", "Rising", "Forever", "Begins", "Legacy"};
+
+  table::Table t(table::Schema{
+      {"title", "director", "cast", "year", "genre", "rating"}});
+  for (size_t row = 0; row < options.corpus_size; ++row) {
+    size_t words = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(options.min_title_words),
+                       static_cast<int64_t>(options.max_title_words)));
+    std::string title;
+    for (size_t w = 0; w < words; ++w) {
+      if (w > 0) title += ' ';
+      title += Capitalize(title_vocab[title_dist.Sample(rng)]);
+    }
+    if (rng.Bernoulli(0.12)) {
+      title += ' ';
+      title += kFranchiseWords[rng.UniformIndex(std::size(kFranchiseWords))];
+    }
+    std::string director = directors[director_dist.Sample(rng)];
+    size_t cast_size = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(options.min_cast),
+                       static_cast<int64_t>(options.max_cast)));
+    std::string cast;
+    for (size_t c = 0; c < cast_size; ++c) {
+      if (c > 0) cast += ", ";
+      cast += actors[actor_dist.Sample(rng)];
+    }
+    std::string year =
+        std::to_string(rng.UniformInt(options.min_year, options.max_year));
+    std::string genre = MovieGenres()[rng.UniformIndex(MovieGenres().size())];
+    char rating[8];
+    std::snprintf(rating, sizeof(rating), "%.1f",
+                  1.0 + rng.UniformDouble() * 9.0);
+    auto appended = t.Append({title, director, cast, year, genre, rating},
+                             /*entity_id=*/row);
+    assert(appended.ok());
+    (void)appended;
+  }
+  return t;
+}
+
+}  // namespace smartcrawl::datagen

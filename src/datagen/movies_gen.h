@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "table/table.h"
+
+/// \file movies_gen.h
+/// Synthetic IMDb-like movie corpus — the third hidden-database domain the
+/// paper names (IMDb supports conjunctive keyword search, Sec. 2).
+///
+/// Schema: {title, director, cast, year, genre, rating}. Entity id = row.
+/// Title words are Zipf-skewed with franchise-style shared words
+/// ("Return of ...", "... II"); directors/actors recur across movies with
+/// skewed productivity, so director+actor keyword pairs make effective
+/// shared queries.
+
+namespace smartcrawl::datagen {
+
+struct MoviesOptions {
+  size_t corpus_size = 50000;
+  uint64_t seed = 21;
+  size_t title_vocab_size = 3000;
+  double title_zipf_s = 1.0;
+  size_t min_title_words = 1;
+  size_t max_title_words = 5;
+  size_t director_pool = 3000;
+  size_t actor_pool = 12000;
+  size_t min_cast = 2;
+  size_t max_cast = 5;
+  int min_year = 1950;
+  int max_year = 2018;
+};
+
+table::Table GenerateMoviesCorpus(const MoviesOptions& options);
+
+/// The genre list used by the generator.
+const std::vector<std::string>& MovieGenres();
+
+}  // namespace smartcrawl::datagen

@@ -1,0 +1,257 @@
+#include "datagen/scenario.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "util/random.h"
+
+namespace smartcrawl::datagen {
+
+namespace {
+
+/// Copies corpus rows (by index) into a new table, preserving entity ids.
+table::Table Subset(const table::Table& corpus,
+                    const std::vector<size_t>& rows) {
+  table::Table out(corpus.schema());
+  for (size_t r : rows) {
+    const auto& rec = corpus.record(static_cast<table::RecordId>(r));
+    auto appended = out.Append(rec.fields, rec.entity_id);
+    (void)appended;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Scenario> BuildDblpScenario(const DblpScenarioConfig& config) {
+  if (config.delta_d > config.local_size) {
+    return Status::InvalidArgument("delta_d exceeds local_size");
+  }
+  if (config.local_size - config.delta_d > config.hidden_size) {
+    return Status::InvalidArgument("hidden database too small to contain D");
+  }
+
+  table::Table corpus = GenerateDblpCorpus(config.corpus);
+  if (config.hidden_size + config.local_size > corpus.size()) {
+    return Status::InvalidArgument(
+        "corpus too small for requested hidden+local sizes");
+  }
+  Rng rng(config.seed);
+
+  // Partition corpus rows: community pool (local candidates) vs rest.
+  auto year_idx = corpus.schema().FieldIndex("year");
+  std::vector<size_t> community;
+  std::vector<size_t> everything(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    everything[i] = i;
+    const auto& rec = corpus.record(static_cast<table::RecordId>(i));
+    if (!InDbCommunity(rec, corpus)) continue;
+    if (config.local_min_year > 0 && year_idx.has_value() &&
+        std::atoi(rec.fields[*year_idx].c_str()) < config.local_min_year) {
+      continue;  // "recent papers only" local databases (ω > 1 regime)
+    }
+    community.push_back(i);
+  }
+  const size_t core_size = config.local_size - config.delta_d;
+  if (community.size() < core_size) {
+    return Status::InvalidArgument(
+        "community pool too small for requested local size");
+  }
+
+  // D_core: local records that WILL be in H (drawn from the community).
+  std::vector<size_t> d_core =
+      SampleWithoutReplacement(community, core_size, rng);
+  std::unordered_set<size_t> in_d(d_core.begin(), d_core.end());
+
+  // ΔD: local records NOT in H, drawn from the entire corpus (paper: "we
+  // randomly drew |ΔD| records from the entire dataset and added them to D
+  // but not H").
+  std::vector<size_t> delta_rows;
+  while (delta_rows.size() < config.delta_d) {
+    size_t r = static_cast<size_t>(rng.UniformIndex(corpus.size()));
+    if (in_d.insert(r).second) delta_rows.push_back(r);
+  }
+
+  // H = D_core ∪ (random draw from the rest of the corpus).
+  std::vector<size_t> h_rows = d_core;
+  {
+    std::vector<size_t> pool;
+    pool.reserve(corpus.size());
+    for (size_t r : everything) {
+      if (!in_d.count(r)) pool.push_back(r);
+    }
+    size_t extra = config.hidden_size - d_core.size();
+    if (pool.size() < extra) {
+      return Status::InvalidArgument("corpus too small for hidden - D");
+    }
+    std::vector<size_t> h_extra = SampleWithoutReplacement(pool, extra, rng);
+    h_rows.insert(h_rows.end(), h_extra.begin(), h_extra.end());
+  }
+  Shuffle(h_rows, rng);
+
+  // Local table rows in random order.
+  std::vector<size_t> d_rows = d_core;
+  d_rows.insert(d_rows.end(), delta_rows.begin(), delta_rows.end());
+  Shuffle(d_rows, rng);
+
+  Scenario scenario;
+  scenario.local = Subset(corpus, d_rows);
+  scenario.local_text_fields = {"title", "venue", "authors"};
+  scenario.num_matchable = core_size;
+
+  if (config.error_rate > 0.0) {
+    ErrorInjectOptions err;
+    err.error_rate = config.error_rate;
+    err.seed = rng.Next();
+    err.target_field = "title";
+    InjectErrors(&scenario.local, err);
+  }
+
+  hidden::HiddenDatabaseOptions hopt;
+  hopt.top_k = config.top_k;
+  hopt.mode = hidden::HiddenDatabaseOptions::Mode::kConjunctive;
+  // The paper's engine indexes title, venue, authors (not year).
+  hopt.indexed_fields = {"title", "venue", "authors"};
+  table::Table h_table = Subset(corpus, h_rows);
+  auto ranker = hidden::MakeFieldRanker(h_table, "year");
+  scenario.hidden = std::make_unique<hidden::HiddenDatabase>(
+      std::move(h_table), std::move(hopt), std::move(ranker));
+  return scenario;
+}
+
+Result<Scenario> BuildYelpScenario(const YelpScenarioConfig& config) {
+  if (config.delta_d > config.local_size) {
+    return Status::InvalidArgument("delta_d exceeds local_size");
+  }
+  table::Table corpus = GenerateYelpCorpus(config.corpus);
+  if (config.local_size > corpus.size()) {
+    return Status::InvalidArgument("corpus too small for local size");
+  }
+  Rng rng(config.seed);
+
+  // H = the whole corpus minus ΔD rows; D = random local_size rows of the
+  // corpus, delta_d of which are excluded from H.
+  std::vector<size_t> all(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) all[i] = i;
+  std::vector<size_t> d_rows =
+      SampleWithoutReplacement(all, config.local_size, rng);
+  std::unordered_set<size_t> delta(d_rows.begin(),
+                                   d_rows.begin() +
+                                       static_cast<long>(config.delta_d));
+
+  std::vector<size_t> h_rows;
+  h_rows.reserve(corpus.size() - delta.size());
+  for (size_t r : all) {
+    if (!delta.count(r)) h_rows.push_back(r);
+  }
+  Shuffle(h_rows, rng);
+
+  Scenario scenario;
+  scenario.local = Subset(corpus, d_rows);
+  scenario.local_text_fields = {"name", "city"};
+  scenario.num_matchable = config.local_size - config.delta_d;
+
+  if (config.error_rate > 0.0) {
+    ErrorInjectOptions err;
+    err.error_rate = config.error_rate;
+    err.seed = rng.Next();
+    err.target_field = "name";
+    InjectErrors(&scenario.local, err);
+  }
+
+  hidden::HiddenDatabaseOptions hopt;
+  hopt.top_k = config.top_k;
+  // Yelp-like: not strictly conjunctive, but a query keyword the engine
+  // cannot match (e.g. a junk token in a drifted local name) disqualifies
+  // records missing it once the match fraction falls below the bar.
+  hopt.mode = hidden::HiddenDatabaseOptions::Mode::kSemiConjunctive;
+  hopt.min_match_fraction = 0.9;
+  hopt.indexed_fields = {"name", "city", "category"};
+  table::Table h_table = Subset(corpus, h_rows);
+  // Yelp-like relevance ranking: most matched keywords first, popularity
+  // (here: rating) as tie-break. The ranker needs the engine's documents,
+  // which only exist after construction — so build with a placeholder and
+  // swap in the relevance ranker right after.
+  auto* db = new hidden::HiddenDatabase(std::move(h_table), hopt);
+  scenario.hidden.reset(db);
+  std::vector<double> tiebreak(db->OracleSize());
+  auto rating_idx = db->OracleTable().schema().FieldIndex("rating");
+  for (const auto& rec : db->OracleTable().records()) {
+    tiebreak[rec.id] =
+        rating_idx ? std::strtod(rec.fields[*rating_idx].c_str(), nullptr)
+                   : 0.0;
+  }
+  db->SetRanker(std::make_unique<hidden::RelevanceRanker>(
+      &db->OracleDocuments(), std::move(tiebreak)));
+  return scenario;
+}
+
+Result<Scenario> BuildMoviesScenario(const MoviesScenarioConfig& config) {
+  if (config.delta_d > config.local_size) {
+    return Status::InvalidArgument("delta_d exceeds local_size");
+  }
+  if (config.local_size - config.delta_d > config.hidden_size) {
+    return Status::InvalidArgument("hidden database too small to contain D");
+  }
+  table::Table corpus = GenerateMoviesCorpus(config.corpus);
+  if (config.hidden_size + config.local_size > corpus.size()) {
+    return Status::InvalidArgument(
+        "corpus too small for requested hidden+local sizes");
+  }
+  Rng rng(config.seed);
+
+  // D_core ⊆ H; ΔD excluded from H; H filled from the remaining corpus —
+  // the same split protocol as the DBLP scenario, without the topical
+  // community restriction (any movie list is plausible).
+  std::vector<size_t> all(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) all[i] = i;
+  const size_t core_size = config.local_size - config.delta_d;
+  std::vector<size_t> d_rows =
+      SampleWithoutReplacement(all, config.local_size, rng);
+  std::vector<size_t> d_core(d_rows.begin(),
+                             d_rows.begin() + static_cast<long>(core_size));
+  std::unordered_set<size_t> in_d(d_rows.begin(), d_rows.end());
+
+  std::vector<size_t> h_rows = d_core;
+  {
+    std::vector<size_t> pool;
+    pool.reserve(corpus.size());
+    for (size_t r : all) {
+      if (!in_d.count(r)) pool.push_back(r);
+    }
+    size_t extra = config.hidden_size - d_core.size();
+    if (pool.size() < extra) {
+      return Status::InvalidArgument("corpus too small for hidden - D");
+    }
+    auto h_extra = SampleWithoutReplacement(pool, extra, rng);
+    h_rows.insert(h_rows.end(), h_extra.begin(), h_extra.end());
+  }
+  Shuffle(h_rows, rng);
+  Shuffle(d_rows, rng);
+
+  Scenario scenario;
+  scenario.local = Subset(corpus, d_rows);
+  scenario.local_text_fields = {"title", "director", "cast"};
+  scenario.num_matchable = core_size;
+
+  if (config.error_rate > 0.0) {
+    ErrorInjectOptions err;
+    err.error_rate = config.error_rate;
+    err.seed = rng.Next();
+    err.target_field = "title";
+    InjectErrors(&scenario.local, err);
+  }
+
+  hidden::HiddenDatabaseOptions hopt;
+  hopt.top_k = config.top_k;
+  hopt.mode = hidden::HiddenDatabaseOptions::Mode::kConjunctive;
+  hopt.indexed_fields = {"title", "director", "cast"};
+  table::Table h_table = Subset(corpus, h_rows);
+  auto ranker = hidden::MakeFieldRanker(h_table, "rating");
+  scenario.hidden = std::make_unique<hidden::HiddenDatabase>(
+      std::move(h_table), std::move(hopt), std::move(ranker));
+  return scenario;
+}
+
+}  // namespace smartcrawl::datagen

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "datagen/dblp_gen.h"
+#include "datagen/error_inject.h"
+#include "datagen/movies_gen.h"
+#include "datagen/yelp_gen.h"
+#include "hidden/hidden_database.h"
+#include "table/table.h"
+#include "util/result.h"
+
+/// \file scenario.h
+/// Experiment scenario construction: local database D + hidden database H
+/// following the protocols of paper Sec. 7.1.1 (simulated DBLP) and
+/// Sec. 7.1.2 (Yelp-like).
+///
+/// DBLP protocol: the local database is drawn from the publications of the
+/// database/data-mining community; the hidden database is H = (H − D) ∪
+/// (H ∩ D), with H − D drawn from the whole corpus and H ∩ D ⊆ D. ΔD
+/// records (in D but not H) are drawn from the remaining corpus. The
+/// simulated search engine indexes {title, venue, authors} and ranks by
+/// year (exactly the paper's setup).
+
+namespace smartcrawl::datagen {
+
+struct DblpScenarioConfig {
+  DblpOptions corpus;            // underlying corpus generator
+  size_t hidden_size = 100000;   // |H|
+  size_t local_size = 10000;     // |D| (including delta_d records)
+  size_t delta_d = 0;            // |ΔD| = |D − H|
+  size_t top_k = 100;            // result-page limit k
+  double error_rate = 0.0;       // error% injected into D ("title" field)
+  uint64_t seed = 1;             // split / injection seed
+  /// When > 0, the local database is drawn only from community papers with
+  /// year >= this value (e.g. "my list of recent papers"). Because the
+  /// simulated engine ranks by year, such a local database is positively
+  /// correlated with the top-k pages — the ω > 1 situation of paper
+  /// Sec. 5.3 (see EstimatorContext::omega and bench_omega).
+  int local_min_year = 0;
+};
+
+struct YelpScenarioConfig {
+  YelpOptions corpus;
+  size_t local_size = 3000;   // |D|
+  size_t delta_d = 0;
+  size_t top_k = 50;          // Yelp API page size
+  /// The released-dataset-vs-live-API drift: fraction of local records
+  /// whose name no longer exactly matches the hidden one.
+  double error_rate = 0.25;
+  uint64_t seed = 2;
+};
+
+/// A ready-to-crawl experiment instance.
+struct Scenario {
+  table::Table local;  // D (possibly with injected errors)
+  std::unique_ptr<hidden::HiddenDatabase> hidden;  // H
+  /// Ground truth |D ∩ H| (local records with a matching hidden record).
+  size_t num_matchable = 0;
+  /// Fields of D used to build crawler-side documents / naive queries.
+  std::vector<std::string> local_text_fields;
+};
+
+/// Builds the simulated-DBLP scenario (conjunctive search, rank by year).
+Result<Scenario> BuildDblpScenario(const DblpScenarioConfig& config);
+
+/// Builds the Yelp-like scenario (semi-conjunctive relevance-ranked search
+/// over {name, city, category}; k = 50; dirty local names).
+Result<Scenario> BuildYelpScenario(const YelpScenarioConfig& config);
+
+struct MoviesScenarioConfig {
+  MoviesOptions corpus;
+  size_t hidden_size = 30000;  // |H|
+  size_t local_size = 2000;    // |D|
+  size_t delta_d = 0;
+  size_t top_k = 100;
+  double error_rate = 0.0;     // injected into the "title" field
+  uint64_t seed = 3;
+};
+
+/// Builds the IMDb-like scenario (conjunctive search over {title,
+/// director, cast}, ranked by rating).
+Result<Scenario> BuildMoviesScenario(const MoviesScenarioConfig& config);
+
+}  // namespace smartcrawl::datagen

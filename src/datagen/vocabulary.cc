@@ -1,0 +1,44 @@
+#include "datagen/vocabulary.h"
+
+#include <unordered_set>
+
+#include "text/stopwords.h"
+
+namespace smartcrawl::datagen {
+
+std::vector<std::string> GenerateVocabulary(size_t n, uint64_t seed,
+                                            size_t min_syllables,
+                                            size_t max_syllables) {
+  static constexpr const char* kOnsets[] = {
+      "b", "d", "f", "g", "k", "l", "m", "n", "p", "r",
+      "s", "t", "v", "z", "ch", "sh", "th", "br", "tr", "st"};
+  static constexpr const char* kVowels[] = {"a", "e", "i", "o", "u"};
+
+  Rng rng(seed);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> words;
+  words.reserve(n);
+  while (words.size() < n) {
+    std::string w;
+    size_t syllables = static_cast<size_t>(rng.UniformInt(
+        static_cast<int64_t>(min_syllables),
+        static_cast<int64_t>(max_syllables)));
+    for (size_t s = 0; s < syllables; ++s) {
+      w += kOnsets[rng.UniformIndex(std::size(kOnsets))];
+      w += kVowels[rng.UniformIndex(std::size(kVowels))];
+    }
+    if (text::IsStopword(w)) continue;
+    if (seen.insert(w).second) words.push_back(std::move(w));
+  }
+  return words;
+}
+
+std::string Capitalize(const std::string& word) {
+  std::string out = word;
+  if (!out.empty() && out[0] >= 'a' && out[0] <= 'z') {
+    out[0] = static_cast<char>(out[0] - 'a' + 'A');
+  }
+  return out;
+}
+
+}  // namespace smartcrawl::datagen

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+/// \file vocabulary.h
+/// Synthetic word generation for the data generators.
+///
+/// Words are pronounceable consonant–vowel syllable strings ("rukela",
+/// "dosim", ...), guaranteed distinct within one vocabulary and never
+/// colliding with the stop-word list, so that tokenization of generated
+/// text round-trips exactly.
+
+namespace smartcrawl::datagen {
+
+/// Generates `n` distinct lower-case words. Deterministic in `seed`.
+/// `min_syllables`/`max_syllables` bound word length (each syllable is 2-3
+/// characters).
+std::vector<std::string> GenerateVocabulary(size_t n, uint64_t seed,
+                                            size_t min_syllables = 2,
+                                            size_t max_syllables = 4);
+
+/// Capitalizes the first letter ("rukela" -> "Rukela"): used for names.
+std::string Capitalize(const std::string& word);
+
+}  // namespace smartcrawl::datagen

@@ -1,0 +1,63 @@
+#include "datagen/yelp_gen.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "datagen/vocabulary.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace smartcrawl::datagen {
+
+namespace {
+
+const char* kSuffixes[] = {"House", "Grill", "Cafe",    "Bar",     "Kitchen",
+                           "Bistro", "Diner", "Express", "Lounge",  "Place",
+                           "Shop",  "Salon", "Market",   "Station", "Corner"};
+
+const char* kCategories[] = {
+    "Thai",     "Mexican", "Italian",  "Chinese",  "Japanese", "American",
+    "Indian",   "Greek",   "Vietnamese", "Korean", "Mediterranean",
+    "Barbecue", "Seafood", "Vegan",    "Bakery",   "Coffee",   "Pizza",
+    "Burgers",  "Sushi",   "Noodles"};
+
+}  // namespace
+
+table::Table GenerateYelpCorpus(const YelpOptions& options) {
+  Rng rng(options.seed);
+
+  std::vector<std::string> name_vocab =
+      GenerateVocabulary(options.name_vocab_size, rng.Next(), 2, 3);
+  ZipfDistribution name_dist(name_vocab.size(), options.name_zipf_s);
+  std::vector<std::string> cities =
+      GenerateVocabulary(options.num_cities, rng.Next() ^ 0x5a5aULL, 2, 3);
+  for (auto& c : cities) c = Capitalize(c);
+
+  table::Table t(table::Schema{{"name", "city", "category", "rating"}});
+  for (size_t row = 0; row < options.corpus_size; ++row) {
+    size_t words = static_cast<size_t>(
+        rng.UniformInt(static_cast<int64_t>(options.min_name_words),
+                       static_cast<int64_t>(options.max_name_words)));
+    std::string name;
+    for (size_t w = 0; w < words; ++w) {
+      if (w > 0) name += ' ';
+      name += Capitalize(name_vocab[name_dist.Sample(rng)]);
+    }
+    if (rng.Bernoulli(options.suffix_probability)) {
+      name += ' ';
+      name += kSuffixes[rng.UniformIndex(std::size(kSuffixes))];
+    }
+    std::string city = cities[rng.UniformIndex(cities.size())];
+    std::string category = kCategories[rng.UniformIndex(std::size(kCategories))];
+    char rating[8];
+    std::snprintf(rating, sizeof(rating), "%.1f",
+                  1.0 + rng.UniformDouble() * 4.0);
+    auto appended =
+        t.Append({name, city, category, rating}, /*entity_id=*/row);
+    assert(appended.ok());
+    (void)appended;
+  }
+  return t;
+}
+
+}  // namespace smartcrawl::datagen

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+#include "table/table.h"
+
+/// \file yelp_gen.h
+/// Synthetic Yelp-like local-business corpus (substitute for the Yelp
+/// Arizona dataset / live Yelp API used in paper Sec. 7.1.2 — see
+/// DESIGN.md).
+///
+/// Schema: {name, city, category, rating}. Entity id = corpus row index.
+/// Business names mix distinctive words with heavily shared suffix words
+/// ("House", "Grill", "Cafe", ...), reproducing the name-token sharing that
+/// makes query sharing effective ("Thai House" / "Steak House" / ...).
+
+namespace smartcrawl::datagen {
+
+struct YelpOptions {
+  size_t corpus_size = 36500;  // ~ the Yelp AZ challenge dataset
+  uint64_t seed = 7;
+  /// Distinct distinctive name words.
+  size_t name_vocab_size = 3000;
+  double name_zipf_s = 0.9;
+  size_t min_name_words = 1;
+  size_t max_name_words = 3;
+  /// Probability a name ends with a shared suffix word.
+  double suffix_probability = 0.7;
+  size_t num_cities = 40;
+};
+
+table::Table GenerateYelpCorpus(const YelpOptions& options);
+
+}  // namespace smartcrawl::datagen

@@ -1,0 +1,116 @@
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "fpm/itemset.h"
+
+/// Level-wise Apriori reference miner. Deliberately simple: its only jobs
+/// are differential testing of the FP-growth implementation and serving as
+/// the baseline in the mining-cost ablation benchmark.
+
+namespace smartcrawl::fpm {
+
+namespace {
+
+/// True if every (k-1)-subset of `cand` is present in `prev_level`.
+bool AllSubsetsFrequent(
+    const std::vector<text::TermId>& cand,
+    const std::map<std::vector<text::TermId>, uint32_t>& prev_level) {
+  std::vector<text::TermId> sub(cand.size() - 1);
+  for (size_t skip = 0; skip < cand.size(); ++skip) {
+    size_t j = 0;
+    for (size_t i = 0; i < cand.size(); ++i) {
+      if (i != skip) sub[j++] = cand[i];
+    }
+    if (prev_level.find(sub) == prev_level.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MiningResult MineFrequentItemsetsApriori(
+    const std::vector<std::vector<text::TermId>>& transactions,
+    const MiningOptions& options) {
+  MiningResult result;
+
+  // Normalize transactions to sorted unique item vectors.
+  std::vector<std::vector<text::TermId>> txns;
+  txns.reserve(transactions.size());
+  for (const auto& t : transactions) {
+    std::vector<text::TermId> s = t;
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    txns.push_back(std::move(s));
+  }
+
+  // Level 1.
+  std::map<std::vector<text::TermId>, uint32_t> level;
+  {
+    std::unordered_map<text::TermId, uint32_t> freq;
+    for (const auto& t : txns) {
+      for (text::TermId x : t) ++freq[x];
+    }
+    for (const auto& [x, c] : freq) {
+      if (c >= options.min_support) level[{x}] = c;
+    }
+  }
+
+  auto emit_level = [&](const std::map<std::vector<text::TermId>, uint32_t>&
+                            lvl) -> bool {
+    for (const auto& [items, support] : lvl) {
+      if (options.max_results != 0 &&
+          result.itemsets.size() >= options.max_results) {
+        result.truncated = true;
+        return false;
+      }
+      result.itemsets.push_back(FrequentItemset{items, support});
+    }
+    return true;
+  };
+
+  size_t k = 1;
+  while (!level.empty()) {
+    if (!emit_level(level)) return result;
+    if (options.max_itemset_size != 0 && k >= options.max_itemset_size) break;
+
+    // Candidate generation: join pairs sharing the first k-1 items.
+    std::map<std::vector<text::TermId>, uint32_t> next;
+    std::vector<std::vector<text::TermId>> keys;
+    keys.reserve(level.size());
+    for (const auto& [items, _] : level) keys.push_back(items);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      for (size_t j = i + 1; j < keys.size(); ++j) {
+        if (!std::equal(keys[i].begin(), keys[i].end() - 1,
+                        keys[j].begin())) {
+          break;  // keys are sorted; prefixes diverge monotonically
+        }
+        std::vector<text::TermId> cand = keys[i];
+        cand.push_back(keys[j].back());
+        std::sort(cand.begin(), cand.end());
+        if (AllSubsetsFrequent(cand, level)) next[cand] = 0;
+      }
+    }
+    // Support counting by full scan.
+    for (const auto& t : txns) {
+      for (auto& [cand, count] : next) {
+        if (std::includes(t.begin(), t.end(), cand.begin(), cand.end())) {
+          ++count;
+        }
+      }
+    }
+    for (auto it = next.begin(); it != next.end();) {
+      if (it->second < options.min_support) {
+        it = next.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    level = std::move(next);
+    ++k;
+  }
+  return result;
+}
+
+}  // namespace smartcrawl::fpm

@@ -1,0 +1,298 @@
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fpm/itemset.h"
+
+/// FP-growth (Han, Pei, Yin — SIGMOD 2000), the miner the paper cites [24]
+/// for query-pool generation.
+///
+/// Items are re-mapped to dense "ranks" ordered by descending global
+/// frequency; the FP-tree stores transactions as shared prefix paths over
+/// ranks; mining proceeds bottom-up over conditional pattern bases.
+
+namespace smartcrawl::fpm {
+
+namespace {
+
+constexpr uint32_t kNoNode = static_cast<uint32_t>(-1);
+constexpr uint32_t kNoItem = static_cast<uint32_t>(-1);
+
+/// One FP-tree node in the arena.
+struct Node {
+  uint32_t item = kNoItem;     // rank id (not TermId)
+  uint32_t count = 0;
+  uint32_t parent = kNoNode;   // arena index
+  uint32_t sibling = kNoNode;  // node-link to next node with the same item
+};
+
+/// An FP-tree over ranked items, built from (transaction, count) pairs.
+class FpTree {
+ public:
+  /// \param num_items number of distinct ranked items in this projection
+  explicit FpTree(uint32_t num_items)
+      : heads_(num_items, kNoNode), item_counts_(num_items, 0) {
+    nodes_.push_back(Node{});  // root at index 0
+  }
+
+  /// Inserts `txn` (rank ids sorted ascending by rank == descending global
+  /// frequency) with multiplicity `count`.
+  void Insert(const std::vector<uint32_t>& txn, uint32_t count) {
+    uint32_t cur = 0;
+    for (uint32_t item : txn) {
+      uint32_t child = FindChild(cur, item);
+      if (child == kNoNode) {
+        child = static_cast<uint32_t>(nodes_.size());
+        nodes_.push_back(Node{item, 0, cur, heads_[item]});
+        heads_[item] = child;
+        children_.emplace(Key(cur, item), child);
+      }
+      nodes_[child].count += count;
+      item_counts_[item] += count;
+      cur = child;
+    }
+  }
+
+  uint32_t ItemCount(uint32_t item) const { return item_counts_[item]; }
+  uint32_t num_items() const { return static_cast<uint32_t>(heads_.size()); }
+
+  /// True when the tree is a single chain — then all combinations of path
+  /// items are frequent together and can be enumerated directly. A chain
+  /// means every arena node's parent is the node created just before it
+  /// (node 0 is the root), which also implies one node per item.
+  bool IsSinglePath() const {
+    for (uint32_t i = 1; i < nodes_.size(); ++i) {
+      if (nodes_[i].parent != i - 1) return false;
+    }
+    return true;
+  }
+
+  /// Extracts the (item, count) chain of a single-path tree, root-to-leaf.
+  std::vector<std::pair<uint32_t, uint32_t>> SinglePathItems() const {
+    // Find the leaf: the node that is no one's parent. Walk from each head;
+    // cheaper: collect all nodes with count, order by depth via parent
+    // chain from the deepest item. Single-path means node arena (minus
+    // root) *is* the chain in insertion order.
+    std::vector<std::pair<uint32_t, uint32_t>> out;
+    for (size_t i = 1; i < nodes_.size(); ++i) {
+      out.emplace_back(nodes_[i].item, nodes_[i].count);
+    }
+    return out;
+  }
+
+  /// Builds the conditional pattern base of `item`: for each node of
+  /// `item`, its root path (as rank ids, ascending) with the node's count.
+  void ConditionalPatterns(
+      uint32_t item,
+      std::vector<std::pair<std::vector<uint32_t>, uint32_t>>* out) const {
+    out->clear();
+    for (uint32_t n = heads_[item]; n != kNoNode; n = nodes_[n].sibling) {
+      std::vector<uint32_t> path;
+      for (uint32_t p = nodes_[n].parent; p != 0; p = nodes_[p].parent) {
+        path.push_back(nodes_[p].item);
+      }
+      if (!path.empty() || true) {
+        std::reverse(path.begin(), path.end());
+        out->emplace_back(std::move(path), nodes_[n].count);
+      }
+    }
+  }
+
+ private:
+  static uint64_t Key(uint32_t parent, uint32_t item) {
+    return (static_cast<uint64_t>(parent) << 32) | item;
+  }
+  uint32_t FindChild(uint32_t parent, uint32_t item) const {
+    auto it = children_.find(Key(parent, item));
+    return it == children_.end() ? kNoNode : it->second;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> heads_;        // node-link list head per item
+  std::vector<uint32_t> item_counts_;  // total count per item
+  std::unordered_map<uint64_t, uint32_t> children_;
+};
+
+class Miner {
+ public:
+  Miner(const MiningOptions& options, const std::vector<text::TermId>& terms)
+      : options_(options), rank_to_term_(terms) {}
+
+  bool Emit(const std::vector<uint32_t>& suffix_ranks, uint32_t support) {
+    if (options_.max_results != 0 &&
+        result_.itemsets.size() >= options_.max_results) {
+      result_.truncated = true;
+      return false;
+    }
+    FrequentItemset fis;
+    fis.support = support;
+    fis.items.reserve(suffix_ranks.size());
+    for (uint32_t r : suffix_ranks) fis.items.push_back(rank_to_term_[r]);
+    std::sort(fis.items.begin(), fis.items.end());
+    result_.itemsets.push_back(std::move(fis));
+    return true;
+  }
+
+  /// Recursive FP-growth over `tree` with the current suffix itemset.
+  /// Returns false when the result cap was hit (abort everything).
+  bool Mine(const FpTree& tree, std::vector<uint32_t>* suffix) {
+    if (options_.max_itemset_size != 0 &&
+        suffix->size() >= options_.max_itemset_size) {
+      return true;
+    }
+    if (tree.IsSinglePath()) {
+      return MineSinglePath(tree, suffix);
+    }
+    // Process items from least frequent (highest rank) to most frequent.
+    for (uint32_t item = tree.num_items(); item-- > 0;) {
+      uint32_t support = tree.ItemCount(item);
+      if (support < options_.min_support) continue;
+      suffix->push_back(item);
+      if (!Emit(*suffix, support)) {
+        suffix->pop_back();
+        return false;
+      }
+      if (options_.max_itemset_size == 0 ||
+          suffix->size() < options_.max_itemset_size) {
+        std::vector<std::pair<std::vector<uint32_t>, uint32_t>> patterns;
+        tree.ConditionalPatterns(item, &patterns);
+        // Count conditional frequencies; keep frequent items only.
+        std::vector<uint32_t> cond_counts(item, 0);
+        for (const auto& [path, count] : patterns) {
+          for (uint32_t i : path) cond_counts[i] += count;
+        }
+        bool any = false;
+        for (uint32_t c : cond_counts) {
+          if (c >= options_.min_support) {
+            any = true;
+            break;
+          }
+        }
+        if (any) {
+          FpTree cond_tree(item);
+          std::vector<uint32_t> filtered;
+          for (const auto& [path, count] : patterns) {
+            filtered.clear();
+            for (uint32_t i : path) {
+              if (cond_counts[i] >= options_.min_support) {
+                filtered.push_back(i);
+              }
+            }
+            if (!filtered.empty()) cond_tree.Insert(filtered, count);
+          }
+          if (!Mine(cond_tree, suffix)) {
+            suffix->pop_back();
+            return false;
+          }
+        }
+      }
+      suffix->pop_back();
+    }
+    return true;
+  }
+
+  /// Single-path shortcut: every subset of the path items (each with the
+  /// minimum count along its members) is frequent with that support.
+  bool MineSinglePath(const FpTree& tree, std::vector<uint32_t>* suffix) {
+    auto chain = tree.SinglePathItems();
+    // Drop infrequent chain entries.
+    std::vector<std::pair<uint32_t, uint32_t>> items;
+    for (auto& [item, count] : chain) {
+      if (count >= options_.min_support) items.emplace_back(item, count);
+    }
+    return EnumerateSubsets(items, 0, ~uint32_t{0}, suffix);
+  }
+
+  bool EnumerateSubsets(
+      const std::vector<std::pair<uint32_t, uint32_t>>& items, size_t pos,
+      uint32_t min_count, std::vector<uint32_t>* suffix) {
+    if (options_.max_itemset_size != 0 &&
+        suffix->size() >= options_.max_itemset_size) {
+      return true;
+    }
+    for (size_t i = pos; i < items.size(); ++i) {
+      uint32_t new_min = std::min(min_count, items[i].second);
+      suffix->push_back(items[i].first);
+      if (!Emit(*suffix, new_min)) {
+        suffix->pop_back();
+        return false;
+      }
+      if (!EnumerateSubsets(items, i + 1, new_min, suffix)) {
+        suffix->pop_back();
+        return false;
+      }
+      suffix->pop_back();
+    }
+    return true;
+  }
+
+  MiningResult Take() { return std::move(result_); }
+
+ private:
+  const MiningOptions& options_;
+  const std::vector<text::TermId>& rank_to_term_;
+  MiningResult result_;
+};
+
+}  // namespace
+
+MiningResult MineFrequentItemsets(
+    const std::vector<std::vector<text::TermId>>& transactions,
+    const MiningOptions& options) {
+  // Pass 1: global item frequencies.
+  std::unordered_map<text::TermId, uint32_t> freq;
+  for (const auto& txn : transactions) {
+    for (text::TermId t : txn) ++freq[t];
+  }
+  // Frequent items ordered by descending frequency (ties by TermId for
+  // determinism); rank 0 = most frequent.
+  std::vector<std::pair<text::TermId, uint32_t>> frequent;
+  for (const auto& [t, c] : freq) {
+    if (c >= options.min_support) frequent.emplace_back(t, c);
+  }
+  std::sort(frequent.begin(), frequent.end(), [](const auto& a,
+                                                 const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<text::TermId> rank_to_term(frequent.size());
+  std::unordered_map<text::TermId, uint32_t> term_to_rank;
+  term_to_rank.reserve(frequent.size() * 2);
+  for (uint32_t r = 0; r < frequent.size(); ++r) {
+    rank_to_term[r] = frequent[r].first;
+    term_to_rank.emplace(frequent[r].first, r);
+  }
+
+  // Pass 2: build the global FP-tree.
+  FpTree tree(static_cast<uint32_t>(rank_to_term.size()));
+  std::vector<uint32_t> ranked;
+  for (const auto& txn : transactions) {
+    ranked.clear();
+    for (text::TermId t : txn) {
+      auto it = term_to_rank.find(t);
+      if (it != term_to_rank.end()) ranked.push_back(it->second);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    ranked.erase(std::unique(ranked.begin(), ranked.end()), ranked.end());
+    if (!ranked.empty()) tree.Insert(ranked, 1);
+  }
+
+  Miner miner(options, rank_to_term);
+  std::vector<uint32_t> suffix;
+  miner.Mine(tree, &suffix);
+  return miner.Take();
+}
+
+void SortItemsets(std::vector<FrequentItemset>* itemsets) {
+  std::sort(itemsets->begin(), itemsets->end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              if (a.items != b.items) return a.items < b.items;
+              return a.support < b.support;
+            });
+}
+
+}  // namespace smartcrawl::fpm

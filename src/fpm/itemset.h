@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "text/dictionary.h"
+
+/// \file itemset.h
+/// Frequent-itemset mining interface used by query-pool generation
+/// (paper Sec. 3.1: "find the queries such that |q(D)| >= t ... using
+/// Frequent Pattern Mining algorithms").
+///
+/// Items are keyword TermIds; a transaction is the keyword set of one local
+/// record; the support of an itemset equals |q(D)| for the corresponding
+/// keyword query under conjunctive semantics.
+
+namespace smartcrawl::fpm {
+
+struct FrequentItemset {
+  /// Sorted ascending by TermId.
+  std::vector<text::TermId> items;
+  uint32_t support = 0;
+
+  bool operator==(const FrequentItemset& other) const {
+    return support == other.support && items == other.items;
+  }
+};
+
+struct MiningOptions {
+  /// Minimum support t (paper default t = 2).
+  uint32_t min_support = 2;
+  /// Maximum itemset cardinality. The full pattern space is exponential
+  /// (2^|d| per record); queries longer than a few keywords add no coverage
+  /// over their subsets while exploding the pool, so we cap length. 0 means
+  /// unlimited.
+  size_t max_itemset_size = 4;
+  /// Safety valve on result count (0 = unlimited). When hit, mining stops
+  /// and `truncated` is set in the result; itemsets discovered earlier
+  /// (higher-frequency branches) are kept.
+  size_t max_results = 0;
+};
+
+struct MiningResult {
+  std::vector<FrequentItemset> itemsets;
+  bool truncated = false;
+};
+
+/// Mines all frequent itemsets from `transactions` with FP-growth.
+/// Each transaction must be a set (no duplicate items); order is arbitrary.
+MiningResult MineFrequentItemsets(
+    const std::vector<std::vector<text::TermId>>& transactions,
+    const MiningOptions& options);
+
+/// Reference Apriori implementation: identical output contract (up to
+/// ordering). Exponentially slower on dense data; used for differential
+/// testing and the mining-cost ablation benchmark.
+MiningResult MineFrequentItemsetsApriori(
+    const std::vector<std::vector<text::TermId>>& transactions,
+    const MiningOptions& options);
+
+/// Canonical ordering (by size, then lexicographic, then support) used by
+/// tests to compare miner outputs.
+void SortItemsets(std::vector<FrequentItemset>* itemsets);
+
+}  // namespace smartcrawl::fpm

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hidden/search_interface.h"
+
+/// \file daily_quota.h
+/// Per-day request quotas, the constraint that motivates the whole paper
+/// ("Yelp API is restricted to 25,000 free requests per day; Google Maps
+/// API only allows 2,500 free requests per day", Sec. 1).
+///
+/// DailyQuotaInterface rejects queries once the day's quota is spent;
+/// AdvanceDay() models waiting for the next day. A crawler driven across
+/// several simulated days can spend b > quota total queries — the
+/// decorator keeps per-day and lifetime counts.
+
+namespace smartcrawl::hidden {
+
+class DailyQuotaInterface : public KeywordSearchInterface {
+ public:
+  /// `inner` must outlive this decorator.
+  DailyQuotaInterface(KeywordSearchInterface* inner, size_t quota_per_day)
+      : inner_(inner), quota_(quota_per_day) {}
+
+  Result<std::vector<table::Record>> Search(
+      const std::vector<std::string>& keywords) override {
+    if (used_today_ >= quota_) {
+      return Status::BudgetExhausted(
+          "daily quota of " + std::to_string(quota_) +
+          " requests exhausted (day " + std::to_string(day_) + ")");
+    }
+    auto result = inner_->Search(keywords);
+    if (result.ok()) {
+      ++used_today_;
+      ++total_;
+    }
+    return result;
+  }
+
+  size_t top_k() const override { return inner_->top_k(); }
+  size_t num_queries_issued() const override { return total_; }
+
+  /// Moves to the next day: the daily counter resets.
+  void AdvanceDay() {
+    ++day_;
+    used_today_ = 0;
+  }
+
+  size_t day() const { return day_; }
+  size_t used_today() const { return used_today_; }
+  size_t remaining_today() const { return quota_ - used_today_; }
+
+ private:
+  KeywordSearchInterface* inner_;
+  size_t quota_;
+  size_t used_today_ = 0;
+  size_t total_ = 0;
+  size_t day_ = 0;
+};
+
+}  // namespace smartcrawl::hidden

@@ -1,0 +1,90 @@
+#include "hidden/ranker.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace smartcrawl::hidden {
+
+namespace {
+
+/// Partially sorts candidates by `less`, keeps the best k.
+template <typename Less>
+std::vector<table::RecordId> TakeTopK(std::vector<table::RecordId> cands,
+                                      size_t k, Less less) {
+  if (cands.size() > k) {
+    std::nth_element(cands.begin(), cands.begin() + static_cast<long>(k),
+                     cands.end(), less);
+    cands.resize(k);
+  }
+  std::sort(cands.begin(), cands.end(), less);
+  return cands;
+}
+
+}  // namespace
+
+std::vector<table::RecordId> StaticScoreRanker::TopK(
+    std::vector<table::RecordId> candidates,
+    const std::vector<text::TermId>& /*query*/, size_t k) const {
+  auto less = [this](table::RecordId a, table::RecordId b) {
+    double sa = a < scores_.size() ? scores_[a] : 0.0;
+    double sb = b < scores_.size() ? scores_[b] : 0.0;
+    if (sa != sb) return sa > sb;
+    return a < b;
+  };
+  return TakeTopK(std::move(candidates), k, less);
+}
+
+std::vector<table::RecordId> HashRanker::TopK(
+    std::vector<table::RecordId> candidates,
+    const std::vector<text::TermId>& /*query*/, size_t k) const {
+  auto less = [this](table::RecordId a, table::RecordId b) {
+    uint64_t sa = seed_ ^ a;
+    uint64_t sb = seed_ ^ b;
+    uint64_t ha = SplitMix64(sa);
+    uint64_t hb = SplitMix64(sb);
+    if (ha != hb) return ha > hb;
+    return a < b;
+  };
+  return TakeTopK(std::move(candidates), k, less);
+}
+
+std::vector<table::RecordId> RelevanceRanker::TopK(
+    std::vector<table::RecordId> candidates,
+    const std::vector<text::TermId>& query, size_t k) const {
+  auto matched = [this, &query](table::RecordId id) {
+    size_t count = 0;
+    const text::Document& doc = (*docs_)[id];
+    for (text::TermId t : query) {
+      if (doc.Contains(t)) ++count;
+    }
+    return count;
+  };
+  // Precompute match counts once; candidates lists can be large under
+  // disjunctive retrieval.
+  std::vector<std::pair<size_t, table::RecordId>> scored;
+  scored.reserve(candidates.size());
+  for (table::RecordId id : candidates) scored.emplace_back(matched(id), id);
+  auto less = [this](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    double sa = a.second < tiebreak_scores_.size() ? tiebreak_scores_[a.second]
+                                                   : 0.0;
+    double sb = b.second < tiebreak_scores_.size() ? tiebreak_scores_[b.second]
+                                                   : 0.0;
+    if (sa != sb) return sa > sb;
+    return a.second < b.second;
+  };
+  if (scored.size() > k) {
+    std::nth_element(scored.begin(), scored.begin() + static_cast<long>(k),
+                     scored.end(), less);
+    scored.resize(k);
+  }
+  std::sort(scored.begin(), scored.end(), less);
+  std::vector<table::RecordId> out;
+  out.reserve(scored.size());
+  for (const auto& [m, id] : scored) out.push_back(id);
+  return out;
+}
+
+}  // namespace smartcrawl::hidden

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "table/table.h"
+#include "text/dictionary.h"
+#include "text/document.h"
+
+/// \file ranker.h
+/// Ranking functions for the hidden-database simulator.
+///
+/// The paper treats the hidden ranking function as unknown and adversarially
+/// arbitrary; the simulator therefore supports pluggable rankers:
+///  * StaticScoreRanker — orders by a per-record score (e.g. publication
+///    year, mirroring the DBLP experiment which "ranked ... by year").
+///  * HashRanker — a seeded pseudo-random but deterministic total order,
+///    modelling a ranking with no exploitable structure.
+///  * RelevanceRanker — orders by number of matched query keywords first
+///    (Yelp-style non-conjunctive behaviour: records containing all the
+///    keywords rank on top), with a static score as tie-break.
+/// All rankers are deterministic: repeating a query returns the same page
+/// (the paper's deterministic query processing assumption).
+
+namespace smartcrawl::hidden {
+
+class Ranker {
+ public:
+  virtual ~Ranker() = default;
+
+  /// Orders `candidates` by descending preference and truncates to at most
+  /// `k`. `query` holds the (hidden-side) term ids of the query; rankers
+  /// that do not use it may ignore it.
+  virtual std::vector<table::RecordId> TopK(
+      std::vector<table::RecordId> candidates,
+      const std::vector<text::TermId>& query, size_t k) const = 0;
+};
+
+/// Ranks by a fixed per-record score, descending; ties by record id.
+class StaticScoreRanker : public Ranker {
+ public:
+  explicit StaticScoreRanker(std::vector<double> scores)
+      : scores_(std::move(scores)) {}
+
+  std::vector<table::RecordId> TopK(std::vector<table::RecordId> candidates,
+                                    const std::vector<text::TermId>& query,
+                                    size_t k) const override;
+
+ private:
+  std::vector<double> scores_;
+};
+
+/// Deterministic pseudo-random order derived from a seed: the "unknown
+/// ranking function" with no structure a crawler could learn.
+class HashRanker : public Ranker {
+ public:
+  explicit HashRanker(uint64_t seed) : seed_(seed) {}
+
+  std::vector<table::RecordId> TopK(std::vector<table::RecordId> candidates,
+                                    const std::vector<text::TermId>& query,
+                                    size_t k) const override;
+
+ private:
+  uint64_t seed_;
+};
+
+/// Ranks by (#query terms contained desc, static score desc, id asc).
+/// Used with disjunctive candidate generation to model Yelp-like search.
+class RelevanceRanker : public Ranker {
+ public:
+  /// `docs` must outlive the ranker (owned by the hidden database).
+  RelevanceRanker(const std::vector<text::Document>* docs,
+                  std::vector<double> tiebreak_scores)
+      : docs_(docs), tiebreak_scores_(std::move(tiebreak_scores)) {}
+
+  std::vector<table::RecordId> TopK(std::vector<table::RecordId> candidates,
+                                    const std::vector<text::TermId>& query,
+                                    size_t k) const override;
+
+ private:
+  const std::vector<text::Document>* docs_;
+  std::vector<double> tiebreak_scores_;
+};
+
+}  // namespace smartcrawl::hidden

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+#include "util/result.h"
+
+/// \file search_interface.h
+/// The restrictive query interface of Definition 2: the ONLY channel
+/// through which crawlers may access a hidden database.
+///
+/// A crawler sends a set of keywords and receives at most top_k() records
+/// back, ranked by a function it does not know. Every call counts against
+/// the caller's budget accounting. Crawlers must be written against this
+/// abstract interface; anything that peeks past it belongs to the
+/// evaluation harness only.
+
+namespace smartcrawl::hidden {
+
+class KeywordSearchInterface {
+ public:
+  virtual ~KeywordSearchInterface() = default;
+
+  /// Issues a keyword query. Keywords are raw strings; the hidden side
+  /// applies its own tokenization/stop-word policy. Returns copies of the
+  /// top-k matching records (the "result page"). An effectively empty query
+  /// (no non-stop-word keywords) is rejected with InvalidArgument and does
+  /// not count as issued.
+  virtual Result<std::vector<table::Record>> Search(
+      const std::vector<std::string>& keywords) = 0;
+
+  /// The documented result-page limit k of this interface.
+  virtual size_t top_k() const = 0;
+
+  /// Number of (accepted) queries issued so far through this handle.
+  virtual size_t num_queries_issued() const = 0;
+};
+
+}  // namespace smartcrawl::hidden

@@ -1,0 +1,11 @@
+#include "index/forward_index.h"
+
+namespace smartcrawl::index {
+
+size_t ForwardIndex::TotalEntries() const {
+  size_t total = 0;
+  for (const auto& l : lists_) total += l.size();
+  return total;
+}
+
+}  // namespace smartcrawl::index

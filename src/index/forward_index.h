@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file forward_index.h
+/// Forward index: record -> the queries whose q(D) contains it
+/// (paper Sec. 6.3, Figure 3(b)).
+///
+/// When a local record is covered (removed from D), the forward list tells
+/// us exactly which queries' |q(D)| must be decremented — the input to the
+/// delta-update priority repair.
+
+namespace smartcrawl::index {
+
+using QueryIdx = uint32_t;
+
+class ForwardIndex {
+ public:
+  ForwardIndex() = default;
+  explicit ForwardIndex(size_t num_records) : lists_(num_records) {}
+
+  size_t num_records() const { return lists_.size(); }
+
+  /// Registers that record `rec` satisfies query `q`.
+  void Add(size_t rec, QueryIdx q) { lists_[rec].push_back(q); }
+
+  /// The forward list F(rec).
+  const std::vector<QueryIdx>& Queries(size_t rec) const {
+    return lists_[rec];
+  }
+
+  /// Total number of (record, query) pairs stored.
+  size_t TotalEntries() const;
+
+ private:
+  std::vector<std::vector<QueryIdx>> lists_;
+};
+
+}  // namespace smartcrawl::index

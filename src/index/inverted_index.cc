@@ -1,0 +1,110 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+namespace smartcrawl::index {
+
+const std::vector<DocIndex> InvertedIndex::kEmptyPostings = {};
+
+InvertedIndex::InvertedIndex(const std::vector<text::Document>& docs,
+                             size_t num_terms)
+    : num_docs_(docs.size()), postings_(num_terms) {
+  // Two passes: size, then fill — avoids per-list reallocation churn.
+  std::vector<uint32_t> counts(num_terms, 0);
+  for (const auto& doc : docs) {
+    for (text::TermId t : doc.terms()) {
+      if (t < num_terms) ++counts[t];
+    }
+  }
+  for (size_t t = 0; t < num_terms; ++t) postings_[t].reserve(counts[t]);
+  for (size_t d = 0; d < docs.size(); ++d) {
+    for (text::TermId t : docs[d].terms()) {
+      if (t < num_terms) postings_[t].push_back(static_cast<DocIndex>(d));
+    }
+  }
+  // Documents are visited in increasing index order, so lists are sorted.
+}
+
+const std::vector<DocIndex>& InvertedIndex::Postings(
+    text::TermId term) const {
+  if (term >= postings_.size()) return kEmptyPostings;
+  return postings_[term];
+}
+
+namespace {
+
+/// Intersects sorted `a` with sorted `b` into `out` (out may alias neither).
+void IntersectInto(const std::vector<DocIndex>& a,
+                   const std::vector<DocIndex>& b,
+                   std::vector<DocIndex>* out) {
+  out->clear();
+  // Galloping intersection when sizes are very skewed; linear merge
+  // otherwise.
+  if (a.size() * 32 < b.size() || b.size() * 32 < a.size()) {
+    const auto& small = a.size() < b.size() ? a : b;
+    const auto& large = a.size() < b.size() ? b : a;
+    auto it = large.begin();
+    for (DocIndex x : small) {
+      it = std::lower_bound(it, large.end(), x);
+      if (it == large.end()) break;
+      if (*it == x) out->push_back(x);
+    }
+    return;
+  }
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      out->push_back(*ia);
+      ++ia;
+      ++ib;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<DocIndex> InvertedIndex::IntersectPostings(
+    const std::vector<text::TermId>& query_terms) const {
+  if (query_terms.empty()) return {};
+  // Order term lists by length so the running intersection shrinks fastest.
+  std::vector<const std::vector<DocIndex>*> lists;
+  lists.reserve(query_terms.size());
+  for (text::TermId t : query_terms) lists.push_back(&Postings(t));
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* x, const auto* y) { return x->size() < y->size(); });
+  if (lists.front()->empty()) return {};
+
+  std::vector<DocIndex> cur = *lists[0];
+  std::vector<DocIndex> tmp;
+  for (size_t i = 1; i < lists.size() && !cur.empty(); ++i) {
+    IntersectInto(cur, *lists[i], &tmp);
+    std::swap(cur, tmp);
+  }
+  return cur;
+}
+
+size_t InvertedIndex::IntersectionSize(
+    const std::vector<text::TermId>& query_terms) const {
+  if (query_terms.empty()) return 0;
+  if (query_terms.size() == 1) return Postings(query_terms[0]).size();
+  return IntersectPostings(query_terms).size();
+}
+
+std::vector<DocIndex> InvertedIndex::UnionPostings(
+    const std::vector<text::TermId>& query_terms) const {
+  std::vector<DocIndex> out;
+  for (text::TermId t : query_terms) {
+    const auto& p = Postings(t);
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace smartcrawl::index

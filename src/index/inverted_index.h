@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "text/dictionary.h"
+#include "text/document.h"
+
+/// \file inverted_index.h
+/// Inverted index term -> sorted posting list of document indices.
+///
+/// This single structure backs three different roles in the system:
+///  * the hidden-database simulator's search engine (conjunctive retrieval),
+///  * fast computation of |q(D)| over the local database (paper Sec. 6.3),
+///  * fast computation of |q(Hs)| over the hidden-database sample.
+
+namespace smartcrawl::index {
+
+using DocIndex = uint32_t;
+
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Builds the index over `docs`; `num_terms` is the dictionary size (term
+  /// ids must all be < num_terms).
+  InvertedIndex(const std::vector<text::Document>& docs, size_t num_terms);
+
+  size_t num_docs() const { return num_docs_; }
+  size_t num_terms() const { return postings_.size(); }
+
+  /// Posting list (sorted doc indices) for `term`; empty for unseen terms.
+  const std::vector<DocIndex>& Postings(text::TermId term) const;
+
+  /// Document frequency of `term`.
+  size_t DocFrequency(text::TermId term) const {
+    return Postings(term).size();
+  }
+
+  /// All documents containing every term of `query_terms` (sorted term ids;
+  /// duplicates allowed). An empty query matches nothing by convention —
+  /// the keyword interface rejects empty queries.
+  std::vector<DocIndex> IntersectPostings(
+      const std::vector<text::TermId>& query_terms) const;
+
+  /// |IntersectPostings(query_terms)| without materializing, short-circuits
+  /// on empty intermediate results.
+  size_t IntersectionSize(const std::vector<text::TermId>& query_terms) const;
+
+  /// All documents containing *at least one* term (disjunctive retrieval,
+  /// used by the relevance-ranked interface mode).
+  std::vector<DocIndex> UnionPostings(
+      const std::vector<text::TermId>& query_terms) const;
+
+ private:
+  size_t num_docs_ = 0;
+  std::vector<std::vector<DocIndex>> postings_;
+  static const std::vector<DocIndex> kEmptyPostings;
+};
+
+}  // namespace smartcrawl::index

@@ -1,0 +1,5 @@
+#include "match/matcher.h"
+
+// Matchers are header-only today; this TU anchors the vtables.
+
+namespace smartcrawl::match {}  // namespace smartcrawl::match

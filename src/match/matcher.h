@@ -1,0 +1,79 @@
+#pragma once
+
+#include <memory>
+
+#include "table/table.h"
+#include "text/document.h"
+
+/// \file matcher.h
+/// Entity resolution as a black box (paper Sec. 2: "we treat entity
+/// resolution as a black box").
+///
+/// A Matcher decides whether a local record and a hidden record refer to the
+/// same real-world entity. Three implementations cover the paper's regimes:
+///  * ExactDocumentMatcher — Assumption 3 (no fuzzy matching): match iff
+///    document(d) == document(h).
+///  * JaccardMatcher — the practical fuzzy matcher of Sec. 6.1: match iff
+///    Jaccard(d, h) >= threshold (paper example: 0.9).
+///  * EntityOracleMatcher — perfect ER via ground-truth entity ids; models
+///    the paper's Yelp evaluation assumption that "once a hidden record is
+///    crawled, the entity resolution component can perfectly find its
+///    matching local record". Only meaningful on generated data.
+
+namespace smartcrawl::match {
+
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// True if `local` and `hidden` refer to the same entity. Documents are
+  /// the records' keyword sets over a shared dictionary.
+  virtual bool Matches(const table::Record& local,
+                       const text::Document& local_doc,
+                       const table::Record& hidden,
+                       const text::Document& hidden_doc) const = 0;
+};
+
+class ExactDocumentMatcher : public Matcher {
+ public:
+  bool Matches(const table::Record& local, const text::Document& local_doc,
+               const table::Record& hidden,
+               const text::Document& hidden_doc) const override {
+    (void)local;
+    (void)hidden;
+    return !local_doc.empty() && local_doc == hidden_doc;
+  }
+};
+
+class JaccardMatcher : public Matcher {
+ public:
+  explicit JaccardMatcher(double threshold) : threshold_(threshold) {}
+
+  bool Matches(const table::Record& local, const text::Document& local_doc,
+               const table::Record& hidden,
+               const text::Document& hidden_doc) const override {
+    (void)local;
+    (void)hidden;
+    if (local_doc.empty() && hidden_doc.empty()) return false;
+    return local_doc.Jaccard(hidden_doc) >= threshold_;
+  }
+
+  double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+};
+
+class EntityOracleMatcher : public Matcher {
+ public:
+  bool Matches(const table::Record& local, const text::Document& local_doc,
+               const table::Record& hidden,
+               const text::Document& hidden_doc) const override {
+    (void)local_doc;
+    (void)hidden_doc;
+    return local.entity_id != table::kUnknownEntity &&
+           local.entity_id == hidden.entity_id;
+  }
+};
+
+}  // namespace smartcrawl::match

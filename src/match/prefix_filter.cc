@@ -1,0 +1,125 @@
+#include "match/prefix_filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace smartcrawl::match {
+
+namespace {
+
+/// Tokens of every document re-ordered by ascending global frequency
+/// (ties by term id): rare tokens first, so prefixes are selective.
+struct OrderedSets {
+  // ordered[i] = the i-th document's tokens in the global rare-first order.
+  std::vector<std::vector<text::TermId>> ordered;
+};
+
+OrderedSets OrderByFrequency(const std::vector<text::Document>& left,
+                             const std::vector<text::Document>& right,
+                             const std::vector<text::Document>*& lptr,
+                             const std::vector<text::Document>*& rptr) {
+  lptr = &left;
+  rptr = &right;
+  std::unordered_map<text::TermId, uint32_t> freq;
+  for (const auto& d : left) {
+    for (text::TermId t : d.terms()) ++freq[t];
+  }
+  for (const auto& d : right) {
+    for (text::TermId t : d.terms()) ++freq[t];
+  }
+  auto rarer = [&freq](text::TermId a, text::TermId b) {
+    uint32_t fa = freq[a];
+    uint32_t fb = freq[b];
+    if (fa != fb) return fa < fb;
+    return a < b;
+  };
+  OrderedSets out;
+  out.ordered.reserve(left.size() + right.size());
+  for (const auto& d : left) {
+    auto v = d.terms();
+    std::sort(v.begin(), v.end(), rarer);
+    out.ordered.push_back(std::move(v));
+  }
+  for (const auto& d : right) {
+    auto v = d.terms();
+    std::sort(v.begin(), v.end(), rarer);
+    out.ordered.push_back(std::move(v));
+  }
+  return out;
+}
+
+/// Prefix length for a set of size `n` at Jaccard threshold `t`:
+/// n - ceil(t * n) + 1.
+size_t PrefixLength(size_t n, double t) {
+  if (n == 0) return 0;
+  auto required = static_cast<size_t>(std::ceil(t * static_cast<double>(n)));
+  if (required == 0) required = 1;
+  if (required > n) return 0;  // unsatisfiable
+  return n - required + 1;
+}
+
+}  // namespace
+
+std::vector<JoinPair> PrefixFilterJaccardJoin(
+    const std::vector<text::Document>& left,
+    const std::vector<text::Document>& right, double threshold) {
+  const std::vector<text::Document>* lp;
+  const std::vector<text::Document>* rp;
+  OrderedSets sets = OrderByFrequency(left, right, lp, rp);
+
+  // Index: token -> left documents having it in their prefix.
+  std::unordered_map<text::TermId, std::vector<uint32_t>> prefix_index;
+  for (uint32_t i = 0; i < left.size(); ++i) {
+    const auto& toks = sets.ordered[i];
+    size_t plen = PrefixLength(toks.size(), threshold);
+    for (size_t p = 0; p < plen; ++p) {
+      prefix_index[toks[p]].push_back(i);
+    }
+  }
+
+  std::vector<JoinPair> out;
+  std::vector<uint32_t> last_seen(left.size(),
+                                  static_cast<uint32_t>(-1));  // per-probe dedup
+  for (uint32_t j = 0; j < right.size(); ++j) {
+    const auto& toks = sets.ordered[left.size() + j];
+    if (toks.empty()) continue;
+    size_t plen = PrefixLength(toks.size(), threshold);
+    for (size_t p = 0; p < plen; ++p) {
+      auto it = prefix_index.find(toks[p]);
+      if (it == prefix_index.end()) continue;
+      for (uint32_t i : it->second) {
+        if (last_seen[i] == j) continue;  // candidate already verified
+        last_seen[i] = j;
+        const text::Document& a = left[i];
+        const text::Document& b = right[j];
+        if (a.empty() || b.empty()) continue;
+        // Length filter before the exact verification.
+        double la = static_cast<double>(a.size());
+        double lb = static_cast<double>(b.size());
+        if (lb < threshold * la || la < threshold * lb) continue;
+        double sim = a.Jaccard(b);
+        if (sim >= threshold) {
+          out.push_back(JoinPair{i, j, sim});
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const JoinPair& a, const JoinPair& b) {
+    if (a.left != b.left) return a.left < b.left;
+    return a.right < b.right;
+  });
+  return out;
+}
+
+std::vector<JoinPair> AutoJaccardJoin(const std::vector<text::Document>& left,
+                                      const std::vector<text::Document>& right,
+                                      double threshold) {
+  // The nested loop wins below ~10^6 candidate pairs (no ordering pass).
+  if (left.size() * right.size() <= 1'000'000) {
+    return JaccardJoin(left, right, threshold);
+  }
+  return PrefixFilterJaccardJoin(left, right, threshold);
+}
+
+}  // namespace smartcrawl::match

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "match/similarity_join.h"
+#include "text/document.h"
+
+/// \file prefix_filter.h
+/// Prefix-filtered set-similarity join (PPJoin-style candidate generation).
+///
+/// The nested-loop join in similarity_join.h is exact and fine for the
+/// per-page joins of Sec. 6.1 (both sides tiny). Enrichment joins the whole
+/// local database against everything crawled — potentially 10^4 x 10^4 —
+/// where all-pairs Jaccard is wasteful. The classic prefix-filter principle
+/// (cited as indexing for scalable record linkage in the paper's related
+/// work [16]): order each set's tokens by ascending global frequency; two
+/// sets with Jaccard >= t must share a token within their first
+/// |r| - ceil(t*|r|) + 1 tokens. Indexing only those prefixes prunes the
+/// candidate space by orders of magnitude; every candidate is then verified
+/// exactly, so the result equals the naive join.
+
+namespace smartcrawl::match {
+
+/// All pairs with Jaccard(left[i], right[j]) >= threshold, sorted by
+/// (left, right). Exact: identical output to JaccardJoin (up to ordering).
+std::vector<JoinPair> PrefixFilterJaccardJoin(
+    const std::vector<text::Document>& left,
+    const std::vector<text::Document>& right, double threshold);
+
+/// Chooses between the nested-loop join and the prefix-filtered join based
+/// on input sizes (|left| * |right| cutoff).
+std::vector<JoinPair> AutoJaccardJoin(const std::vector<text::Document>& left,
+                                      const std::vector<text::Document>& right,
+                                      double threshold);
+
+}  // namespace smartcrawl::match

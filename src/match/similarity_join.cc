@@ -1,0 +1,48 @@
+#include "match/similarity_join.h"
+
+namespace smartcrawl::match {
+
+namespace {
+
+/// Length filter: Jaccard(a,b) >= t implies t*|a| <= |b| <= |a|/t.
+bool PassesLengthFilter(size_t la, size_t lb, double threshold) {
+  double a = static_cast<double>(la);
+  double b = static_cast<double>(lb);
+  return b >= threshold * a && a >= threshold * b;
+}
+
+}  // namespace
+
+std::vector<JoinPair> JaccardJoin(const std::vector<text::Document>& left,
+                                  const std::vector<text::Document>& right,
+                                  double threshold) {
+  std::vector<JoinPair> out;
+  for (uint32_t i = 0; i < left.size(); ++i) {
+    if (left[i].empty()) continue;
+    for (uint32_t j = 0; j < right.size(); ++j) {
+      if (right[j].empty()) continue;
+      if (!PassesLengthFilter(left[i].size(), right[j].size(), threshold)) {
+        continue;
+      }
+      double sim = left[i].Jaccard(right[j]);
+      if (sim >= threshold) out.push_back(JoinPair{i, j, sim});
+    }
+  }
+  return out;
+}
+
+std::vector<int32_t> BestMatchPerLeft(const std::vector<text::Document>& left,
+                                      const std::vector<text::Document>& right,
+                                      double threshold) {
+  std::vector<int32_t> best(left.size(), -1);
+  std::vector<double> best_sim(left.size(), 0.0);
+  for (const JoinPair& p : JaccardJoin(left, right, threshold)) {
+    if (best[p.left] == -1 || p.similarity > best_sim[p.left]) {
+      best[p.left] = static_cast<int32_t>(p.right);
+      best_sim[p.left] = p.similarity;
+    }
+  }
+  return best;
+}
+
+}  // namespace smartcrawl::match

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "text/document.h"
+
+/// \file similarity_join.h
+/// Set-similarity join between two small document collections, used by
+/// QSEL-EST's coverage maintenance under fuzzy matching (paper Sec. 6.1:
+/// "we perform a similarity join between q*(D) and q*(H)_k").
+///
+/// Sides are tiny (|q(D)| candidates vs <= k returned records) so a
+/// size-filtered nested loop is exact and fast; the length filter
+/// |b| ∈ [τ·|a|, |a|/τ] prunes most non-matches before computing Jaccard.
+
+namespace smartcrawl::match {
+
+struct JoinPair {
+  uint32_t left;   // index into the left collection
+  uint32_t right;  // index into the right collection
+  double similarity;
+};
+
+/// All pairs with Jaccard(left[i], right[j]) >= threshold.
+std::vector<JoinPair> JaccardJoin(const std::vector<text::Document>& left,
+                                  const std::vector<text::Document>& right,
+                                  double threshold);
+
+/// For each left document, the best-matching right index (or -1) with
+/// similarity >= threshold. Ties broken toward the lower right index.
+std::vector<int32_t> BestMatchPerLeft(const std::vector<text::Document>& left,
+                                      const std::vector<text::Document>& right,
+                                      double threshold);
+
+}  // namespace smartcrawl::match

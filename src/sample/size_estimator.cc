@@ -1,0 +1,53 @@
+#include "sample/size_estimator.h"
+
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace smartcrawl::sample {
+
+double LincolnPetersen(size_t n1, size_t n2, size_t m) {
+  if (m == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(n1) * static_cast<double>(n2) /
+         static_cast<double>(m);
+}
+
+double Chapman(size_t n1, size_t n2, size_t m) {
+  return (static_cast<double>(n1) + 1.0) * (static_cast<double>(n2) + 1.0) /
+             (static_cast<double>(m) + 1.0) -
+         1.0;
+}
+
+double ChapmanFromDraws(const std::vector<uint64_t>& draws) {
+  std::unordered_set<uint64_t> distinct(draws.begin(), draws.end());
+  if (draws.size() < 4) return static_cast<double>(distinct.size());
+  size_t half = draws.size() / 2;
+  std::unordered_set<uint64_t> first(draws.begin(),
+                                     draws.begin() + static_cast<long>(half));
+  std::unordered_set<uint64_t> second(draws.begin() + static_cast<long>(half),
+                                      draws.end());
+  size_t m = 0;
+  for (uint64_t x : second) {
+    if (first.count(x)) ++m;
+  }
+  double est = Chapman(first.size(), second.size(), m);
+  if (est < static_cast<double>(distinct.size())) {
+    est = static_cast<double>(distinct.size());
+  }
+  return est;
+}
+
+double CollisionEstimate(const std::vector<uint64_t>& draws) {
+  std::unordered_map<uint64_t, size_t> counts;
+  for (uint64_t d : draws) ++counts[d];
+  // Duplicate pairs: sum over keys of C(count, 2).
+  double pairs = 0;
+  for (const auto& [k, c] : counts) {
+    pairs += static_cast<double>(c) * static_cast<double>(c - 1) / 2.0;
+  }
+  if (pairs == 0) return std::numeric_limits<double>::infinity();
+  double t = static_cast<double>(draws.size());
+  return t * (t - 1) / 2.0 / pairs;
+}
+
+}  // namespace smartcrawl::sample

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file size_estimator.h
+/// Population-size estimation from (near-)uniform draws.
+///
+/// A query-based sampler sees only records, never |H|; the sampling ratio
+/// θ = |Hs|/|H| that QSEL-EST needs therefore rests on an estimate of |H|
+/// (the paper cites unbiased size estimation over hidden databases [18]).
+/// Three standard estimators over the sampler's accepted-draw sequence:
+///
+///  * Lincoln–Petersen: |H| ≈ n1·n2/m from two capture phases with m
+///    recaptures; classic but undefined at m = 0 and biased for small m.
+///  * Chapman: (n1+1)(n2+1)/(m+1) − 1; the bias-corrected variant, defined
+///    everywhere — the sampler's default.
+///  * Collision ("birthday"): t draws with replacement collide in
+///    C(t,2)/|H| expected pairs, so |H| ≈ C(t,2)/collisions.
+
+namespace smartcrawl::sample {
+
+/// Lincoln–Petersen estimate; returns +inf when m == 0.
+double LincolnPetersen(size_t n1, size_t n2, size_t m);
+
+/// Chapman bias-corrected estimate.
+double Chapman(size_t n1, size_t n2, size_t m);
+
+/// Chapman over a draw sequence (keys identify records; repeats allowed):
+/// first half = capture, second half = recapture. Returns at least the
+/// number of distinct keys. Sequences shorter than 4 fall back to the
+/// distinct count.
+double ChapmanFromDraws(const std::vector<uint64_t>& draws);
+
+/// Collision estimate over a draw sequence; counts duplicate pairs among
+/// all draws. Returns +inf when no collision occurred.
+double CollisionEstimate(const std::vector<uint64_t>& draws);
+
+}  // namespace smartcrawl::sample

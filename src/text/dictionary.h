@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+/// \file dictionary.h
+/// String interning: maps each distinct keyword to a dense TermId.
+///
+/// All indices, documents, queries and itemsets operate on TermIds; the
+/// dictionary is the single place where keyword strings live. A shared
+/// dictionary across the local database, the hidden database and the sample
+/// guarantees that "the same keyword" means the same id everywhere.
+
+namespace smartcrawl::text {
+
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTermId = static_cast<TermId>(-1);
+
+class TermDictionary {
+ public:
+  TermDictionary() = default;
+
+  /// Returns the id for `term`, creating a new one if unseen.
+  TermId Intern(std::string_view term);
+
+  /// Returns the id for `term` if present.
+  std::optional<TermId> Lookup(std::string_view term) const;
+
+  /// The string for `id`. Requires id < size().
+  const std::string& TermOf(TermId id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+
+  /// Interns every string in `tokens`.
+  std::vector<TermId> InternAll(const std::vector<std::string>& tokens);
+
+  /// Looks up every token; tokens not in the dictionary map to
+  /// kInvalidTermId. (Used when matching external text against a frozen
+  /// dictionary.)
+  std::vector<TermId> LookupAll(const std::vector<std::string>& tokens) const;
+
+ private:
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace smartcrawl::text

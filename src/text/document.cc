@@ -1,0 +1,66 @@
+#include "text/document.h"
+
+#include <algorithm>
+
+namespace smartcrawl::text {
+
+Document::Document(std::vector<TermId> terms) : terms_(std::move(terms)) {
+  std::sort(terms_.begin(), terms_.end());
+  terms_.erase(std::unique(terms_.begin(), terms_.end()), terms_.end());
+}
+
+Document Document::FromText(std::string_view textv, TermDictionary& dict,
+                            const TokenizerOptions& options) {
+  return Document(dict.InternAll(Tokenize(textv, options)));
+}
+
+Document Document::FromTextFrozen(std::string_view textv,
+                                  const TermDictionary& dict,
+                                  const TokenizerOptions& options) {
+  std::vector<TermId> ids = dict.LookupAll(Tokenize(textv, options));
+  ids.erase(std::remove(ids.begin(), ids.end(), kInvalidTermId), ids.end());
+  return Document(std::move(ids));
+}
+
+bool Document::Contains(TermId term) const {
+  return std::binary_search(terms_.begin(), terms_.end(), term);
+}
+
+bool Document::ContainsAll(const std::vector<TermId>& query_terms) const {
+  // Both sides sorted ascending; query_terms may contain duplicates (a
+  // duplicated keyword is still just one containment requirement), so the
+  // cursor is NOT advanced past a matched term.
+  auto it = terms_.begin();
+  for (TermId t : query_terms) {
+    it = std::lower_bound(it, terms_.end(), t);
+    if (it == terms_.end() || *it != t) return false;
+  }
+  return true;
+}
+
+size_t Document::IntersectionSize(const Document& other) const {
+  size_t count = 0;
+  auto a = terms_.begin();
+  auto b = other.terms_.begin();
+  while (a != terms_.end() && b != other.terms_.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      ++count;
+      ++a;
+      ++b;
+    }
+  }
+  return count;
+}
+
+double Document::Jaccard(const Document& other) const {
+  size_t inter = IntersectionSize(other);
+  size_t uni = terms_.size() + other.terms_.size() - inter;
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace smartcrawl::text

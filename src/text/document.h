@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "text/dictionary.h"
+#include "text/tokenizer.h"
+
+/// \file document.h
+/// The document model of Definition 1: each record, concatenating its
+/// (indexed) attributes, becomes a set of keywords.
+///
+/// A Document stores the *sorted, de-duplicated* TermIds of a record.
+/// Sortedness enables O(|a|+|b|) set operations and binary-search
+/// containment tests used throughout query evaluation.
+
+namespace smartcrawl::text {
+
+class Document {
+ public:
+  Document() = default;
+  /// Takes an arbitrary term sequence; sorts and de-duplicates it.
+  explicit Document(std::vector<TermId> terms);
+
+  /// Builds a document from raw text through `dict` (interning new terms).
+  static Document FromText(std::string_view textv, TermDictionary& dict,
+                           const TokenizerOptions& options = {});
+
+  /// Builds a document from raw text WITHOUT extending the dictionary;
+  /// unseen tokens are dropped (they can never match anything indexed).
+  static Document FromTextFrozen(std::string_view textv,
+                                 const TermDictionary& dict,
+                                 const TokenizerOptions& options = {});
+
+  const std::vector<TermId>& terms() const { return terms_; }
+  size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+
+  /// True if this document contains `term`.
+  bool Contains(TermId term) const;
+
+  /// True if this document contains every term in `query_terms`
+  /// (`query_terms` must be sorted ascending). This is the conjunctive
+  /// "record satisfies query" predicate of Definition 1.
+  bool ContainsAll(const std::vector<TermId>& query_terms) const;
+
+  /// Number of terms shared with `other` (set intersection size).
+  size_t IntersectionSize(const Document& other) const;
+
+  /// Jaccard similarity |a ∩ b| / |a ∪ b|; 1.0 when both are empty.
+  double Jaccard(const Document& other) const;
+
+  bool operator==(const Document& other) const {
+    return terms_ == other.terms_;
+  }
+
+ private:
+  std::vector<TermId> terms_;  // sorted ascending, unique
+};
+
+}  // namespace smartcrawl::text

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string_view>
+#include <unordered_set>
+
+/// \file stopwords.h
+/// Default English stop-word list.
+///
+/// The paper's keyword-search model explicitly excludes stop words from
+/// query keywords ("we do not consider stop words as query keywords",
+/// Sec. 2), so both the hidden-database simulator and the query-pool
+/// generator share this list.
+
+namespace smartcrawl::text {
+
+/// The shared default stop-word set (lower-cased words).
+const std::unordered_set<std::string_view>& DefaultStopwords();
+
+/// True if `word` (expected lower-case) is a default stop word.
+bool IsStopword(std::string_view word);
+
+}  // namespace smartcrawl::text

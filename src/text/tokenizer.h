@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file tokenizer.h
+/// Record-text tokenization shared by the local-database indexer, the
+/// hidden-database simulator, and query-pool generation.
+///
+/// Both sides of the matching problem MUST use the same tokenizer: the
+/// conjunctive keyword-search semantics of Definition 1 ("document(h)
+/// contains all the keywords in the query") are defined at the token level.
+
+namespace smartcrawl::text {
+
+struct TokenizerOptions {
+  /// Lower-case all tokens.
+  bool lowercase = true;
+  /// Drop tokens in the default stop-word list (applied after lowercasing).
+  bool remove_stopwords = true;
+  /// Drop tokens shorter than this many characters.
+  size_t min_token_length = 1;
+  /// Treat digits as token characters (e.g. keep "2019").
+  bool keep_digits = true;
+};
+
+/// Splits `textv` into tokens on any non-alphanumeric character, applying
+/// the options above. Order is preserved; duplicates are kept.
+std::vector<std::string> Tokenize(std::string_view textv,
+                                  const TokenizerOptions& options = {});
+
+}  // namespace smartcrawl::text

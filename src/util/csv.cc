@@ -1,0 +1,107 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace smartcrawl {
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& content, char sep) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < content.size() && content[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == sep) {
+      end_field();
+    } else if (c == '\r') {
+      // swallow; handled with the following '\n' (or treated as line end)
+      if (i + 1 >= content.size() || content[i + 1] != '\n') end_row();
+    } else if (c == '\n') {
+      end_row();
+    } else {
+      field += c;
+      field_started = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  // Final row without trailing newline.
+  if (!field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, char sep) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseCsv(ss.str(), sep);
+}
+
+std::string FormatCsvRow(const std::vector<std::string>& fields, char sep) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += sep;
+    const std::string& f = fields[i];
+    bool needs_quote = f.find(sep) != std::string::npos ||
+                       f.find('"') != std::string::npos ||
+                       f.find('\n') != std::string::npos ||
+                       f.find('\r') != std::string::npos;
+    if (needs_quote) {
+      out += '"';
+      for (char c : f) {
+        if (c == '"') out += '"';
+        out += c;
+      }
+      out += '"';
+    } else {
+      out += f;
+    }
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    char sep) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open file for write: " + path);
+  for (const auto& row : rows) {
+    out << FormatCsvRow(row, sep) << '\n';
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace smartcrawl

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+/// \file csv.h
+/// Minimal RFC-4180-style CSV reading and writing.
+///
+/// Used to load user-provided local databases and to dump experiment result
+/// tables. Handles quoted fields containing separators, quotes ("" escape)
+/// and embedded newlines.
+
+namespace smartcrawl {
+
+/// Parses a whole CSV document into rows of string fields.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& content, char sep = ',');
+
+/// Reads and parses a CSV file.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, char sep = ',');
+
+/// Serializes one row, quoting fields where needed. No trailing newline.
+std::string FormatCsvRow(const std::vector<std::string>& fields,
+                         char sep = ',');
+
+/// Writes rows to a file, one row per line.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    char sep = ',');
+
+}  // namespace smartcrawl

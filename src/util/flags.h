@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+/// \file flags.h
+/// Minimal command-line flag parsing for the CLI tools.
+///
+/// Supported syntax: `--name=value`, `--name value`, bare `--bool_flag`
+/// (sets true), and positional arguments. Unknown flags are errors;
+/// `--help` is always available and handled by the caller via
+/// FlagParser::help_requested().
+
+namespace smartcrawl {
+
+class FlagParser {
+ public:
+  /// \param program one-line tool description printed at the top of --help
+  explicit FlagParser(std::string program) : program_(std::move(program)) {}
+
+  /// Registers flags. Must be called before Parse. The pointee holds the
+  /// default and receives the parsed value.
+  void AddString(const std::string& name, std::string* value,
+                 const std::string& help);
+  void AddInt(const std::string& name, int64_t* value,
+              const std::string& help);
+  void AddDouble(const std::string& name, double* value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool* value, const std::string& help);
+
+  /// Parses argv. On success, positional (non-flag) arguments are available
+  /// via positional(). Returns InvalidArgument on unknown flags or
+  /// malformed values.
+  Status Parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool help_requested() const { return help_requested_; }
+
+  /// Renders the --help text.
+  std::string HelpText() const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  struct Spec {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  Status SetValue(const std::string& name, const Spec& spec,
+                  const std::string& value);
+
+  std::string program_;
+  std::map<std::string, Spec> specs_;  // ordered for stable help output
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace smartcrawl

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+/// \file hash.h
+/// Hashing helpers (combine, FNV-1a, vector hashing) used by indices and
+/// dominance pruning.
+
+namespace smartcrawl {
+
+/// splitmix64 finalizer: full-avalanche 64-bit mixing.
+inline uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Hash combine with full mixing. The boost-style xor-shift combine is NOT
+/// enough here: libstdc++'s std::hash<int> is the identity, and the
+/// query-pool generator deduplicates term sets by hash alone, so weakly
+/// mixed combines collide on realistic inputs (observed on 20k random
+/// short vectors).
+inline void HashCombine(size_t& seed, size_t v) {
+  seed = Mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+/// FNV-1a over bytes.
+inline uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Hash of an integral vector; used to bucket queries by their q(D) posting
+/// set during dominance pruning.
+template <typename T>
+size_t HashVector(const std::vector<T>& v) {
+  size_t seed = v.size();
+  for (const T& x : v) HashCombine(seed, std::hash<T>{}(x));
+  return seed;
+}
+
+}  // namespace smartcrawl

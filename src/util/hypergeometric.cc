@@ -1,0 +1,77 @@
+#include "util/hypergeometric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace smartcrawl {
+
+double LogBinomial(uint64_t n, uint64_t k) {
+  assert(k <= n);
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double HypergeometricMean(uint64_t N, uint64_t K, uint64_t n) {
+  assert(K <= N && n <= N);
+  if (N == 0) return 0.0;
+  return static_cast<double>(n) * static_cast<double>(K) /
+         static_cast<double>(N);
+}
+
+namespace {
+
+/// Support bounds and unnormalized log-weights of the distribution.
+struct Weights {
+  uint64_t lo;
+  std::vector<double> logw;  // logw[j] is the weight of i = lo + j
+};
+
+Weights ComputeWeights(uint64_t N, uint64_t K, uint64_t n, double omega) {
+  assert(K <= N && n <= N);
+  assert(omega > 0.0);
+  uint64_t white = N - K;
+  uint64_t lo = n > white ? n - white : 0;
+  uint64_t hi = std::min(n, K);
+  Weights w;
+  w.lo = lo;
+  double log_omega = std::log(omega);
+  for (uint64_t i = lo; i <= hi; ++i) {
+    double lw = LogBinomial(K, i) + LogBinomial(white, n - i) +
+                static_cast<double>(i) * log_omega;
+    w.logw.push_back(lw);
+  }
+  return w;
+}
+
+}  // namespace
+
+double FisherNchPmf(uint64_t N, uint64_t K, uint64_t n, uint64_t i,
+                    double omega) {
+  Weights w = ComputeWeights(N, K, n, omega);
+  if (w.logw.empty()) return 0.0;
+  if (i < w.lo || i >= w.lo + w.logw.size()) return 0.0;
+  double max_lw = *std::max_element(w.logw.begin(), w.logw.end());
+  double z = 0.0;
+  for (double lw : w.logw) z += std::exp(lw - max_lw);
+  return std::exp(w.logw[i - w.lo] - max_lw) / z;
+}
+
+double FisherNchMean(uint64_t N, uint64_t K, uint64_t n, double omega) {
+  if (N == 0 || n == 0 || K == 0) return 0.0;
+  Weights w = ComputeWeights(N, K, n, omega);
+  if (w.logw.empty()) return 0.0;
+  double max_lw = *std::max_element(w.logw.begin(), w.logw.end());
+  double z = 0.0;
+  double zi = 0.0;
+  for (size_t j = 0; j < w.logw.size(); ++j) {
+    double p = std::exp(w.logw[j] - max_lw);
+    z += p;
+    zi += p * static_cast<double>(w.lo + j);
+  }
+  return zi / z;
+}
+
+}  // namespace smartcrawl

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file hypergeometric.h
+/// Hypergeometric and Fisher's noncentral hypergeometric distributions.
+///
+/// The paper's "breaking the top-k constraint" argument (Sec. 5.3) models
+/// the covered records among a query's matches as draws from a population
+/// of N = |q(H)| balls of which K = k are black (the top-k page). With an
+/// unbiased draw the expected number of black balls is n·K/N (Equation 6);
+/// when top-k records are ω times more likely to cover the local table
+/// than the rest, the count follows Fisher's noncentral hypergeometric
+/// distribution and the paper notes the mean becomes a function of the
+/// odds ratio ω — but fixes ω = 1 because users cannot specify it. This
+/// module supplies the general machinery so the ω ≠ 1 estimator variant
+/// can be built and studied (see EstimatorContext::omega).
+
+namespace smartcrawl {
+
+/// log C(n, k); requires k <= n.
+double LogBinomial(uint64_t n, uint64_t k);
+
+/// Central hypergeometric mean: n·K/N (Equation 6). Requires K <= N and
+/// n <= N.
+double HypergeometricMean(uint64_t N, uint64_t K, uint64_t n);
+
+/// PMF of Fisher's noncentral hypergeometric distribution: probability of
+/// drawing exactly `i` black balls in `n` draws from N balls with K black,
+/// when each black ball's sampling weight is ω times a white ball's.
+/// Computed by normalized log-space summation (exact up to FP rounding).
+double FisherNchPmf(uint64_t N, uint64_t K, uint64_t n, uint64_t i,
+                    double omega);
+
+/// Mean of the same distribution. ω = 1 reduces to n·K/N.
+double FisherNchMean(uint64_t N, uint64_t K, uint64_t n, double omega);
+
+}  // namespace smartcrawl

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// Tiny leveled logger. Writes to stderr; level settable at runtime so
+/// benchmarks can silence progress chatter.
+
+namespace smartcrawl {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLog(LogLevel level, const std::string& msg);
+
+/// Stream-collecting helper used by the SC_LOG macro.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { EmitLog(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace smartcrawl
+
+#define SC_LOG(level)                                                       \
+  if (static_cast<int>(::smartcrawl::LogLevel::level) >=                    \
+      static_cast<int>(::smartcrawl::GetLogLevel()))                        \
+  ::smartcrawl::internal::LogMessage(::smartcrawl::LogLevel::level)

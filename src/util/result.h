@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+/// \file result.h
+/// Result<T>: a value or an error Status.
+
+namespace smartcrawl {
+
+/// Holds either a successfully computed T or the Status explaining why the
+/// computation failed. Accessing the value of an errored Result is a
+/// programming error (checked by assertion).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; Status::OK() when the Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok() && "value() called on errored Result");
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok() && "value() called on errored Result");
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok() && "value() called on errored Result");
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if errored.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace smartcrawl
+
+/// Evaluates `rexpr` (a Result<T>), propagating a failure status; otherwise
+/// moves the value into `lhs`.
+#define SC_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  auto SC_CONCAT_(_res_, __LINE__) = (rexpr);    \
+  if (!SC_CONCAT_(_res_, __LINE__).ok())         \
+    return SC_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(SC_CONCAT_(_res_, __LINE__)).value()
+
+#define SC_CONCAT_INNER_(a, b) a##b
+#define SC_CONCAT_(a, b) SC_CONCAT_INNER_(a, b)

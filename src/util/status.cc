@@ -1,0 +1,39 @@
+#include "util/status.h"
+
+namespace smartcrawl {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kFailedPrecondition:
+      return "Failed precondition";
+    case StatusCode::kBudgetExhausted:
+      return "Budget exhausted";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace smartcrawl

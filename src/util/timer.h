@@ -1,0 +1,26 @@
+#pragma once
+
+#include <chrono>
+
+/// \file timer.h
+/// Wall-clock stopwatch for coarse instrumentation in benches and examples.
+
+namespace smartcrawl {
+
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace smartcrawl

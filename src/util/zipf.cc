@@ -1,0 +1,34 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace smartcrawl {
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) : s_(s) {
+  assert(n >= 1);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  norm_ = acc;
+  for (double& c : cdf_) c /= norm_;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(size_t i) const {
+  assert(i < cdf_.size());
+  return 1.0 / std::pow(static_cast<double>(i + 1), s_) / norm_;
+}
+
+}  // namespace smartcrawl

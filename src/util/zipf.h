@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+/// \file zipf.h
+/// Zipf-distributed sampling over ranks {0, 1, ..., n-1}.
+///
+/// Natural-language keyword frequencies are heavily skewed; the synthetic
+/// corpora in datagen/ draw title words from a Zipf distribution so that the
+/// query-frequency structure SmartCrawl exploits (a few very common words,
+/// a long tail of rare ones) matches real text such as DBLP titles.
+
+namespace smartcrawl {
+
+/// Samples ranks with P(rank = i) proportional to 1 / (i+1)^s.
+///
+/// Uses the inverse-CDF over a precomputed cumulative table: O(n) memory,
+/// O(log n) per sample, exact (no rejection), deterministic given the Rng.
+class ZipfDistribution {
+ public:
+  /// \param n number of ranks (must be >= 1)
+  /// \param s skew exponent (s = 0 is uniform; ~1.0 matches natural text)
+  ZipfDistribution(size_t n, double s);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+  double s() const { return s_; }
+
+  /// P(rank = i).
+  double Pmf(size_t i) const;
+
+ private:
+  double s_;
+  double norm_;              // sum over i of 1/(i+1)^s
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+};
+
+}  // namespace smartcrawl

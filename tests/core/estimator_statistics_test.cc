@@ -1,0 +1,175 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "hidden/ranker.h"
+#include "util/random.h"
+
+/// Statistical verification of the paper's estimator lemmas by Monte-Carlo
+/// simulation. These tests build the abstract quantities directly (a
+/// hidden match set q(H) of size N, its intersection with the local side of
+/// size n, Bernoulli samples Hs at ratio θ) and check that the estimator
+/// averages converge to the lemma's claims.
+///
+///   Lemma 3: E[ |q(D) ∩ q(Hs)| / θ ] = |q(D) ∩ q(H)|            (solid)
+///   Eq. 6  : E[ #top-k hits ]        = n·k/N    (random ranking model)
+///   Lemma 4: E[ inter·k/|q(Hs)| ]    = |q(D)∩q(H)|·k/|q(H)|     (overflow)
+///   Lemma 5: bias of |q(D)|·kθ/|q(Hs)| is |q(ΔD)|·k/|q(H)|      (overflow)
+
+namespace smartcrawl::core {
+namespace {
+
+struct McConfig {
+  size_t N;        // |q(H)|
+  size_t n;        // |q(D) ∩ q(H)| (matched pairs)
+  size_t k;        // page limit
+  double theta;    // sampling ratio
+  size_t trials;
+  uint64_t seed;
+};
+
+class EstimatorMonteCarloTest : public ::testing::TestWithParam<McConfig> {};
+
+TEST_P(EstimatorMonteCarloTest, Lemma3UnbiasedSolidEstimator) {
+  const auto& p = GetParam();
+  Rng rng(p.seed);
+  // Records 0..n-1 of q(H) are the matched ones.
+  double sum = 0;
+  for (size_t t = 0; t < p.trials; ++t) {
+    size_t inter = 0;
+    for (size_t h = 0; h < p.N; ++h) {
+      if (rng.Bernoulli(p.theta) && h < p.n) ++inter;
+    }
+    sum += static_cast<double>(inter) / p.theta;
+  }
+  double mean = sum / static_cast<double>(p.trials);
+  double truth = static_cast<double>(p.n);
+  // Standard error of the mean ~ sqrt(n(1-θ)/θ)/sqrt(trials); allow 5 SE.
+  double se = std::sqrt(static_cast<double>(p.n) * (1 - p.theta) / p.theta /
+                        static_cast<double>(p.trials));
+  EXPECT_NEAR(mean, truth, 5 * se + 1e-9)
+      << "mean=" << mean << " truth=" << truth;
+}
+
+TEST_P(EstimatorMonteCarloTest, Equation6HypergeometricTopKModel) {
+  const auto& p = GetParam();
+  if (p.k >= p.N) GTEST_SKIP() << "overflow model needs k < N";
+  // Random unknown ranking = random permutation; count matched records in
+  // the top-k. E[hits] = n·k/N (the paper's ball-drawing argument).
+  Rng rng(p.seed ^ 0xfadeULL);
+  double sum = 0;
+  std::vector<uint32_t> ids(p.N);
+  for (size_t i = 0; i < p.N; ++i) ids[i] = static_cast<uint32_t>(i);
+  for (size_t t = 0; t < p.trials; ++t) {
+    Shuffle(ids, rng);
+    size_t hits = 0;
+    for (size_t i = 0; i < p.k; ++i) {
+      if (ids[i] < p.n) ++hits;
+    }
+    sum += static_cast<double>(hits);
+  }
+  double mean = sum / static_cast<double>(p.trials);
+  double truth = static_cast<double>(p.n) * static_cast<double>(p.k) /
+                 static_cast<double>(p.N);
+  double se = std::sqrt(truth) / std::sqrt(static_cast<double>(p.trials)) * 2;
+  EXPECT_NEAR(mean, truth, 5 * se + 0.05 * truth + 1e-9);
+}
+
+TEST_P(EstimatorMonteCarloTest, Lemma4ConditionallyUnbiasedOverflow) {
+  const auto& p = GetParam();
+  if (p.k >= p.N) GTEST_SKIP() << "overflow needs |q(H)| > k";
+  Rng rng(p.seed ^ 0xbeadULL);
+  double sum = 0;
+  size_t used = 0;
+  for (size_t t = 0; t < p.trials; ++t) {
+    size_t freq_hs = 0;
+    size_t inter = 0;
+    for (size_t h = 0; h < p.N; ++h) {
+      if (rng.Bernoulli(p.theta)) {
+        ++freq_hs;
+        if (h < p.n) ++inter;
+      }
+    }
+    if (freq_hs == 0) continue;  // estimator undefined; excluded per lemma
+    sum += static_cast<double>(inter) * static_cast<double>(p.k) /
+           static_cast<double>(freq_hs);
+    ++used;
+  }
+  ASSERT_GT(used, p.trials / 2);
+  double mean = sum / static_cast<double>(used);
+  // Under the random-sample assumption the true benefit is n·k/N.
+  double truth = static_cast<double>(p.n) * static_cast<double>(p.k) /
+                 static_cast<double>(p.N);
+  EXPECT_NEAR(mean, truth, 0.15 * truth + 0.3)
+      << "mean=" << mean << " truth=" << truth;
+}
+
+TEST_P(EstimatorMonteCarloTest, Lemma5BiasedOverflowBias) {
+  const auto& p = GetParam();
+  if (p.k >= p.N) GTEST_SKIP() << "overflow needs |q(H)| > k";
+  // Let freq_d = n + delta, where delta = |q(ΔD)| records have no match.
+  const size_t delta = p.n / 2 + 1;
+  const size_t freq_d = p.n + delta;
+  Rng rng(p.seed ^ 0xc0deULL);
+  double sum = 0;
+  size_t used = 0;
+  for (size_t t = 0; t < p.trials; ++t) {
+    size_t freq_hs = 0;
+    for (size_t h = 0; h < p.N; ++h) {
+      if (rng.Bernoulli(p.theta)) ++freq_hs;
+    }
+    if (freq_hs == 0) continue;
+    sum += static_cast<double>(freq_d) * static_cast<double>(p.k) *
+           p.theta / static_cast<double>(freq_hs);
+    ++used;
+  }
+  ASSERT_GT(used, p.trials / 2);
+  double mean = sum / static_cast<double>(used);
+  double truth = static_cast<double>(p.n) * static_cast<double>(p.k) /
+                 static_cast<double>(p.N);
+  double predicted_bias = static_cast<double>(delta) *
+                          static_cast<double>(p.k) /
+                          static_cast<double>(p.N);
+  // The estimate should exceed the true benefit by ~ the predicted bias
+  // (Lemma 5); E[1/freq_hs] != 1/E[freq_hs] adds second-order error.
+  EXPECT_NEAR(mean - truth, predicted_bias,
+              0.25 * predicted_bias + 0.15 * truth + 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EstimatorMonteCarloTest,
+    ::testing::Values(McConfig{2000, 100, 50, 0.05, 4000, 1},
+                      McConfig{5000, 400, 100, 0.01, 4000, 2},
+                      McConfig{1000, 50, 100, 0.1, 4000, 3},
+                      McConfig{10000, 1000, 100, 0.005, 2000, 4},
+                      McConfig{500, 500, 50, 0.02, 4000, 5}));
+
+/// The HashRanker behaves statistically like the random permutation the
+/// hypergeometric model assumes: over many seeds, the matched records'
+/// top-k hit count averages n·k/N.
+TEST(HashRankerStatisticsTest, BehavesLikeRandomRanking) {
+  const size_t N = 1000, n = 100, k = 50;
+  std::vector<table::RecordId> candidates(N);
+  for (size_t i = 0; i < N; ++i) candidates[i] = static_cast<uint32_t>(i);
+  double sum = 0;
+  const size_t trials = 2000;
+  for (size_t seed = 0; seed < trials; ++seed) {
+    hidden::HashRanker ranker(seed * 2654435761ULL + 17);
+    auto top = ranker.TopK(candidates, {}, k);
+    size_t hits = 0;
+    for (auto id : top) {
+      if (id < n) ++hits;
+    }
+    sum += static_cast<double>(hits);
+  }
+  double mean = sum / static_cast<double>(trials);
+  double truth = static_cast<double>(n) * static_cast<double>(k) /
+                 static_cast<double>(N);  // = 5
+  EXPECT_NEAR(mean, truth, 0.25);
+}
+
+}  // namespace
+}  // namespace smartcrawl::core

@@ -1,0 +1,216 @@
+#include "core/estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace smartcrawl::core {
+namespace {
+
+/// The running example's context: k = 2, θ = 1/3 (paper Figure 1).
+EstimatorContext RunningExampleCtx() {
+  EstimatorContext ctx;
+  ctx.k = 2;
+  ctx.theta = 1.0 / 3.0;
+  ctx.alpha = 0.0;
+  ctx.alpha_fallback = false;
+  return ctx;
+}
+
+TEST(QueryTypePredictionTest, PaperExample3) {
+  auto ctx = RunningExampleCtx();
+  // q1 "Thai Noodle House": |q(Hs)| = 0 -> 0/θ = 0 <= 2 -> solid.
+  EXPECT_EQ(PredictQueryType(0, 1, ctx), QueryType::kSolid);
+  // q5 "House": |q(Hs)| = 2 -> 6 > 2 -> overflowing.
+  EXPECT_EQ(PredictQueryType(2, 3, ctx), QueryType::kOverflowing);
+  // q3 "Thai House": |q(Hs)| = 1 -> 3 > 2 -> overflowing.
+  EXPECT_EQ(PredictQueryType(1, 1, ctx), QueryType::kOverflowing);
+}
+
+TEST(QueryTypePredictionTest, BoundaryIsInclusive) {
+  EstimatorContext ctx;
+  ctx.k = 100;
+  ctx.theta = 0.01;
+  // freq_hs/θ == k exactly -> solid (the paper's condition is "> k").
+  EXPECT_EQ(PredictQueryType(1, 0, ctx), QueryType::kSolid);
+  // One more makes it overflow.
+  EXPECT_EQ(PredictQueryType(2, 0, ctx), QueryType::kOverflowing);
+}
+
+TEST(QueryTypePredictionTest, AlphaFallbackPredictsOverflow) {
+  EstimatorContext ctx;
+  ctx.k = 10;
+  ctx.theta = 0.001;
+  ctx.alpha = 0.05;  // D as a sample of H
+  ctx.alpha_fallback = true;
+  // freq_hs = 0 but freq_d/α = 100/0.05 = 2000 > 10 -> overflowing.
+  EXPECT_EQ(PredictQueryType(0, 100, ctx), QueryType::kOverflowing);
+  // Small freq_d stays solid: 0.4/0.05... freq_d=0 -> 0 <= 10.
+  EXPECT_EQ(PredictQueryType(0, 0, ctx), QueryType::kSolid);
+  // Fallback disabled -> always solid when freq_hs = 0.
+  ctx.alpha_fallback = false;
+  EXPECT_EQ(PredictQueryType(0, 100, ctx), QueryType::kSolid);
+}
+
+TEST(EstimatorTest, Table2BiasedEstimates) {
+  auto ctx = RunningExampleCtx();
+  // Solid queries (q1, q2, q4 with freq_d = 1; q7 with freq_d = 2):
+  // biased estimate = |q(D)|.
+  EXPECT_DOUBLE_EQ(EstimateBenefit(EstimatorKind::kBiased, QueryType::kSolid,
+                                   1, 0, 0, ctx),
+                   1.0);
+  EXPECT_DOUBLE_EQ(EstimateBenefit(EstimatorKind::kBiased, QueryType::kSolid,
+                                   2, 0, 0, ctx),
+                   2.0);
+  // q3 "Thai House": overflowing, freq_d = 1, freq_hs = 1:
+  // 1 * kθ/1 = 2/3 (paper Example 5 / Table 2).
+  EXPECT_NEAR(EstimateBenefit(EstimatorKind::kBiased,
+                              QueryType::kOverflowing, 1, 1, 1, ctx),
+              2.0 / 3.0, 1e-12);
+  // q5 "House": overflowing, freq_d = 3, freq_hs = 2: 3 * (2/3)/2 = 1.
+  EXPECT_NEAR(EstimateBenefit(EstimatorKind::kBiased,
+                              QueryType::kOverflowing, 3, 2, 1, ctx),
+              1.0, 1e-12);
+  // q6 "Thai": overflowing, freq_d = 3, freq_hs = 1: 3 * (2/3)/1 = 2.
+  EXPECT_NEAR(EstimateBenefit(EstimatorKind::kBiased,
+                              QueryType::kOverflowing, 3, 1, 2, ctx),
+              2.0, 1e-12);
+}
+
+TEST(EstimatorTest, PaperExample4UnbiasedOverflow) {
+  auto ctx = RunningExampleCtx();
+  // q3: inter = |q(D) ∩ q(Hs)| = 1, freq_hs = 1 -> 1 * k/1 = 2.
+  EXPECT_DOUBLE_EQ(EstimateBenefit(EstimatorKind::kUnbiased,
+                                   QueryType::kOverflowing, 1, 1, 1, ctx),
+                   2.0);
+}
+
+TEST(EstimatorTest, UnbiasedSolidScalesByTheta) {
+  auto ctx = RunningExampleCtx();
+  // inter/θ = 0/θ = 0 for unseen intersections; clamped at k otherwise.
+  EXPECT_DOUBLE_EQ(EstimateBenefit(EstimatorKind::kUnbiased,
+                                   QueryType::kSolid, 5, 0, 0, ctx),
+                   0.0);
+  // inter = 1 -> 1/(1/3) = 3, clamped to k = 2.
+  EXPECT_DOUBLE_EQ(EstimateBenefit(EstimatorKind::kUnbiased,
+                                   QueryType::kSolid, 5, 0, 1, ctx),
+                   2.0);
+}
+
+TEST(EstimatorTest, EstimatesClampedToK) {
+  EstimatorContext ctx;
+  ctx.k = 50;
+  ctx.theta = 0.01;
+  // Solid biased with enormous freq_d: no true benefit can exceed k.
+  EXPECT_DOUBLE_EQ(EstimateBenefit(EstimatorKind::kBiased, QueryType::kSolid,
+                                   100000, 0, 0, ctx),
+                   50.0);
+}
+
+TEST(EstimatorTest, AlphaFallbackBenefitIsKAlpha) {
+  EstimatorContext ctx;
+  ctx.k = 100;
+  ctx.theta = 0.002;
+  ctx.alpha = 0.04;
+  ctx.alpha_fallback = true;
+  // freq_hs = 0, predicted overflowing via fallback: biased benefit = kα.
+  double est = EstimateBenefit(EstimatorKind::kBiased, 10000, 0, 0, ctx);
+  EXPECT_DOUBLE_EQ(est, 100.0 * 0.04);
+  // Unbiased degenerates to 0 in the same situation.
+  EXPECT_DOUBLE_EQ(EstimateBenefit(EstimatorKind::kUnbiased, 10000, 0, 0,
+                                   ctx),
+                   0.0);
+}
+
+TEST(EstimatorTest, ConvenienceOverloadPredictsType) {
+  auto ctx = RunningExampleCtx();
+  // Same as q3: predicted overflowing then estimated 2/3.
+  EXPECT_NEAR(EstimateBenefit(EstimatorKind::kBiased, 1, 1, 1, ctx),
+              2.0 / 3.0, 1e-12);
+  // freq_hs = 0 -> solid -> freq_d.
+  EXPECT_DOUBLE_EQ(EstimateBenefit(EstimatorKind::kBiased, 2, 0, 0, ctx),
+                   2.0);
+}
+
+TEST(EstimatorTest, ComputeAlpha) {
+  EXPECT_DOUBLE_EQ(ComputeAlpha(0.005, 10000, 500), 0.1);
+  EXPECT_DOUBLE_EQ(ComputeAlpha(0.01, 0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(ComputeAlpha(0.01, 100, 0), 0.0);
+}
+
+TEST(EstimatorTest, ZeroThetaUnbiasedIsZero) {
+  EstimatorContext ctx;
+  ctx.k = 10;
+  ctx.theta = 0.0;
+  EXPECT_DOUBLE_EQ(EstimateBenefit(EstimatorKind::kUnbiased,
+                                   QueryType::kSolid, 5, 0, 3, ctx),
+                   0.0);
+}
+
+TEST(EstimatorTest, OmegaOneMatchesClosedForm) {
+  EstimatorContext a;
+  a.k = 100;
+  a.theta = 0.01;
+  EstimatorContext b = a;
+  b.omega = 1.0;  // explicit
+  for (size_t freq_d : {10u, 200u, 5000u}) {
+    for (size_t freq_hs : {2u, 8u, 40u}) {
+      EXPECT_DOUBLE_EQ(
+          EstimateBenefit(EstimatorKind::kBiased, QueryType::kOverflowing,
+                          freq_d, freq_hs, freq_d / 2, a),
+          EstimateBenefit(EstimatorKind::kBiased, QueryType::kOverflowing,
+                          freq_d, freq_hs, freq_d / 2, b));
+    }
+  }
+}
+
+TEST(EstimatorTest, LargerOmegaRaisesOverflowEstimates) {
+  // If top-k records are more likely to cover D, the expected benefit of
+  // an overflowing query grows.
+  EstimatorContext ctx;
+  ctx.k = 100;
+  ctx.theta = 0.01;
+  ctx.omega = 1.0;
+  double base = EstimateBenefit(EstimatorKind::kBiased,
+                                QueryType::kOverflowing, 300, 10, 0, ctx);
+  ctx.omega = 5.0;
+  double boosted = EstimateBenefit(EstimatorKind::kBiased,
+                                   QueryType::kOverflowing, 300, 10, 0, ctx);
+  EXPECT_GT(boosted, base);
+  ctx.omega = 0.2;
+  double damped = EstimateBenefit(EstimatorKind::kBiased,
+                                  QueryType::kOverflowing, 300, 10, 0, ctx);
+  EXPECT_LT(damped, base);
+}
+
+TEST(EstimatorTest, OmegaEstimatesStillClampedToK) {
+  EstimatorContext ctx;
+  ctx.k = 50;
+  ctx.theta = 0.01;
+  ctx.omega = 1e9;  // every draw hits the page
+  double est = EstimateBenefit(EstimatorKind::kBiased,
+                               QueryType::kOverflowing, 100000, 20, 0, ctx);
+  EXPECT_DOUBLE_EQ(est, 50.0);
+}
+
+TEST(EstimatorTest, MonotoneInFreqD) {
+  // Estimates must never increase as |q(D)| shrinks — the invariant the
+  // lazy priority queue relies on.
+  EstimatorContext ctx;
+  ctx.k = 100;
+  ctx.theta = 0.01;
+  ctx.alpha = 0.02;
+  ctx.alpha_fallback = true;
+  for (size_t freq_hs : {0u, 1u, 5u}) {
+    double prev = 1e18;
+    for (size_t freq_d = 500; freq_d-- > 0;) {
+      // inter shrinks no faster than freq_d; use inter = freq_d/10.
+      double cur = EstimateBenefit(EstimatorKind::kBiased, freq_d, freq_hs,
+                                   freq_d / 10, ctx);
+      EXPECT_LE(cur, prev + 1e-9)
+          << "freq_hs=" << freq_hs << " freq_d=" << freq_d;
+      prev = cur;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smartcrawl::core

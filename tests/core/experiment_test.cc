@@ -1,0 +1,93 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace smartcrawl::core {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig cfg;
+  cfg.hidden_size = 2000;
+  cfg.local_size = 300;
+  cfg.k = 50;
+  cfg.budget = 60;
+  cfg.theta = 0.02;
+  cfg.seed = 5;
+  cfg.checkpoints = {20, 40, 60};
+  return cfg;
+}
+
+TEST(ExperimentTest, RunsAllDefaultArms) {
+  auto out = RunDblpExperiment(SmallConfig());
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->arms.size(), 4u);
+  EXPECT_EQ(out->arms[0].name, "IdealCrawl");
+  EXPECT_EQ(out->arms[1].name, "SmartCrawl-B");
+  EXPECT_EQ(out->arms[2].name, "NaiveCrawl");
+  EXPECT_EQ(out->arms[3].name, "FullCrawl");
+  EXPECT_EQ(out->num_matchable, 300u);
+  for (const auto& arm : out->arms) {
+    ASSERT_EQ(arm.coverage_at_checkpoints.size(), 3u);
+    // Coverage curves are monotone in budget.
+    EXPECT_LE(arm.coverage_at_checkpoints[0], arm.coverage_at_checkpoints[1]);
+    EXPECT_LE(arm.coverage_at_checkpoints[1], arm.coverage_at_checkpoints[2]);
+    EXPECT_EQ(arm.final_coverage, arm.coverage_at_checkpoints[2]);
+    EXPECT_LE(arm.queries_issued, 60u);
+  }
+}
+
+TEST(ExperimentTest, SmartBeatsBaselinesOnDefaults) {
+  auto out = RunDblpExperiment(SmallConfig());
+  ASSERT_TRUE(out.ok());
+  size_t ideal = out->arms[0].final_coverage;
+  size_t smart = out->arms[1].final_coverage;
+  size_t naive = out->arms[2].final_coverage;
+  size_t full = out->arms[3].final_coverage;
+  EXPECT_GT(smart, naive);
+  EXPECT_GT(smart, full);
+  EXPECT_GE(static_cast<double>(smart), 0.5 * static_cast<double>(ideal));
+}
+
+TEST(ExperimentTest, DeltaDReducesMatchable) {
+  auto cfg = SmallConfig();
+  cfg.delta_d = 60;
+  cfg.arms = {Arm::kSmartCrawlB};
+  auto out = RunDblpExperiment(cfg);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_matchable, 240u);
+  EXPECT_LE(out->arms[0].final_coverage, 240u);
+}
+
+TEST(ExperimentTest, ArmNamesComplete) {
+  EXPECT_EQ(ArmName(Arm::kIdealCrawl), "IdealCrawl");
+  EXPECT_EQ(ArmName(Arm::kSmartCrawlB), "SmartCrawl-B");
+  EXPECT_EQ(ArmName(Arm::kSmartCrawlU), "SmartCrawl-U");
+  EXPECT_EQ(ArmName(Arm::kQSelSimple), "QSel-Simple");
+  EXPECT_EQ(ArmName(Arm::kQSelBound), "QSel-Bound");
+  EXPECT_EQ(ArmName(Arm::kNaiveCrawl), "NaiveCrawl");
+  EXPECT_EQ(ArmName(Arm::kFullCrawl), "FullCrawl");
+}
+
+TEST(ExperimentTest, OnlineArmRunsWithinBudget) {
+  auto cfg = SmallConfig();
+  cfg.arms = {Arm::kSmartCrawlOnline};
+  auto out = RunDblpExperiment(cfg);
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->arms.size(), 1u);
+  EXPECT_EQ(out->arms[0].name, "SmartCrawl-OL");
+  EXPECT_LE(out->arms[0].queries_issued, cfg.budget);
+  EXPECT_GT(out->arms[0].final_coverage, 0u);
+}
+
+TEST(ExperimentTest, DeterministicForSameSeed) {
+  auto a = RunDblpExperiment(SmallConfig());
+  auto b = RunDblpExperiment(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->arms.size(); ++i) {
+    EXPECT_EQ(a->arms[i].final_coverage, b->arms[i].final_coverage);
+  }
+}
+
+}  // namespace
+}  // namespace smartcrawl::core

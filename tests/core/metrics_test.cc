@@ -1,0 +1,76 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace smartcrawl::core {
+namespace {
+
+table::Table LocalWithEntities(std::vector<table::EntityId> entities) {
+  table::Table t(table::Schema{{"name"}});
+  for (auto e : entities) {
+    EXPECT_TRUE(t.Append({"rec" + std::to_string(e)}, e).ok());
+  }
+  return t;
+}
+
+CrawlResult ResultWithPages(
+    std::vector<std::vector<table::EntityId>> pages) {
+  CrawlResult r;
+  for (auto& p : pages) {
+    IterationLog log;
+    log.page_entities = std::move(p);
+    log.page_size = static_cast<uint32_t>(log.page_entities.size());
+    r.iterations.push_back(std::move(log));
+  }
+  r.queries_issued = r.iterations.size();
+  return r;
+}
+
+TEST(MetricsTest, CoverageCurveAccumulates) {
+  auto local = LocalWithEntities({1, 2, 3, 4});
+  auto result = ResultWithPages({{1, 2}, {2, 99}, {3}});
+  auto curve = CoverageCurve(local, result);
+  EXPECT_EQ(curve, (std::vector<size_t>{2, 2, 3}));
+}
+
+TEST(MetricsTest, ForeignEntitiesIgnored) {
+  auto local = LocalWithEntities({10});
+  auto result = ResultWithPages({{1, 2, 3}, {10}});
+  auto curve = CoverageCurve(local, result);
+  EXPECT_EQ(curve, (std::vector<size_t>{0, 1}));
+}
+
+TEST(MetricsTest, EmptyRunHasEmptyCurve) {
+  auto local = LocalWithEntities({1});
+  CrawlResult empty;
+  EXPECT_TRUE(CoverageCurve(local, empty).empty());
+  EXPECT_EQ(FinalCoverage(local, empty), 0u);
+}
+
+TEST(MetricsTest, FinalCoverageIsLastPoint) {
+  auto local = LocalWithEntities({1, 2, 3});
+  auto result = ResultWithPages({{1}, {2}, {2}});
+  EXPECT_EQ(FinalCoverage(local, result), 2u);
+}
+
+TEST(MetricsTest, CoverageAtBudgetsClampsAndZeroes) {
+  auto local = LocalWithEntities({1, 2, 3});
+  auto result = ResultWithPages({{1}, {2}, {3}});
+  auto at = CoverageAtBudgets(local, result, {0, 1, 2, 3, 100});
+  EXPECT_EQ(at, (std::vector<size_t>{0, 1, 2, 3, 3}));
+}
+
+TEST(MetricsTest, RelativeCoverage) {
+  EXPECT_DOUBLE_EQ(RelativeCoverage(50, 100), 0.5);
+  EXPECT_DOUBLE_EQ(RelativeCoverage(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeCoverage(7, 0), 0.0);
+}
+
+TEST(MetricsTest, DuplicateEntitiesOnPageCountOnce) {
+  auto local = LocalWithEntities({5});
+  auto result = ResultWithPages({{5, 5, 5}});
+  EXPECT_EQ(FinalCoverage(local, result), 1u);
+}
+
+}  // namespace
+}  // namespace smartcrawl::core

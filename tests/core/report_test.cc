@@ -1,0 +1,66 @@
+#include "core/report.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+
+namespace smartcrawl::core {
+namespace {
+
+SeriesTable SampleTable() {
+  SeriesTable t;
+  t.x_name = "budget";
+  t.x = {10, 20, 30};
+  t.series = {{"SmartCrawl-B", {5.0, 12.0, 20.0}},
+              {"NaiveCrawl", {1.0, 2.0, 3.0}}};
+  return t;
+}
+
+TEST(ReportTest, ToSeriesTableFromOutcome) {
+  ExperimentOutcome out;
+  out.checkpoints = {100, 200};
+  ArmOutcome a;
+  a.name = "SmartCrawl-B";
+  a.coverage_at_checkpoints = {40, 90};
+  out.arms.push_back(a);
+  SeriesTable t = ToSeriesTable(out);
+  EXPECT_EQ(t.x, (std::vector<size_t>{100, 200}));
+  ASSERT_EQ(t.series.size(), 1u);
+  EXPECT_EQ(t.series[0].first, "SmartCrawl-B");
+  EXPECT_EQ(t.series[0].second, (std::vector<double>{40.0, 90.0}));
+}
+
+TEST(ReportTest, CsvRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "sc_series.csv").string();
+  ASSERT_TRUE(WriteSeriesCsv(path, SampleTable()).ok());
+  auto rows = ReadCsvFile(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 4u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"budget", "SmartCrawl-B",
+                                                  "NaiveCrawl"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"10", "5", "1"}));
+  EXPECT_EQ((*rows)[3], (std::vector<std::string>{"30", "20", "3"}));
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, FormatAlignedTable) {
+  std::string s = FormatSeriesTable(SampleTable());
+  EXPECT_NE(s.find("budget"), std::string::npos);
+  EXPECT_NE(s.find("SmartCrawl-B"), std::string::npos);
+  // 3 data rows + header.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(ReportTest, RaggedSeriesRenderDashes) {
+  SeriesTable t = SampleTable();
+  t.series[1].second.resize(2);  // shorter than x
+  std::string s = FormatSeriesTable(t);
+  EXPECT_NE(s.find('-'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smartcrawl::core

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "core/baseline_crawlers.h"
+#include "core/metrics.h"
+#include "core/smart_crawler.h"
+#include "hidden/budget.h"
+#include "hidden/hidden_database.h"
+#include "sample/sampler.h"
+
+/// End-to-end checks on a fully hand-computed instance in the style of the
+/// paper's running example (Figure 1): 4 local records, 9 hidden records,
+/// k = 2, a 3-record sample with θ = 1/3. Every expected value below was
+/// derived by hand from the conjunctive-search + ranking semantics.
+
+namespace smartcrawl::core {
+namespace {
+
+struct Fixture {
+  table::Table local;
+  std::unique_ptr<hidden::HiddenDatabase> hidden;
+  sample::HiddenSample sample;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  f.local = table::Table(table::Schema{{"name"}});
+  EXPECT_TRUE(f.local.Append({"Thai Noodle House"}, 1).ok());      // d0
+  EXPECT_TRUE(f.local.Append({"Noodle House"}, 2).ok());           // d1
+  EXPECT_TRUE(f.local.Append({"Thai House"}, 3).ok());             // d2
+  EXPECT_TRUE(f.local.Append({"Japanese Noodle House"}, 4).ok());  // d3
+
+  table::Table h(table::Schema{{"name", "rating"}});
+  EXPECT_TRUE(h.Append({"Thai Noodle House", "4.5"}, 1).ok());
+  EXPECT_TRUE(h.Append({"Noodle House", "3.8"}, 2).ok());
+  EXPECT_TRUE(h.Append({"Thai House", "4.1"}, 3).ok());
+  EXPECT_TRUE(h.Append({"Japanese Noodle House", "4.2"}, 4).ok());
+  EXPECT_TRUE(h.Append({"Steak House", "4.3"}, 5).ok());
+  EXPECT_TRUE(h.Append({"Ramen Bar", "3.8"}, 6).ok());
+  EXPECT_TRUE(h.Append({"House of Pizza", "4.0"}, 7).ok());
+  EXPECT_TRUE(h.Append({"Noodle Bar", "3.9"}, 8).ok());
+  EXPECT_TRUE(h.Append({"Thai BBQ", "3.7"}, 9).ok());
+
+  hidden::HiddenDatabaseOptions hopt;
+  hopt.top_k = 2;
+  hopt.indexed_fields = {"name"};
+  auto ranker = hidden::MakeFieldRanker(h, "rating");
+  f.hidden = std::make_unique<hidden::HiddenDatabase>(std::move(h), hopt,
+                                                      std::move(ranker));
+
+  // The sample of Figure 1(b): {Thai House, Steak House, Ramen Bar},
+  // θ = 1/3.
+  f.sample.records = table::Table(table::Schema{{"name", "rating"}});
+  EXPECT_TRUE(f.sample.records.Append({"Thai House", "4.1"}, 3).ok());
+  EXPECT_TRUE(f.sample.records.Append({"Steak House", "4.3"}, 5).ok());
+  EXPECT_TRUE(f.sample.records.Append({"Ramen Bar", "3.8"}, 6).ok());
+  f.sample.theta = 1.0 / 3.0;
+  return f;
+}
+
+SmartCrawlOptions BaseOptions(SelectionPolicy policy) {
+  SmartCrawlOptions opt;
+  opt.policy = policy;
+  opt.local_text_fields = {"name"};
+  opt.alpha_fallback = false;  // the tiny D is not a useful H sample
+  opt.pool.min_support = 2;
+  return opt;
+}
+
+TEST(RunningExampleTest, PoolMatchesHandDerivation) {
+  Fixture f = MakeFixture();
+  SmartCrawler crawler(&f.local, BaseOptions(SelectionPolicy::kEstBiased),
+                       &f.sample);
+  // Hand-derived pool after dedup + dominance pruning:
+  // "thai noodle house", "noodle house", "thai house",
+  // "japanese noodle house", "house".
+  EXPECT_EQ(crawler.pool().size(), 5u);
+}
+
+TEST(RunningExampleTest, SmartCrawlBiasedSelectsByEstimatedBenefit) {
+  Fixture f = MakeFixture();
+  SmartCrawler crawler(&f.local, BaseOptions(SelectionPolicy::kEstBiased),
+                       &f.sample);
+  hidden::BudgetedInterface iface(f.hidden.get(), 2);
+  auto result = crawler.Crawl(&iface, 2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->queries_issued, 2u);
+
+  // Initial biased estimates: "noodle house" freq_d=3 clamped to k=2 (the
+  // largest) -> selected first; its page is the top-2 of {e1,e2,e4} by
+  // rating = {e1, e4}, covering d0 and d3.
+  EXPECT_EQ(result->iterations[0].query, "noodle house");
+  EXPECT_DOUBLE_EQ(result->iterations[0].estimated_benefit, 2.0);
+  EXPECT_EQ(result->iterations[0].page_size, 2u);
+
+  // After the update, "thai house" (overflow est 1*(2/3)/1 = 2/3, query
+  // index 2) beats "house" (2*(2/3)/2 = 2/3, index 4) on the id tie-break.
+  EXPECT_EQ(result->iterations[1].query, "thai house");
+  EXPECT_NEAR(result->iterations[1].estimated_benefit, 2.0 / 3.0, 1e-12);
+
+  // Ground-truth coverage: {d0, d3} then {d2} -> 3 records in 2 queries.
+  auto curve = CoverageCurve(f.local, *result);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_EQ(curve[0], 2u);
+  EXPECT_EQ(curve[1], 3u);
+}
+
+TEST(RunningExampleTest, IdealCrawlMatchesSmartCrawlHere) {
+  Fixture f = MakeFixture();
+  SmartCrawler crawler(&f.local, BaseOptions(SelectionPolicy::kIdeal),
+                       /*sample=*/nullptr, f.hidden.get());
+  hidden::BudgetedInterface iface(f.hidden.get(), 2);
+  auto result = crawler.Crawl(&iface, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(FinalCoverage(f.local, *result), 3u);
+}
+
+TEST(RunningExampleTest, RecordBehindOverflowingPageIsUncoverable) {
+  // d1 "Noodle House": its only reaching query overflows and the ranking
+  // puts its hidden twin (rating 3.8) below the page cut — no strategy can
+  // cover it with this pool. This is the top-k pain the paper analyzes.
+  Fixture f = MakeFixture();
+  SmartCrawler crawler(&f.local, BaseOptions(SelectionPolicy::kEstBiased),
+                       &f.sample);
+  hidden::BudgetedInterface iface(f.hidden.get(), 5);
+  auto result = crawler.Crawl(&iface, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(FinalCoverage(f.local, *result), 3u);
+  for (const auto& it : result->iterations) {
+    for (auto e : it.page_entities) EXPECT_NE(e, 2u);
+  }
+}
+
+TEST(RunningExampleTest, UnbiasedEstimatorPrefersSampledIntersections) {
+  Fixture f = MakeFixture();
+  SmartCrawler crawler(&f.local, BaseOptions(SelectionPolicy::kEstUnbiased),
+                       &f.sample);
+  hidden::BudgetedInterface iface(f.hidden.get(), 2);
+  auto result = crawler.Crawl(&iface, 2);
+  ASSERT_TRUE(result.ok());
+  // Unbiased estimates: only "thai house" (inter=1, overflow: 1*k/1 = 2)
+  // and "house" (1*2/2 = 1) are nonzero; "thai house" goes first and its
+  // page {e1, e3} covers d0 and d2.
+  ASSERT_GE(result->iterations.size(), 1u);
+  EXPECT_EQ(result->iterations[0].query, "thai house");
+  EXPECT_DOUBLE_EQ(result->iterations[0].estimated_benefit, 2.0);
+  auto curve = CoverageCurve(f.local, *result);
+  EXPECT_EQ(curve[0], 2u);
+}
+
+TEST(RunningExampleTest, NaiveCrawlMissesTheOverflowVictim) {
+  Fixture f = MakeFixture();
+  hidden::BudgetedInterface iface(f.hidden.get(), 4);
+  NaiveCrawlOptions opt;
+  opt.query_fields = {"name"};
+  auto result = NaiveCrawl(f.local, &iface, 4, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->queries_issued, 4u);
+  // "Noodle House" as a full query overflows (3 matches, top-2 excludes the
+  // twin), so NaiveCrawl covers only 3 of 4 even with a full budget.
+  EXPECT_EQ(FinalCoverage(f.local, *result), 3u);
+}
+
+TEST(RunningExampleTest, QuerySharingBeatsNaivePerQuery) {
+  // With budget 2, SmartCrawl-B reaches the attainable maximum (3 of 4);
+  // NaiveCrawl can do no better, and does worse for most record orders
+  // (its pages piggyback on shared names only by luck).
+  Fixture f = MakeFixture();
+  SmartCrawler crawler(&f.local, BaseOptions(SelectionPolicy::kEstBiased),
+                       &f.sample);
+  hidden::BudgetedInterface iface1(f.hidden.get(), 2);
+  auto smart = crawler.Crawl(&iface1, 2);
+  ASSERT_TRUE(smart.ok());
+
+  NaiveCrawlOptions nopt;
+  nopt.query_fields = {"name"};
+  hidden::BudgetedInterface iface2(f.hidden.get(), 2);
+  auto naive = NaiveCrawl(f.local, &iface2, 2, nopt);
+  ASSERT_TRUE(naive.ok());
+
+  EXPECT_EQ(FinalCoverage(f.local, *smart), 3u);
+  EXPECT_LE(FinalCoverage(f.local, *naive), 3u);
+}
+
+TEST(RunningExampleTest, StopsEarlyWhenNothingBeneficialRemains) {
+  Fixture f = MakeFixture();
+  SmartCrawler crawler(&f.local, BaseOptions(SelectionPolicy::kEstBiased),
+                       &f.sample);
+  hidden::BudgetedInterface iface(f.hidden.get(), 100);
+  auto result = crawler.Crawl(&iface, 100);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stopped_early);
+  EXPECT_LT(result->queries_issued, 100u);
+}
+
+}  // namespace
+}  // namespace smartcrawl::core

@@ -1,0 +1,218 @@
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/dblp_gen.h"
+#include "datagen/error_inject.h"
+#include "datagen/vocabulary.h"
+#include "datagen/yelp_gen.h"
+#include "text/stopwords.h"
+#include "util/string_util.h"
+
+namespace smartcrawl::datagen {
+namespace {
+
+TEST(VocabularyTest, DistinctWords) {
+  auto words = GenerateVocabulary(2000, 1);
+  std::unordered_set<std::string> s(words.begin(), words.end());
+  EXPECT_EQ(s.size(), 2000u);
+}
+
+TEST(VocabularyTest, Deterministic) {
+  EXPECT_EQ(GenerateVocabulary(100, 5), GenerateVocabulary(100, 5));
+  EXPECT_NE(GenerateVocabulary(100, 5), GenerateVocabulary(100, 6));
+}
+
+TEST(VocabularyTest, NoStopwordCollisions) {
+  for (const auto& w : GenerateVocabulary(3000, 9)) {
+    EXPECT_FALSE(text::IsStopword(w)) << w;
+  }
+}
+
+TEST(VocabularyTest, Capitalize) {
+  EXPECT_EQ(Capitalize("noodle"), "Noodle");
+  EXPECT_EQ(Capitalize("Noodle"), "Noodle");
+  EXPECT_EQ(Capitalize(""), "");
+}
+
+TEST(DblpGenTest, GeneratesRequestedSizeWithSchema) {
+  DblpOptions opt;
+  opt.corpus_size = 1000;
+  table::Table t = GenerateDblpCorpus(opt);
+  EXPECT_EQ(t.size(), 1000u);
+  EXPECT_EQ(t.schema().field_names,
+            (std::vector<std::string>{"title", "venue", "authors", "year"}));
+}
+
+TEST(DblpGenTest, EntityIdsAreRowIndices) {
+  DblpOptions opt;
+  opt.corpus_size = 50;
+  table::Table t = GenerateDblpCorpus(opt);
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t.record(static_cast<table::RecordId>(i)).entity_id, i);
+  }
+}
+
+TEST(DblpGenTest, Deterministic) {
+  DblpOptions opt;
+  opt.corpus_size = 200;
+  table::Table a = GenerateDblpCorpus(opt);
+  table::Table b = GenerateDblpCorpus(opt);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.record(static_cast<table::RecordId>(i)).fields,
+              b.record(static_cast<table::RecordId>(i)).fields);
+  }
+}
+
+TEST(DblpGenTest, CommunityFractionRoughlyHolds) {
+  DblpOptions opt;
+  opt.corpus_size = 5000;
+  opt.db_community_fraction = 0.3;
+  table::Table t = GenerateDblpCorpus(opt);
+  size_t community = 0;
+  for (const auto& rec : t.records()) {
+    if (InDbCommunity(rec, t)) ++community;
+  }
+  EXPECT_NEAR(static_cast<double>(community) / 5000.0, 0.3, 0.03);
+}
+
+TEST(DblpGenTest, YearsWithinRange) {
+  DblpOptions opt;
+  opt.corpus_size = 500;
+  opt.min_year = 2000;
+  opt.max_year = 2005;
+  table::Table t = GenerateDblpCorpus(opt);
+  auto idx = *t.schema().FieldIndex("year");
+  for (const auto& rec : t.records()) {
+    int y = std::stoi(rec.fields[idx]);
+    EXPECT_GE(y, 2000);
+    EXPECT_LE(y, 2005);
+  }
+}
+
+TEST(DblpGenTest, TitleWordFrequenciesAreSkewed) {
+  DblpOptions opt;
+  opt.corpus_size = 3000;
+  table::Table t = GenerateDblpCorpus(opt);
+  auto idx = *t.schema().FieldIndex("title");
+  std::unordered_map<std::string, size_t> freq;
+  for (const auto& rec : t.records()) {
+    for (const auto& w : SplitWhitespace(ToLower(rec.fields[idx]))) {
+      ++freq[w];
+    }
+  }
+  size_t max_freq = 0, total = 0;
+  for (const auto& [w, f] : freq) {
+    max_freq = std::max(max_freq, f);
+    total += f;
+  }
+  // Zipf head: the most common title word should take a clearly
+  // disproportionate share of occurrences.
+  EXPECT_GT(static_cast<double>(max_freq) / static_cast<double>(total),
+            0.01);
+}
+
+TEST(YelpGenTest, GeneratesBusinesses) {
+  YelpOptions opt;
+  opt.corpus_size = 800;
+  table::Table t = GenerateYelpCorpus(opt);
+  EXPECT_EQ(t.size(), 800u);
+  EXPECT_EQ(t.schema().field_names,
+            (std::vector<std::string>{"name", "city", "category", "rating"}));
+  auto rating_idx = *t.schema().FieldIndex("rating");
+  for (const auto& rec : t.records()) {
+    double r = std::stod(rec.fields[rating_idx]);
+    EXPECT_GE(r, 1.0);
+    EXPECT_LE(r, 5.0);
+  }
+}
+
+TEST(YelpGenTest, SharedNameSuffixesExist) {
+  YelpOptions opt;
+  opt.corpus_size = 2000;
+  table::Table t = GenerateYelpCorpus(opt);
+  auto name_idx = *t.schema().FieldIndex("name");
+  size_t with_house = 0;
+  for (const auto& rec : t.records()) {
+    if (EndsWith(rec.fields[name_idx], "House")) ++with_house;
+  }
+  // 15 suffixes at 70% suffix rate -> each suffix on ~4-5% of names.
+  EXPECT_GT(with_house, 20u);
+}
+
+TEST(ErrorInjectTest, CorruptsRequestedFraction) {
+  YelpOptions opt;
+  opt.corpus_size = 1000;
+  table::Table t = GenerateYelpCorpus(opt);
+  table::Table orig = t;
+  ErrorInjectOptions err;
+  err.error_rate = 0.2;
+  err.target_field = "name";
+  err.seed = 3;
+  auto report = InjectErrors(&t, err);
+  EXPECT_NEAR(static_cast<double>(report.records_corrupted), 200.0, 10.0);
+  EXPECT_EQ(report.words_dropped + report.words_added + report.words_replaced,
+            report.records_corrupted);
+  // Ops are chosen ~uniformly.
+  EXPECT_GT(report.words_dropped, 30u);
+  EXPECT_GT(report.words_added, 30u);
+  EXPECT_GT(report.words_replaced, 30u);
+  // Only the name field changes.
+  auto name_idx = *t.schema().FieldIndex("name");
+  size_t changed = 0;
+  for (size_t i = 0; i < t.size(); ++i) {
+    const auto& a = t.record(static_cast<table::RecordId>(i));
+    const auto& b = orig.record(static_cast<table::RecordId>(i));
+    for (size_t f = 0; f < a.fields.size(); ++f) {
+      if (f == name_idx) continue;
+      EXPECT_EQ(a.fields[f], b.fields[f]);
+    }
+    if (a.fields[name_idx] != b.fields[name_idx]) ++changed;
+  }
+  // A dropped word from a 1-word name can produce an empty name; a replace
+  // may coincide — but nearly all corruptions change the text.
+  EXPECT_GE(changed + 5, report.records_corrupted);
+}
+
+TEST(ErrorInjectTest, ZeroRateIsNoOp) {
+  YelpOptions opt;
+  opt.corpus_size = 100;
+  table::Table t = GenerateYelpCorpus(opt);
+  ErrorInjectOptions err;
+  err.error_rate = 0.0;
+  err.target_field = "name";
+  auto report = InjectErrors(&t, err);
+  EXPECT_EQ(report.records_corrupted, 0u);
+}
+
+TEST(ErrorInjectTest, UnknownFieldIsNoOp) {
+  YelpOptions opt;
+  opt.corpus_size = 100;
+  table::Table t = GenerateYelpCorpus(opt);
+  ErrorInjectOptions err;
+  err.error_rate = 0.5;
+  err.target_field = "missing_field";
+  auto report = InjectErrors(&t, err);
+  EXPECT_EQ(report.records_corrupted, 0u);
+}
+
+TEST(ErrorInjectTest, DeterministicInSeed) {
+  YelpOptions opt;
+  opt.corpus_size = 500;
+  table::Table a = GenerateYelpCorpus(opt);
+  table::Table b = GenerateYelpCorpus(opt);
+  ErrorInjectOptions err;
+  err.error_rate = 0.3;
+  err.target_field = "name";
+  err.seed = 99;
+  InjectErrors(&a, err);
+  InjectErrors(&b, err);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.record(static_cast<table::RecordId>(i)).fields,
+              b.record(static_cast<table::RecordId>(i)).fields);
+  }
+}
+
+}  // namespace
+}  // namespace smartcrawl::datagen

@@ -1,0 +1,111 @@
+#include "datagen/movies_gen.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "core/smart_crawler.h"
+#include "datagen/scenario.h"
+#include "hidden/budget.h"
+#include "sample/sampler.h"
+
+namespace smartcrawl::datagen {
+namespace {
+
+TEST(MoviesGenTest, GeneratesRequestedSizeWithSchema) {
+  MoviesOptions opt;
+  opt.corpus_size = 800;
+  table::Table t = GenerateMoviesCorpus(opt);
+  EXPECT_EQ(t.size(), 800u);
+  EXPECT_EQ(t.schema().field_names,
+            (std::vector<std::string>{"title", "director", "cast", "year",
+                                      "genre", "rating"}));
+}
+
+TEST(MoviesGenTest, Deterministic) {
+  MoviesOptions opt;
+  opt.corpus_size = 300;
+  table::Table a = GenerateMoviesCorpus(opt);
+  table::Table b = GenerateMoviesCorpus(opt);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.record(static_cast<table::RecordId>(i)).fields,
+              b.record(static_cast<table::RecordId>(i)).fields);
+  }
+}
+
+TEST(MoviesGenTest, GenresAndYearsValid) {
+  MoviesOptions opt;
+  opt.corpus_size = 400;
+  opt.min_year = 2000;
+  opt.max_year = 2010;
+  table::Table t = GenerateMoviesCorpus(opt);
+  std::unordered_set<std::string> genres(MovieGenres().begin(),
+                                         MovieGenres().end());
+  auto year_idx = *t.schema().FieldIndex("year");
+  auto genre_idx = *t.schema().FieldIndex("genre");
+  for (const auto& rec : t.records()) {
+    EXPECT_TRUE(genres.count(rec.fields[genre_idx])) << rec.fields[genre_idx];
+    int y = std::stoi(rec.fields[year_idx]);
+    EXPECT_GE(y, 2000);
+    EXPECT_LE(y, 2010);
+  }
+}
+
+TEST(MoviesGenTest, DirectorsRecurAcrossMovies) {
+  MoviesOptions opt;
+  opt.corpus_size = 2000;
+  table::Table t = GenerateMoviesCorpus(opt);
+  auto dir_idx = *t.schema().FieldIndex("director");
+  std::unordered_set<std::string> directors;
+  for (const auto& rec : t.records()) directors.insert(rec.fields[dir_idx]);
+  // Skewed productivity: far fewer distinct directors than movies.
+  EXPECT_LT(directors.size(), 1600u);
+}
+
+TEST(MoviesScenarioTest, BuildsValidScenario) {
+  MoviesScenarioConfig cfg;
+  cfg.corpus.corpus_size = 6000;
+  cfg.hidden_size = 2500;
+  cfg.local_size = 300;
+  cfg.delta_d = 30;
+  cfg.seed = 7;
+  auto s = BuildMoviesScenario(cfg);
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->local.size(), 300u);
+  EXPECT_EQ(s->hidden->OracleSize(), 2500u);
+  EXPECT_EQ(s->num_matchable, 270u);
+
+  std::unordered_set<table::EntityId> hidden_entities;
+  for (const auto& rec : s->hidden->OracleTable().records()) {
+    hidden_entities.insert(rec.entity_id);
+  }
+  size_t missing = 0;
+  for (const auto& rec : s->local.records()) {
+    if (!hidden_entities.count(rec.entity_id)) ++missing;
+  }
+  EXPECT_EQ(missing, 30u);
+}
+
+TEST(MoviesScenarioTest, SmartCrawlWorksOnMovies) {
+  MoviesScenarioConfig cfg;
+  cfg.corpus.corpus_size = 6000;
+  cfg.hidden_size = 2500;
+  cfg.local_size = 300;
+  cfg.top_k = 50;
+  cfg.seed = 9;
+  auto s = BuildMoviesScenario(cfg);
+  ASSERT_TRUE(s.ok());
+  auto sample = sample::BernoulliSample(*s->hidden, 0.02, 5);
+  core::SmartCrawlOptions opt;
+  opt.policy = core::SelectionPolicy::kEstBiased;
+  opt.local_text_fields = s->local_text_fields;
+  core::SmartCrawler crawler(&s->local, std::move(opt), &sample);
+  hidden::BudgetedInterface iface(s->hidden.get(), 60);
+  auto r = crawler.Crawl(&iface, 60);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(core::FinalCoverage(s->local, *r), 60u);
+}
+
+}  // namespace
+}  // namespace smartcrawl::datagen

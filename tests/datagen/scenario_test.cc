@@ -1,0 +1,183 @@
+#include "datagen/scenario.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace smartcrawl::datagen {
+namespace {
+
+DblpScenarioConfig SmallDblpConfig() {
+  DblpScenarioConfig cfg;
+  cfg.corpus.corpus_size = 8000;
+  cfg.corpus.seed = 11;
+  cfg.corpus.db_community_fraction = 0.5;
+  cfg.hidden_size = 3000;
+  cfg.local_size = 500;
+  cfg.delta_d = 0;
+  cfg.top_k = 20;
+  cfg.seed = 4;
+  return cfg;
+}
+
+std::unordered_set<table::EntityId> Entities(const table::Table& t) {
+  std::unordered_set<table::EntityId> s;
+  for (const auto& rec : t.records()) s.insert(rec.entity_id);
+  return s;
+}
+
+TEST(DblpScenarioTest, SizesMatchConfig) {
+  auto s = BuildDblpScenario(SmallDblpConfig());
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->local.size(), 500u);
+  EXPECT_EQ(s->hidden->OracleSize(), 3000u);
+  EXPECT_EQ(s->num_matchable, 500u);
+}
+
+TEST(DblpScenarioTest, LocalFullyContainedWhenNoDelta) {
+  auto s = BuildDblpScenario(SmallDblpConfig());
+  ASSERT_TRUE(s.ok());
+  auto hidden_entities = Entities(s->hidden->OracleTable());
+  for (const auto& rec : s->local.records()) {
+    EXPECT_TRUE(hidden_entities.count(rec.entity_id))
+        << "local record " << rec.id << " missing from H";
+  }
+}
+
+TEST(DblpScenarioTest, DeltaRecordsExcludedFromHidden) {
+  auto cfg = SmallDblpConfig();
+  cfg.delta_d = 100;
+  auto s = BuildDblpScenario(cfg);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->local.size(), 500u);
+  EXPECT_EQ(s->num_matchable, 400u);
+  auto hidden_entities = Entities(s->hidden->OracleTable());
+  size_t missing = 0;
+  for (const auto& rec : s->local.records()) {
+    if (!hidden_entities.count(rec.entity_id)) ++missing;
+  }
+  EXPECT_EQ(missing, 100u);
+  EXPECT_EQ(s->hidden->OracleSize(), 3000u);
+}
+
+TEST(DblpScenarioTest, NoDuplicateEntitiesWithinEitherSide) {
+  auto cfg = SmallDblpConfig();
+  cfg.delta_d = 50;
+  auto s = BuildDblpScenario(cfg);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(Entities(s->local).size(), s->local.size());
+  EXPECT_EQ(Entities(s->hidden->OracleTable()).size(),
+            s->hidden->OracleSize());
+}
+
+TEST(DblpScenarioTest, ErrorInjectionDirtiesTitles) {
+  auto cfg = SmallDblpConfig();
+  cfg.error_rate = 0.5;
+  auto clean = BuildDblpScenario(SmallDblpConfig());
+  auto dirty = BuildDblpScenario(cfg);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(dirty.ok());
+  auto title = *clean->local.schema().FieldIndex("title");
+  size_t diff = 0;
+  for (size_t i = 0; i < clean->local.size(); ++i) {
+    if (clean->local.record(static_cast<table::RecordId>(i)).fields[title] !=
+        dirty->local.record(static_cast<table::RecordId>(i)).fields[title]) {
+      ++diff;
+    }
+  }
+  EXPECT_GT(diff, 180u);  // ~50% of 500, minus no-op corruptions
+}
+
+TEST(DblpScenarioTest, InvalidConfigsRejected) {
+  auto cfg = SmallDblpConfig();
+  cfg.delta_d = cfg.local_size + 1;
+  EXPECT_FALSE(BuildDblpScenario(cfg).ok());
+
+  cfg = SmallDblpConfig();
+  cfg.hidden_size = 100;
+  cfg.local_size = 500;
+  EXPECT_FALSE(BuildDblpScenario(cfg).ok());
+
+  cfg = SmallDblpConfig();
+  cfg.corpus.corpus_size = 1000;
+  cfg.hidden_size = 3000;
+  EXPECT_FALSE(BuildDblpScenario(cfg).ok());
+}
+
+TEST(DblpScenarioTest, HiddenSearchEngineWorksEndToEnd) {
+  auto s = BuildDblpScenario(SmallDblpConfig());
+  ASSERT_TRUE(s.ok());
+  // Query a local record's exact title+venue+authors: its hidden twin must
+  // be among the matches (conjunctive semantics; exact copies).
+  const auto& rec = s->local.record(0);
+  auto text_or = s->local.ConcatenatedText(0, {"title", "venue", "authors"});
+  ASSERT_TRUE(text_or.ok());
+  auto page = s->hidden->Search({*text_or});
+  ASSERT_TRUE(page.ok());
+  bool found = false;
+  for (const auto& h : *page) found |= (h.entity_id == rec.entity_id);
+  EXPECT_TRUE(found);
+}
+
+TEST(DblpScenarioTest, RecentBiasRestrictsLocalYears) {
+  auto cfg = SmallDblpConfig();
+  cfg.corpus.min_year = 1990;
+  cfg.corpus.max_year = 2018;
+  cfg.local_min_year = 2010;
+  auto s = BuildDblpScenario(cfg);
+  ASSERT_TRUE(s.ok()) << s.status();
+  auto year_idx = *s->local.schema().FieldIndex("year");
+  for (const auto& rec : s->local.records()) {
+    EXPECT_GE(std::stoi(rec.fields[year_idx]), 2010);
+  }
+  // The hidden database still spans all years.
+  int old_hidden = 0;
+  auto h_year = *s->hidden->OracleTable().schema().FieldIndex("year");
+  for (const auto& rec : s->hidden->OracleTable().records()) {
+    if (std::stoi(rec.fields[h_year]) < 2010) ++old_hidden;
+  }
+  EXPECT_GT(old_hidden, 0);
+}
+
+TEST(YelpScenarioTest, BuildsWithDrift) {
+  YelpScenarioConfig cfg;
+  cfg.corpus.corpus_size = 4000;
+  cfg.local_size = 300;
+  cfg.delta_d = 30;
+  cfg.error_rate = 0.2;
+  cfg.seed = 6;
+  auto s = BuildYelpScenario(cfg);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->local.size(), 300u);
+  EXPECT_EQ(s->num_matchable, 270u);
+  EXPECT_EQ(s->hidden->OracleSize(), 4000u - 30u);
+  EXPECT_EQ(s->hidden->top_k(), 50u);
+}
+
+TEST(YelpScenarioTest, DisjunctiveInterfaceRanksFullMatchesFirst) {
+  YelpScenarioConfig cfg;
+  cfg.corpus.corpus_size = 3000;
+  cfg.local_size = 100;
+  cfg.error_rate = 0.0;
+  auto s = BuildYelpScenario(cfg);
+  ASSERT_TRUE(s.ok());
+  // Search the exact name+city of a local record; the true entity should
+  // surface on the first page despite the disjunctive candidate explosion.
+  bool found_any = false;
+  for (table::RecordId d = 0; d < 20; ++d) {
+    auto text_or = s->local.ConcatenatedText(d, {"name", "city"});
+    ASSERT_TRUE(text_or.ok());
+    auto page = s->hidden->Search({*text_or});
+    ASSERT_TRUE(page.ok());
+    for (const auto& h : *page) {
+      if (h.entity_id == s->local.record(d).entity_id) {
+        found_any = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found_any);
+}
+
+}  // namespace
+}  // namespace smartcrawl::datagen

@@ -1,0 +1,180 @@
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fpm/itemset.h"
+#include "util/random.h"
+
+namespace smartcrawl::fpm {
+namespace {
+
+using Txns = std::vector<std::vector<text::TermId>>;
+
+/// Brute-force miner for tiny inputs: enumerates all subsets of observed
+/// items.
+std::vector<FrequentItemset> BruteForce(const Txns& txns,
+                                        const MiningOptions& opt) {
+  std::vector<text::TermId> items;
+  for (const auto& t : txns) {
+    for (text::TermId x : t) items.push_back(x);
+  }
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  std::vector<FrequentItemset> out;
+  size_t n = items.size();
+  EXPECT_LE(n, 20u) << "brute force too large";
+  for (uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+    std::vector<text::TermId> subset;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) subset.push_back(items[i]);
+    }
+    if (opt.max_itemset_size != 0 && subset.size() > opt.max_itemset_size) {
+      continue;
+    }
+    uint32_t support = 0;
+    for (const auto& t : txns) {
+      std::vector<text::TermId> st = t;
+      std::sort(st.begin(), st.end());
+      st.erase(std::unique(st.begin(), st.end()), st.end());
+      if (std::includes(st.begin(), st.end(), subset.begin(), subset.end())) {
+        ++support;
+      }
+    }
+    if (support >= opt.min_support) {
+      out.push_back(FrequentItemset{subset, support});
+    }
+  }
+  SortItemsets(&out);
+  return out;
+}
+
+TEST(FpGrowthTest, RunningExampleItemsets) {
+  // Paper Example 2's local database tokens (ids: 0=thai 1=noodle 2=house
+  // 3=japanese 4=steak): d1 = thai noodle house, d2 = noodle house,
+  // d3 = thai house, d4 = japanese noodle house.
+  Txns txns = {{0, 1, 2}, {1, 2}, {0, 2}, {3, 1, 2}};
+  MiningOptions opt;
+  opt.min_support = 2;
+  auto result = MineFrequentItemsets(txns, opt);
+  SortItemsets(&result.itemsets);
+
+  // Expected frequent itemsets with t=2: {thai}:2 {noodle}:3 {house}:4
+  // {thai,house}:2 {noodle,house}:3.
+  std::vector<FrequentItemset> expect = {
+      {{0}, 2}, {{1}, 3}, {{2}, 4}, {{0, 2}, 2}, {{1, 2}, 3}};
+  SortItemsets(&expect);
+  EXPECT_EQ(result.itemsets, expect);
+  EXPECT_FALSE(result.truncated);
+}
+
+TEST(FpGrowthTest, EmptyTransactions) {
+  auto result = MineFrequentItemsets({}, MiningOptions{});
+  EXPECT_TRUE(result.itemsets.empty());
+}
+
+TEST(FpGrowthTest, MinSupportOneIncludesSingletons) {
+  Txns txns = {{1}, {2}};
+  MiningOptions opt;
+  opt.min_support = 1;
+  auto result = MineFrequentItemsets(txns, opt);
+  SortItemsets(&result.itemsets);
+  std::vector<FrequentItemset> expect = {{{1}, 1}, {{2}, 1}};
+  SortItemsets(&expect);
+  EXPECT_EQ(result.itemsets, expect);
+}
+
+TEST(FpGrowthTest, MaxItemsetSizeCaps) {
+  Txns txns = {{1, 2, 3}, {1, 2, 3}};
+  MiningOptions opt;
+  opt.min_support = 2;
+  opt.max_itemset_size = 2;
+  auto result = MineFrequentItemsets(txns, opt);
+  for (const auto& fis : result.itemsets) {
+    EXPECT_LE(fis.items.size(), 2u);
+  }
+  // All 1- and 2-subsets of {1,2,3}: 3 + 3 = 6.
+  EXPECT_EQ(result.itemsets.size(), 6u);
+}
+
+TEST(FpGrowthTest, MaxResultsTruncates) {
+  Txns txns = {{1, 2, 3, 4}, {1, 2, 3, 4}};
+  MiningOptions opt;
+  opt.min_support = 2;
+  opt.max_results = 3;
+  auto result = MineFrequentItemsets(txns, opt);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_EQ(result.itemsets.size(), 3u);
+}
+
+TEST(FpGrowthTest, DuplicateItemsInTransactionCountOnce) {
+  Txns txns = {{1, 1, 2}, {1, 2, 2}};
+  MiningOptions opt;
+  opt.min_support = 2;
+  auto result = MineFrequentItemsets(txns, opt);
+  SortItemsets(&result.itemsets);
+  std::vector<FrequentItemset> expect = {{{1}, 2}, {{2}, 2}, {{1, 2}, 2}};
+  SortItemsets(&expect);
+  EXPECT_EQ(result.itemsets, expect);
+}
+
+TEST(AprioriTest, MatchesBruteForceOnRunningExample) {
+  Txns txns = {{0, 1, 2}, {1, 2}, {0, 2}, {3, 1, 2}};
+  MiningOptions opt;
+  opt.min_support = 2;
+  auto result = MineFrequentItemsetsApriori(txns, opt);
+  SortItemsets(&result.itemsets);
+  EXPECT_EQ(result.itemsets, BruteForce(txns, opt));
+}
+
+// Property: FP-growth == Apriori == brute force on random transactions.
+struct FpmParams {
+  size_t num_txns;
+  size_t vocab;
+  size_t max_len;
+  uint32_t min_support;
+  size_t max_size;
+  uint64_t seed;
+};
+
+class MinerEquivalenceTest : public ::testing::TestWithParam<FpmParams> {};
+
+TEST_P(MinerEquivalenceTest, AllThreeMinersAgree) {
+  const auto& p = GetParam();
+  smartcrawl::Rng rng(p.seed);
+  Txns txns;
+  for (size_t i = 0; i < p.num_txns; ++i) {
+    size_t len = 1 + rng.UniformIndex(p.max_len);
+    std::vector<text::TermId> t;
+    for (size_t j = 0; j < len; ++j) {
+      t.push_back(static_cast<text::TermId>(rng.UniformIndex(p.vocab)));
+    }
+    txns.push_back(std::move(t));
+  }
+  MiningOptions opt;
+  opt.min_support = p.min_support;
+  opt.max_itemset_size = p.max_size;
+
+  auto fp = MineFrequentItemsets(txns, opt);
+  auto ap = MineFrequentItemsetsApriori(txns, opt);
+  SortItemsets(&fp.itemsets);
+  SortItemsets(&ap.itemsets);
+  EXPECT_EQ(fp.itemsets, ap.itemsets);
+  if (p.vocab <= 16) {
+    EXPECT_EQ(fp.itemsets, BruteForce(txns, opt));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTransactions, MinerEquivalenceTest,
+    ::testing::Values(FpmParams{10, 5, 4, 2, 0, 1},
+                      FpmParams{50, 8, 6, 2, 0, 2},
+                      FpmParams{100, 12, 5, 3, 3, 3},
+                      FpmParams{200, 16, 8, 5, 4, 4},
+                      FpmParams{100, 40, 6, 2, 3, 5},
+                      FpmParams{30, 6, 6, 1, 0, 6},
+                      FpmParams{500, 10, 4, 10, 0, 7}));
+
+}  // namespace
+}  // namespace smartcrawl::fpm

@@ -1,0 +1,65 @@
+#include "hidden/budget.h"
+
+#include <gtest/gtest.h>
+
+#include "hidden/hidden_database.h"
+
+namespace smartcrawl::hidden {
+namespace {
+
+HiddenDatabase SmallDb() {
+  table::Table t(table::Schema{{"name"}});
+  EXPECT_TRUE(t.Append({"alpha beta"}, 1).ok());
+  EXPECT_TRUE(t.Append({"beta gamma"}, 2).ok());
+  HiddenDatabaseOptions opt;
+  opt.top_k = 10;
+  return HiddenDatabase(std::move(t), opt);
+}
+
+TEST(BudgetedInterfaceTest, AllowsUpToBudget) {
+  auto db = SmallDb();
+  BudgetedInterface iface(&db, 3);
+  EXPECT_EQ(iface.budget(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(iface.Search({"beta"}).ok());
+  }
+  EXPECT_EQ(iface.num_queries_issued(), 3u);
+  EXPECT_TRUE(iface.exhausted());
+  EXPECT_EQ(iface.remaining(), 0u);
+}
+
+TEST(BudgetedInterfaceTest, RejectsBeyondBudget) {
+  auto db = SmallDb();
+  BudgetedInterface iface(&db, 1);
+  ASSERT_TRUE(iface.Search({"alpha"}).ok());
+  auto r = iface.Search({"alpha"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsBudgetExhausted());
+  // The inner database never saw the rejected query.
+  EXPECT_EQ(db.num_queries_issued(), 1u);
+}
+
+TEST(BudgetedInterfaceTest, RejectedQueriesDoNotConsumeBudget) {
+  auto db = SmallDb();
+  BudgetedInterface iface(&db, 2);
+  EXPECT_FALSE(iface.Search({}).ok());          // invalid: no keywords
+  EXPECT_FALSE(iface.Search({"the"}).ok());     // invalid: stop word only
+  EXPECT_EQ(iface.remaining(), 2u);
+  EXPECT_TRUE(iface.Search({"gamma"}).ok());
+  EXPECT_EQ(iface.remaining(), 1u);
+}
+
+TEST(BudgetedInterfaceTest, ForwardsTopK) {
+  auto db = SmallDb();
+  BudgetedInterface iface(&db, 5);
+  EXPECT_EQ(iface.top_k(), 10u);
+}
+
+TEST(BudgetedInterfaceTest, ZeroBudgetRejectsImmediately) {
+  auto db = SmallDb();
+  BudgetedInterface iface(&db, 0);
+  EXPECT_TRUE(iface.Search({"beta"}).status().IsBudgetExhausted());
+}
+
+}  // namespace
+}  // namespace smartcrawl::hidden

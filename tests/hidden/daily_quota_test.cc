@@ -1,0 +1,65 @@
+#include "hidden/daily_quota.h"
+
+#include <gtest/gtest.h>
+
+#include "hidden/hidden_database.h"
+
+namespace smartcrawl::hidden {
+namespace {
+
+HiddenDatabase SmallDb() {
+  table::Table t(table::Schema{{"name"}});
+  EXPECT_TRUE(t.Append({"alpha beta"}, 1).ok());
+  EXPECT_TRUE(t.Append({"beta gamma"}, 2).ok());
+  HiddenDatabaseOptions opt;
+  opt.top_k = 10;
+  return HiddenDatabase(std::move(t), opt);
+}
+
+TEST(DailyQuotaTest, EnforcesPerDayLimit) {
+  auto db = SmallDb();
+  DailyQuotaInterface iface(&db, 2);
+  EXPECT_TRUE(iface.Search({"beta"}).ok());
+  EXPECT_TRUE(iface.Search({"beta"}).ok());
+  auto r = iface.Search({"beta"});
+  EXPECT_TRUE(r.status().IsBudgetExhausted());
+  EXPECT_EQ(iface.used_today(), 2u);
+  EXPECT_EQ(iface.remaining_today(), 0u);
+}
+
+TEST(DailyQuotaTest, AdvanceDayResets) {
+  auto db = SmallDb();
+  DailyQuotaInterface iface(&db, 1);
+  EXPECT_TRUE(iface.Search({"alpha"}).ok());
+  EXPECT_FALSE(iface.Search({"alpha"}).ok());
+  iface.AdvanceDay();
+  EXPECT_EQ(iface.day(), 1u);
+  EXPECT_TRUE(iface.Search({"alpha"}).ok());
+  EXPECT_EQ(iface.num_queries_issued(), 2u);  // lifetime total
+}
+
+TEST(DailyQuotaTest, RejectedQueriesDontConsumeQuota) {
+  auto db = SmallDb();
+  DailyQuotaInterface iface(&db, 1);
+  EXPECT_FALSE(iface.Search({}).ok());  // invalid query
+  EXPECT_EQ(iface.remaining_today(), 1u);
+}
+
+TEST(DailyQuotaTest, MultiDayCrawlAccumulates) {
+  auto db = SmallDb();
+  DailyQuotaInterface iface(&db, 3);
+  size_t total = 0;
+  for (int day = 0; day < 4; ++day) {
+    while (iface.remaining_today() > 0) {
+      ASSERT_TRUE(iface.Search({"beta"}).ok());
+      ++total;
+    }
+    iface.AdvanceDay();
+  }
+  EXPECT_EQ(total, 12u);
+  EXPECT_EQ(iface.num_queries_issued(), 12u);
+  EXPECT_EQ(db.num_queries_issued(), 12u);
+}
+
+}  // namespace
+}  // namespace smartcrawl::hidden

@@ -1,0 +1,162 @@
+#include "hidden/hidden_database.h"
+
+#include <cstdlib>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace smartcrawl::hidden {
+namespace {
+
+table::Table RestaurantTable() {
+  table::Table t(table::Schema{{"name", "year"}});
+  EXPECT_TRUE(t.Append({"Thai Noodle House", "2001"}, 1).ok());
+  EXPECT_TRUE(t.Append({"Noodle House", "2002"}, 2).ok());
+  EXPECT_TRUE(t.Append({"Thai House", "2003"}, 3).ok());
+  EXPECT_TRUE(t.Append({"Steak House", "2004"}, 4).ok());
+  EXPECT_TRUE(t.Append({"Ramen Bar", "2005"}, 5).ok());
+  return t;
+}
+
+HiddenDatabase MakeDb(size_t k,
+                      HiddenDatabaseOptions::Mode mode =
+                          HiddenDatabaseOptions::Mode::kConjunctive) {
+  table::Table t = RestaurantTable();
+  HiddenDatabaseOptions opt;
+  opt.top_k = k;
+  opt.mode = mode;
+  auto ranker = MakeFieldRanker(t, "year");  // newest first
+  return HiddenDatabase(std::move(t), opt, std::move(ranker));
+}
+
+TEST(HiddenDatabaseTest, ConjunctiveSearchReturnsAllKeywordMatches) {
+  auto db = MakeDb(10);
+  auto page = db.Search({"noodle", "house"});
+  ASSERT_TRUE(page.ok());
+  ASSERT_EQ(page->size(), 2u);
+  // Ranked by year descending: Noodle House (2002), Thai Noodle House (2001).
+  EXPECT_EQ((*page)[0].entity_id, 2u);
+  EXPECT_EQ((*page)[1].entity_id, 1u);
+}
+
+TEST(HiddenDatabaseTest, TopKTruncates) {
+  auto db = MakeDb(2);
+  auto page = db.Search({"house"});
+  ASSERT_TRUE(page.ok());
+  ASSERT_EQ(page->size(), 2u);
+  // 4 records match "house"; year-ranked top-2 are Steak House (2004) and
+  // Thai House (2003).
+  EXPECT_EQ((*page)[0].entity_id, 4u);
+  EXPECT_EQ((*page)[1].entity_id, 3u);
+}
+
+TEST(HiddenDatabaseTest, DeterministicResults) {
+  auto db = MakeDb(2);
+  auto p1 = db.Search({"house"});
+  auto p2 = db.Search({"house"});
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  ASSERT_EQ(p1->size(), p2->size());
+  for (size_t i = 0; i < p1->size(); ++i) {
+    EXPECT_EQ((*p1)[i].entity_id, (*p2)[i].entity_id);
+  }
+}
+
+TEST(HiddenDatabaseTest, QueryCounterCountsAcceptedQueries) {
+  auto db = MakeDb(10);
+  EXPECT_EQ(db.num_queries_issued(), 0u);
+  ASSERT_TRUE(db.Search({"house"}).ok());
+  ASSERT_TRUE(db.Search({"missingword"}).ok());  // accepted, empty result
+  EXPECT_EQ(db.num_queries_issued(), 2u);
+  db.ResetQueryCounter();
+  EXPECT_EQ(db.num_queries_issued(), 0u);
+}
+
+TEST(HiddenDatabaseTest, EmptyQueryRejectedAndNotCounted) {
+  auto db = MakeDb(10);
+  EXPECT_FALSE(db.Search({}).ok());
+  EXPECT_FALSE(db.Search({"the", "of"}).ok());  // all stop words
+  EXPECT_EQ(db.num_queries_issued(), 0u);
+}
+
+TEST(HiddenDatabaseTest, UnknownKeywordMatchesNothingConjunctive) {
+  auto db = MakeDb(10);
+  auto page = db.Search({"thai", "zzzunknown"});
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(page->empty());
+}
+
+TEST(HiddenDatabaseTest, MultiWordKeywordIsTokenized) {
+  auto db = MakeDb(10);
+  // Clients may pass a whole phrase as one "keyword".
+  auto page = db.Search({"Thai Noodle House"});
+  ASSERT_TRUE(page.ok());
+  ASSERT_EQ(page->size(), 1u);
+  EXPECT_EQ((*page)[0].entity_id, 1u);
+}
+
+TEST(HiddenDatabaseTest, DisjunctiveModeReturnsAnyMatch) {
+  auto db = MakeDb(10, HiddenDatabaseOptions::Mode::kDisjunctive);
+  auto page = db.Search({"thai", "ramen"});
+  ASSERT_TRUE(page.ok());
+  // thai: 2 records; ramen: 1 record.
+  EXPECT_EQ(page->size(), 3u);
+}
+
+TEST(HiddenDatabaseTest, DisjunctiveUnknownKeywordStillSearches) {
+  auto db = MakeDb(10, HiddenDatabaseOptions::Mode::kDisjunctive);
+  auto page = db.Search({"ramen", "zzzunknown"});
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->size(), 1u);
+}
+
+TEST(HiddenDatabaseTest, OracleMatchesIgnoreTopK) {
+  auto db = MakeDb(2);
+  EXPECT_EQ(db.OracleFrequency({"house"}), 4u);
+  EXPECT_EQ(db.OracleMatches({"house"}).size(), 4u);
+  EXPECT_EQ(db.OracleTopK({"house"}).size(), 2u);
+  EXPECT_EQ(db.num_queries_issued(), 0u);  // backdoors don't count
+}
+
+TEST(HiddenDatabaseTest, SolidVsOverflowingSemantics) {
+  auto db = MakeDb(2);
+  // "noodle": 2 matches == k -> returned completely (solid boundary).
+  auto noodle = db.Search({"noodle"});
+  ASSERT_TRUE(noodle.ok());
+  EXPECT_EQ(noodle->size(), 2u);
+  EXPECT_EQ(db.OracleFrequency({"noodle"}), 2u);
+  // "house": 4 matches > k -> overflowing, page capped at 2.
+  EXPECT_GT(db.OracleFrequency({"house"}), 2u);
+}
+
+TEST(HiddenDatabaseTest, SetRankerChangesPageOrder) {
+  auto db = MakeDb(2);  // year ranker: {Steak House, Thai House} for "house"
+  auto before = db.OracleTopK({"house"});
+  ASSERT_EQ(before.size(), 2u);
+  // Reverse preference: rank by NEGATIVE year (oldest first).
+  std::vector<double> scores;
+  for (const auto& rec : db.OracleTable().records()) {
+    scores.push_back(-std::strtod(rec.fields[1].c_str(), nullptr));
+  }
+  db.SetRanker(std::make_unique<StaticScoreRanker>(std::move(scores)));
+  auto after = db.OracleTopK({"house"});
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_NE(before, after);
+  // Oldest "house" records: Thai Noodle House (2001), Noodle House (2002).
+  EXPECT_EQ(after[0], 0u);
+  EXPECT_EQ(after[1], 1u);
+}
+
+TEST(HiddenDatabaseTest, IndexedFieldsRestrictSearch) {
+  table::Table t = RestaurantTable();
+  HiddenDatabaseOptions opt;
+  opt.top_k = 10;
+  opt.indexed_fields = {"name"};  // year not searchable
+  HiddenDatabase db(std::move(t), opt);
+  auto page = db.Search({"2003"});
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(page->empty());
+}
+
+}  // namespace
+}  // namespace smartcrawl::hidden

@@ -1,0 +1,83 @@
+#include "hidden/ranker.h"
+
+#include <gtest/gtest.h>
+
+namespace smartcrawl::hidden {
+namespace {
+
+TEST(StaticScoreRankerTest, OrdersByScoreDescending) {
+  StaticScoreRanker r({1.0, 5.0, 3.0, 4.0});
+  auto top = r.TopK({0, 1, 2, 3}, {}, 10);
+  EXPECT_EQ(top, (std::vector<table::RecordId>{1, 3, 2, 0}));
+}
+
+TEST(StaticScoreRankerTest, TruncatesToK) {
+  StaticScoreRanker r({1.0, 5.0, 3.0, 4.0});
+  auto top = r.TopK({0, 1, 2, 3}, {}, 2);
+  EXPECT_EQ(top, (std::vector<table::RecordId>{1, 3}));
+}
+
+TEST(StaticScoreRankerTest, TiesBrokenByIdAscending) {
+  StaticScoreRanker r({2.0, 2.0, 2.0});
+  auto top = r.TopK({2, 0, 1}, {}, 3);
+  EXPECT_EQ(top, (std::vector<table::RecordId>{0, 1, 2}));
+}
+
+TEST(StaticScoreRankerTest, MissingScoreTreatedAsZero) {
+  StaticScoreRanker r({1.0});
+  auto top = r.TopK({0, 7}, {}, 2);
+  EXPECT_EQ(top, (std::vector<table::RecordId>{0, 7}));
+}
+
+TEST(HashRankerTest, DeterministicForSameSeed) {
+  HashRanker a(42), b(42);
+  std::vector<table::RecordId> cands = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(a.TopK(cands, {}, 6), b.TopK(cands, {}, 6));
+}
+
+TEST(HashRankerTest, DifferentSeedsProduceDifferentOrders) {
+  HashRanker a(1), b(2);
+  std::vector<table::RecordId> cands;
+  for (uint32_t i = 0; i < 32; ++i) cands.push_back(i);
+  EXPECT_NE(a.TopK(cands, {}, 32), b.TopK(cands, {}, 32));
+}
+
+TEST(HashRankerTest, TopKIsPrefixOfFullOrder) {
+  HashRanker r(7);
+  std::vector<table::RecordId> cands = {0, 1, 2, 3, 4, 5, 6, 7};
+  auto full = r.TopK(cands, {}, 8);
+  auto top3 = r.TopK(cands, {}, 3);
+  ASSERT_EQ(top3.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(top3[i], full[i]);
+}
+
+TEST(RelevanceRankerTest, MoreMatchedKeywordsRankFirst) {
+  // docs: 0 = {10, 11}, 1 = {10}, 2 = {10, 11, 12}
+  std::vector<text::Document> docs = {
+      text::Document({10, 11}), text::Document({10}),
+      text::Document({10, 11, 12})};
+  RelevanceRanker r(&docs, {0.0, 0.0, 0.0});
+  auto top = r.TopK({0, 1, 2}, {10, 11, 12}, 3);
+  EXPECT_EQ(top, (std::vector<table::RecordId>{2, 0, 1}));
+}
+
+TEST(RelevanceRankerTest, TieBreakByStaticScore) {
+  std::vector<text::Document> docs = {text::Document({10}),
+                                      text::Document({10})};
+  RelevanceRanker r(&docs, {1.0, 9.0});
+  auto top = r.TopK({0, 1}, {10}, 2);
+  EXPECT_EQ(top, (std::vector<table::RecordId>{1, 0}));
+}
+
+TEST(RelevanceRankerTest, FullMatchBeatsPopularPartialMatch) {
+  // Yelp-like behaviour: a record containing all keywords outranks a very
+  // popular record containing only some.
+  std::vector<text::Document> docs = {text::Document({10, 11}),
+                                      text::Document({10})};
+  RelevanceRanker r(&docs, {0.1, 100.0});
+  auto top = r.TopK({0, 1}, {10, 11}, 1);
+  EXPECT_EQ(top, (std::vector<table::RecordId>{0}));
+}
+
+}  // namespace
+}  // namespace smartcrawl::hidden

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "hidden/hidden_database.h"
+
+/// Dedicated tests for the kSemiConjunctive interface mode (the Yelp-like
+/// behaviour: a record qualifies when it contains at least
+/// ceil(fraction * #keywords) of the query keywords; unindexed keywords
+/// count toward the requirement but can never match).
+
+namespace smartcrawl::hidden {
+namespace {
+
+HiddenDatabase MakeDb(double fraction, size_t k = 10) {
+  table::Table t(table::Schema{{"name"}});
+  EXPECT_TRUE(t.Append({"alpha beta gamma delta"}, 1).ok());
+  EXPECT_TRUE(t.Append({"alpha beta gamma"}, 2).ok());
+  EXPECT_TRUE(t.Append({"alpha beta"}, 3).ok());
+  EXPECT_TRUE(t.Append({"alpha"}, 4).ok());
+  EXPECT_TRUE(t.Append({"epsilon zeta"}, 5).ok());
+  HiddenDatabaseOptions opt;
+  opt.top_k = k;
+  opt.mode = HiddenDatabaseOptions::Mode::kSemiConjunctive;
+  opt.min_match_fraction = fraction;
+  return HiddenDatabase(std::move(t), opt);
+}
+
+std::set<table::EntityId> Entities(
+    const Result<std::vector<table::Record>>& page) {
+  std::set<table::EntityId> out;
+  EXPECT_TRUE(page.ok());
+  for (const auto& rec : *page) out.insert(rec.entity_id);
+  return out;
+}
+
+TEST(SemiConjunctiveTest, FractionOneBehavesConjunctively) {
+  auto db = MakeDb(1.0);
+  EXPECT_EQ(Entities(db.Search({"alpha", "beta", "gamma"})),
+            (std::set<table::EntityId>{1, 2}));
+}
+
+TEST(SemiConjunctiveTest, ThreeQuartersAllowsOneMiss) {
+  auto db = MakeDb(0.75);
+  // 4 keywords, required = ceil(3) = 3: records with >= 3 of
+  // {alpha beta gamma delta} qualify.
+  EXPECT_EQ(Entities(db.Search({"alpha", "beta", "gamma", "delta"})),
+            (std::set<table::EntityId>{1, 2}));
+}
+
+TEST(SemiConjunctiveTest, HalfFractionWidensFurther) {
+  auto db = MakeDb(0.5);
+  // required = ceil(2) = 2.
+  EXPECT_EQ(Entities(db.Search({"alpha", "beta", "gamma", "delta"})),
+            (std::set<table::EntityId>{1, 2, 3}));
+}
+
+TEST(SemiConjunctiveTest, UnknownKeywordCountsAgainstTheBar) {
+  auto db = MakeDb(0.9);
+  // 3 keywords incl. one junk: required = ceil(2.7) = 3, but at most 2 can
+  // match -> unsatisfiable, empty page. This is what breaks NaiveCrawl's
+  // dirty queries (paper Sec. 7.3).
+  auto page = db.Search({"alpha", "beta", "xq12345"});
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(page->empty());
+}
+
+TEST(SemiConjunctiveTest, JunkToleratedAtLowerFraction) {
+  auto db = MakeDb(0.5);
+  // required = ceil(1.5) = 2 of {alpha, beta, junk}: records with alpha
+  // AND beta qualify.
+  EXPECT_EQ(Entities(db.Search({"alpha", "beta", "xq12345"})),
+            (std::set<table::EntityId>{1, 2, 3}));
+}
+
+TEST(SemiConjunctiveTest, AllJunkQueryReturnsNothing) {
+  auto db = MakeDb(0.5);
+  auto page = db.Search({"xq1", "xq2"});
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(page->empty());
+}
+
+TEST(SemiConjunctiveTest, SingleKeywordRequiresIt) {
+  auto db = MakeDb(0.5);
+  EXPECT_EQ(Entities(db.Search({"epsilon"})),
+            (std::set<table::EntityId>{5}));
+}
+
+TEST(SemiConjunctiveTest, OracleMatchesAgreeWithSearchSemantics) {
+  auto db = MakeDb(0.75, /*k=*/100);
+  auto matched = db.OracleMatches({"alpha", "beta", "gamma", "delta"});
+  EXPECT_EQ(matched.size(), 2u);
+  EXPECT_EQ(db.OracleFrequency({"alpha", "beta", "gamma", "delta"}), 2u);
+}
+
+}  // namespace
+}  // namespace smartcrawl::hidden

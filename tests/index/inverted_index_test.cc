@@ -1,0 +1,158 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "index/forward_index.h"
+#include "util/random.h"
+
+namespace smartcrawl::index {
+namespace {
+
+using text::Document;
+using text::TermId;
+
+std::vector<Document> SmallCorpus() {
+  // doc 0: {0,1,2}  doc 1: {1,2}  doc 2: {2,3}  doc 3: {0,3}
+  return {Document({0, 1, 2}), Document({1, 2}), Document({2, 3}),
+          Document({0, 3})};
+}
+
+TEST(InvertedIndexTest, PostingsAreSortedAndComplete) {
+  auto docs = SmallCorpus();
+  InvertedIndex idx(docs, 4);
+  EXPECT_EQ(idx.num_docs(), 4u);
+  EXPECT_EQ(idx.Postings(0), (std::vector<DocIndex>{0, 3}));
+  EXPECT_EQ(idx.Postings(1), (std::vector<DocIndex>{0, 1}));
+  EXPECT_EQ(idx.Postings(2), (std::vector<DocIndex>{0, 1, 2}));
+  EXPECT_EQ(idx.Postings(3), (std::vector<DocIndex>{2, 3}));
+  EXPECT_EQ(idx.DocFrequency(2), 3u);
+}
+
+TEST(InvertedIndexTest, UnknownTermHasEmptyPostings) {
+  auto docs = SmallCorpus();
+  InvertedIndex idx(docs, 4);
+  EXPECT_TRUE(idx.Postings(99).empty());
+  EXPECT_EQ(idx.DocFrequency(99), 0u);
+}
+
+TEST(InvertedIndexTest, IntersectConjunctive) {
+  auto docs = SmallCorpus();
+  InvertedIndex idx(docs, 4);
+  EXPECT_EQ(idx.IntersectPostings({1, 2}), (std::vector<DocIndex>{0, 1}));
+  EXPECT_EQ(idx.IntersectPostings({0, 1, 2}), (std::vector<DocIndex>{0}));
+  EXPECT_TRUE(idx.IntersectPostings({0, 1, 3}).empty());
+  EXPECT_EQ(idx.IntersectionSize({2}), 3u);
+}
+
+TEST(InvertedIndexTest, EmptyQueryMatchesNothing) {
+  auto docs = SmallCorpus();
+  InvertedIndex idx(docs, 4);
+  EXPECT_TRUE(idx.IntersectPostings({}).empty());
+  EXPECT_EQ(idx.IntersectionSize({}), 0u);
+}
+
+TEST(InvertedIndexTest, UnionDisjunctive) {
+  auto docs = SmallCorpus();
+  InvertedIndex idx(docs, 4);
+  EXPECT_EQ(idx.UnionPostings({0, 3}), (std::vector<DocIndex>{0, 2, 3}));
+  EXPECT_TRUE(idx.UnionPostings({}).empty());
+  EXPECT_EQ(idx.UnionPostings({99, 2}), (std::vector<DocIndex>{0, 1, 2}));
+}
+
+// ---- Property tests: index results equal brute-force evaluation ----------
+
+struct RandomCorpusParams {
+  size_t num_docs;
+  size_t vocab;
+  size_t max_doc_len;
+  uint64_t seed;
+};
+
+class InvertedIndexPropertyTest
+    : public ::testing::TestWithParam<RandomCorpusParams> {};
+
+std::vector<Document> RandomCorpus(const RandomCorpusParams& p,
+                                   smartcrawl::Rng& rng) {
+  std::vector<Document> docs;
+  for (size_t d = 0; d < p.num_docs; ++d) {
+    size_t len = 1 + rng.UniformIndex(p.max_doc_len);
+    std::vector<TermId> terms;
+    for (size_t i = 0; i < len; ++i) {
+      terms.push_back(static_cast<TermId>(rng.UniformIndex(p.vocab)));
+    }
+    docs.emplace_back(std::move(terms));
+  }
+  return docs;
+}
+
+TEST_P(InvertedIndexPropertyTest, IntersectionMatchesBruteForce) {
+  const auto& p = GetParam();
+  smartcrawl::Rng rng(p.seed);
+  auto docs = RandomCorpus(p, rng);
+  InvertedIndex idx(docs, p.vocab);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t qlen = 1 + rng.UniformIndex(3);
+    std::vector<TermId> q;
+    for (size_t i = 0; i < qlen; ++i) {
+      q.push_back(static_cast<TermId>(rng.UniformIndex(p.vocab)));
+    }
+    std::sort(q.begin(), q.end());
+    auto got = idx.IntersectPostings(q);
+    std::vector<DocIndex> expect;
+    for (size_t d = 0; d < docs.size(); ++d) {
+      if (docs[d].ContainsAll(q)) expect.push_back(static_cast<DocIndex>(d));
+    }
+    EXPECT_EQ(got, expect) << "trial " << trial;
+    EXPECT_EQ(idx.IntersectionSize(q), expect.size());
+  }
+}
+
+TEST_P(InvertedIndexPropertyTest, UnionMatchesBruteForce) {
+  const auto& p = GetParam();
+  smartcrawl::Rng rng(p.seed ^ 0xfeedULL);
+  auto docs = RandomCorpus(p, rng);
+  InvertedIndex idx(docs, p.vocab);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t qlen = 1 + rng.UniformIndex(4);
+    std::vector<TermId> q;
+    for (size_t i = 0; i < qlen; ++i) {
+      q.push_back(static_cast<TermId>(rng.UniformIndex(p.vocab)));
+    }
+    auto got = idx.UnionPostings(q);
+    std::vector<DocIndex> expect;
+    for (size_t d = 0; d < docs.size(); ++d) {
+      bool any = false;
+      for (TermId t : q) any |= docs[d].Contains(t);
+      if (any) expect.push_back(static_cast<DocIndex>(d));
+    }
+    EXPECT_EQ(got, expect) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomCorpora, InvertedIndexPropertyTest,
+    ::testing::Values(RandomCorpusParams{10, 5, 4, 1},
+                      RandomCorpusParams{100, 20, 8, 2},
+                      RandomCorpusParams{500, 50, 12, 3},
+                      RandomCorpusParams{1000, 10, 6, 4},   // dense postings
+                      RandomCorpusParams{200, 500, 10, 5}   // sparse postings
+                      ));
+
+TEST(ForwardIndexTest, StoresQueryMembership) {
+  ForwardIndex f(3);
+  f.Add(0, 7);
+  f.Add(0, 9);
+  f.Add(2, 7);
+  EXPECT_EQ(f.Queries(0), (std::vector<QueryIdx>{7, 9}));
+  EXPECT_TRUE(f.Queries(1).empty());
+  EXPECT_EQ(f.Queries(2), (std::vector<QueryIdx>{7}));
+  EXPECT_EQ(f.TotalEntries(), 3u);
+  EXPECT_EQ(f.num_records(), 3u);
+}
+
+}  // namespace
+}  // namespace smartcrawl::index

@@ -1,0 +1,149 @@
+#include "index/lazy_priority_queue.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace smartcrawl::index {
+namespace {
+
+TEST(LazyPriorityQueueTest, PopsInPriorityOrderWhenClean) {
+  LazyPriorityQueue pq([](uint32_t) { return 0.0; });
+  pq.Push(0, 1.0);
+  pq.Push(1, 5.0);
+  pq.Push(2, 3.0);
+  uint32_t id;
+  double prio;
+  ASSERT_TRUE(pq.PopMax(&id, &prio));
+  EXPECT_EQ(id, 1u);
+  EXPECT_DOUBLE_EQ(prio, 5.0);
+  ASSERT_TRUE(pq.PopMax(&id, &prio));
+  EXPECT_EQ(id, 2u);
+  ASSERT_TRUE(pq.PopMax(&id, &prio));
+  EXPECT_EQ(id, 0u);
+  EXPECT_FALSE(pq.PopMax(&id, &prio));
+}
+
+TEST(LazyPriorityQueueTest, TieBreaksByLowerId) {
+  LazyPriorityQueue pq([](uint32_t) { return 0.0; });
+  pq.Push(9, 2.0);
+  pq.Push(3, 2.0);
+  pq.Push(5, 2.0);
+  uint32_t id;
+  double prio;
+  ASSERT_TRUE(pq.PopMax(&id, &prio));
+  EXPECT_EQ(id, 3u);
+  ASSERT_TRUE(pq.PopMax(&id, &prio));
+  EXPECT_EQ(id, 5u);
+}
+
+TEST(LazyPriorityQueueTest, DirtyTopIsRecomputedBeforePop) {
+  std::vector<double> truth = {1.0, 5.0, 3.0};
+  LazyPriorityQueue pq([&](uint32_t q) { return truth[q]; });
+  pq.Push(0, 1.0);
+  pq.Push(1, 5.0);
+  pq.Push(2, 3.0);
+  // Element 1's true priority decays below element 2's.
+  truth[1] = 2.0;
+  pq.MarkDirty(1);
+  uint32_t id;
+  double prio;
+  ASSERT_TRUE(pq.PopMax(&id, &prio));
+  EXPECT_EQ(id, 2u);
+  EXPECT_DOUBLE_EQ(prio, 3.0);
+  ASSERT_TRUE(pq.PopMax(&id, &prio));
+  EXPECT_EQ(id, 1u);
+  EXPECT_DOUBLE_EQ(prio, 2.0);
+  EXPECT_GE(pq.num_recomputes(), 1u);
+}
+
+TEST(LazyPriorityQueueTest, DirtyNonTopElementsAreNotRecomputed) {
+  std::vector<double> truth = {10.0, 1.0};
+  LazyPriorityQueue pq([&](uint32_t q) { return truth[q]; });
+  pq.Push(0, 10.0);
+  pq.Push(1, 1.0);
+  pq.MarkDirty(1);
+  uint32_t id;
+  double prio;
+  ASSERT_TRUE(pq.PopMax(&id, &prio));
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(pq.num_recomputes(), 0u);  // element 1 never reached the top
+}
+
+TEST(LazyPriorityQueueTest, RePushAfterPopWorks) {
+  LazyPriorityQueue pq([](uint32_t) { return 0.0; });
+  pq.Push(0, 4.0);
+  uint32_t id;
+  double prio;
+  ASSERT_TRUE(pq.PopMax(&id, &prio));
+  pq.Push(0, 2.0);
+  ASSERT_TRUE(pq.PopMax(&id, &prio));
+  EXPECT_EQ(id, 0u);
+  EXPECT_DOUBLE_EQ(prio, 2.0);
+}
+
+// Property: under monotonically decaying priorities, the lazy queue pops the
+// exact same sequence as eager recomputation over all live elements.
+struct DecayParams {
+  size_t n;
+  uint64_t seed;
+  int decay_events;  // dirty-decay operations interleaved with pops
+};
+
+class LazyPqPropertyTest : public ::testing::TestWithParam<DecayParams> {};
+
+TEST_P(LazyPqPropertyTest, MatchesEagerSelection) {
+  const auto& p = GetParam();
+  smartcrawl::Rng rng(p.seed);
+
+  std::vector<double> truth(p.n);
+  for (auto& t : truth) t = static_cast<double>(rng.UniformIndex(1000));
+
+  LazyPriorityQueue pq([&](uint32_t q) { return truth[q]; });
+  std::vector<uint8_t> alive(p.n, 1);
+  for (uint32_t i = 0; i < p.n; ++i) pq.Push(i, truth[i]);
+
+  size_t pops = 0;
+  int decays_left = p.decay_events;
+  while (true) {
+    // Interleave random decay events.
+    while (decays_left > 0 && rng.Bernoulli(0.6)) {
+      uint32_t v = static_cast<uint32_t>(rng.UniformIndex(p.n));
+      if (alive[v] && truth[v] > 0) {
+        truth[v] -= std::min(truth[v],
+                             static_cast<double>(1 + rng.UniformIndex(50)));
+        pq.MarkDirty(v);
+      }
+      --decays_left;
+    }
+    uint32_t id;
+    double prio;
+    if (!pq.PopMax(&id, &prio)) break;
+    ++pops;
+    // Eager reference: the max over alive elements (lowest id on ties).
+    uint32_t best = 0;
+    double best_p = -1.0;
+    for (uint32_t i = 0; i < p.n; ++i) {
+      if (alive[i] && truth[i] > best_p) {
+        best_p = truth[i];
+        best = i;
+      }
+    }
+    EXPECT_EQ(id, best);
+    EXPECT_DOUBLE_EQ(prio, best_p);
+    alive[id] = 0;
+  }
+  EXPECT_EQ(pops, p.n);
+}
+
+INSTANTIATE_TEST_SUITE_P(DecaySweep, LazyPqPropertyTest,
+                         ::testing::Values(DecayParams{5, 1, 10},
+                                           DecayParams{50, 2, 100},
+                                           DecayParams{200, 3, 500},
+                                           DecayParams{500, 4, 2000}));
+
+}  // namespace
+}  // namespace smartcrawl::index

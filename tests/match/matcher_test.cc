@@ -1,0 +1,77 @@
+#include "match/matcher.h"
+
+#include <gtest/gtest.h>
+
+namespace smartcrawl::match {
+namespace {
+
+table::Record Rec(table::EntityId e, std::vector<std::string> fields) {
+  table::Record r;
+  r.entity_id = e;
+  r.fields = std::move(fields);
+  return r;
+}
+
+TEST(ExactDocumentMatcherTest, MatchesEqualDocuments) {
+  ExactDocumentMatcher m;
+  text::TermDictionary dict;
+  auto da = text::Document::FromText("Thai House", dict);
+  auto db = text::Document::FromText("thai HOUSE", dict);  // same tokens
+  auto dc = text::Document::FromText("Thai Housing", dict);
+  auto ra = Rec(1, {"Thai House"});
+  auto rb = Rec(2, {"thai HOUSE"});
+  auto rc = Rec(3, {"Thai Housing"});
+  EXPECT_TRUE(m.Matches(ra, da, rb, db));
+  EXPECT_FALSE(m.Matches(ra, da, rc, dc));
+}
+
+TEST(ExactDocumentMatcherTest, EmptyDocumentsNeverMatch) {
+  ExactDocumentMatcher m;
+  text::Document empty;
+  auto r = Rec(1, {""});
+  EXPECT_FALSE(m.Matches(r, empty, r, empty));
+}
+
+TEST(JaccardMatcherTest, ThresholdBehaviour) {
+  JaccardMatcher m(0.5);
+  text::TermDictionary dict;
+  auto da = text::Document::FromText("alpha beta gamma", dict);
+  auto db = text::Document::FromText("alpha beta delta", dict);   // J = 2/4
+  auto dc = text::Document::FromText("epsilon zeta", dict);       // J = 0
+  auto r = Rec(1, {"x"});
+  EXPECT_TRUE(m.Matches(r, da, r, db));
+  EXPECT_FALSE(m.Matches(r, da, r, dc));
+  EXPECT_DOUBLE_EQ(m.threshold(), 0.5);
+}
+
+TEST(JaccardMatcherTest, ToleratesOneTypoInLongName) {
+  // The Sec. 6.1 motivation: a dirty local record still matches its hidden
+  // counterpart when most tokens agree.
+  JaccardMatcher m(0.6);
+  text::TermDictionary dict;
+  auto local = text::Document::FromText("lotus siam 12345", dict);
+  auto hiddenrec = text::Document::FromText("lotus siam", dict);
+  auto r = Rec(1, {"x"});
+  EXPECT_TRUE(m.Matches(r, local, r, hiddenrec));  // J = 2/3
+}
+
+TEST(EntityOracleMatcherTest, MatchesByEntityId) {
+  EntityOracleMatcher m;
+  text::Document dummy;
+  auto a = Rec(5, {"whatever"});
+  auto b = Rec(5, {"totally different"});
+  auto c = Rec(6, {"whatever"});
+  EXPECT_TRUE(m.Matches(a, dummy, b, dummy));
+  EXPECT_FALSE(m.Matches(a, dummy, c, dummy));
+}
+
+TEST(EntityOracleMatcherTest, UnknownEntityNeverMatches) {
+  EntityOracleMatcher m;
+  text::Document dummy;
+  auto a = Rec(table::kUnknownEntity, {"x"});
+  auto b = Rec(table::kUnknownEntity, {"x"});
+  EXPECT_FALSE(m.Matches(a, dummy, b, dummy));
+}
+
+}  // namespace
+}  // namespace smartcrawl::match

@@ -1,0 +1,112 @@
+#include "match/similarity_join.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace smartcrawl::match {
+namespace {
+
+using text::Document;
+using text::TermId;
+
+TEST(JaccardJoinTest, FindsPairsAboveThreshold) {
+  std::vector<Document> left = {Document({1, 2, 3}), Document({7, 8})};
+  std::vector<Document> right = {Document({1, 2, 3, 4}),  // J = 3/4 w/ left0
+                                 Document({7, 8}),        // J = 1  w/ left1
+                                 Document({9})};
+  auto pairs = JaccardJoin(left, right, 0.7);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].left, 0u);
+  EXPECT_EQ(pairs[0].right, 0u);
+  EXPECT_DOUBLE_EQ(pairs[0].similarity, 0.75);
+  EXPECT_EQ(pairs[1].left, 1u);
+  EXPECT_EQ(pairs[1].right, 1u);
+}
+
+TEST(JaccardJoinTest, EmptyDocumentsSkipped) {
+  std::vector<Document> left = {Document()};
+  std::vector<Document> right = {Document()};
+  EXPECT_TRUE(JaccardJoin(left, right, 0.1).empty());
+}
+
+TEST(JaccardJoinTest, ThresholdOneRequiresEquality) {
+  std::vector<Document> left = {Document({1, 2})};
+  std::vector<Document> right = {Document({1, 2}), Document({1, 2, 3})};
+  auto pairs = JaccardJoin(left, right, 1.0);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].right, 0u);
+}
+
+TEST(BestMatchPerLeftTest, PicksHighestSimilarity) {
+  std::vector<Document> left = {Document({1, 2, 3, 4})};
+  std::vector<Document> right = {Document({1, 2}),          // J = 0.5
+                                 Document({1, 2, 3}),       // J = 0.75
+                                 Document({1, 2, 3, 4, 5})};  // J = 0.8
+  auto best = BestMatchPerLeft(left, right, 0.4);
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_EQ(best[0], 2);
+}
+
+TEST(BestMatchPerLeftTest, NoMatchGivesMinusOne) {
+  std::vector<Document> left = {Document({1})};
+  std::vector<Document> right = {Document({2})};
+  auto best = BestMatchPerLeft(left, right, 0.5);
+  EXPECT_EQ(best[0], -1);
+}
+
+// Property: the filtered join equals the naive all-pairs Jaccard join.
+struct JoinParams {
+  size_t nl, nr, vocab, max_len;
+  double threshold;
+  uint64_t seed;
+};
+
+class JaccardJoinPropertyTest : public ::testing::TestWithParam<JoinParams> {
+};
+
+TEST_P(JaccardJoinPropertyTest, MatchesNaiveJoin) {
+  const auto& p = GetParam();
+  smartcrawl::Rng rng(p.seed);
+  auto make_docs = [&](size_t n) {
+    std::vector<Document> docs;
+    for (size_t i = 0; i < n; ++i) {
+      size_t len = rng.UniformIndex(p.max_len + 1);
+      std::vector<TermId> t;
+      for (size_t j = 0; j < len; ++j) {
+        t.push_back(static_cast<TermId>(rng.UniformIndex(p.vocab)));
+      }
+      docs.emplace_back(std::move(t));
+    }
+    return docs;
+  };
+  auto left = make_docs(p.nl);
+  auto right = make_docs(p.nr);
+
+  auto got = JaccardJoin(left, right, p.threshold);
+  std::vector<JoinPair> expect;
+  for (uint32_t i = 0; i < left.size(); ++i) {
+    for (uint32_t j = 0; j < right.size(); ++j) {
+      if (left[i].empty() || right[j].empty()) continue;
+      double sim = left[i].Jaccard(right[j]);
+      if (sim >= p.threshold) expect.push_back({i, j, sim});
+    }
+  }
+  ASSERT_EQ(got.size(), expect.size());
+  for (size_t x = 0; x < got.size(); ++x) {
+    EXPECT_EQ(got[x].left, expect[x].left);
+    EXPECT_EQ(got[x].right, expect[x].right);
+    EXPECT_DOUBLE_EQ(got[x].similarity, expect[x].similarity);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomJoins, JaccardJoinPropertyTest,
+    ::testing::Values(JoinParams{20, 20, 10, 5, 0.5, 1},
+                      JoinParams{50, 30, 20, 8, 0.7, 2},
+                      JoinParams{100, 100, 15, 6, 0.9, 3},
+                      JoinParams{40, 60, 8, 10, 0.3, 4},
+                      JoinParams{30, 30, 30, 4, 0.99, 5}));
+
+}  // namespace
+}  // namespace smartcrawl::match

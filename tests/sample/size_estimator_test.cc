@@ -1,0 +1,96 @@
+#include "sample/size_estimator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace smartcrawl::sample {
+namespace {
+
+TEST(SizeEstimatorTest, LincolnPetersenBasics) {
+  EXPECT_DOUBLE_EQ(LincolnPetersen(100, 100, 10), 1000.0);
+  EXPECT_TRUE(std::isinf(LincolnPetersen(50, 50, 0)));
+}
+
+TEST(SizeEstimatorTest, ChapmanBasics) {
+  // (101 * 101 / 11) - 1 = 926.3636...
+  EXPECT_NEAR(Chapman(100, 100, 10), 926.3636, 0.001);
+  // Defined at m = 0.
+  EXPECT_DOUBLE_EQ(Chapman(10, 10, 0), 120.0);
+}
+
+TEST(SizeEstimatorTest, ChapmanFromShortSequenceFallsBack) {
+  EXPECT_DOUBLE_EQ(ChapmanFromDraws({1, 2, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(ChapmanFromDraws({}), 0.0);
+}
+
+TEST(SizeEstimatorTest, CollisionNoDuplicatesIsInfinite) {
+  EXPECT_TRUE(std::isinf(CollisionEstimate({1, 2, 3, 4})));
+}
+
+TEST(SizeEstimatorTest, CollisionSimpleCount) {
+  // 4 draws, one duplicated pair: C(4,2)/1 = 6.
+  EXPECT_DOUBLE_EQ(CollisionEstimate({1, 1, 2, 3}), 6.0);
+}
+
+struct SimParams {
+  size_t population;
+  size_t draws;
+  uint64_t seed;
+};
+
+class SizeEstimatorSimTest : public ::testing::TestWithParam<SimParams> {};
+
+TEST_P(SizeEstimatorSimTest, ChapmanRecoversPopulation) {
+  const auto& p = GetParam();
+  // Average over independent repetitions to damp estimator variance.
+  Rng rng(p.seed);
+  double sum = 0;
+  const int reps = 30;
+  for (int r = 0; r < reps; ++r) {
+    std::vector<uint64_t> draws;
+    draws.reserve(p.draws);
+    for (size_t i = 0; i < p.draws; ++i) {
+      draws.push_back(rng.UniformIndex(p.population));
+    }
+    sum += ChapmanFromDraws(draws);
+  }
+  double mean = sum / reps;
+  EXPECT_NEAR(mean, static_cast<double>(p.population),
+              0.25 * static_cast<double>(p.population))
+      << "mean=" << mean;
+}
+
+TEST_P(SizeEstimatorSimTest, CollisionRecoversPopulation) {
+  const auto& p = GetParam();
+  Rng rng(p.seed ^ 0xabcULL);
+  double sum = 0;
+  int used = 0;
+  const int reps = 30;
+  for (int r = 0; r < reps; ++r) {
+    std::vector<uint64_t> draws;
+    for (size_t i = 0; i < p.draws; ++i) {
+      draws.push_back(rng.UniformIndex(p.population));
+    }
+    double est = CollisionEstimate(draws);
+    if (std::isinf(est)) continue;
+    sum += est;
+    ++used;
+  }
+  ASSERT_GT(used, reps / 2);
+  double mean = sum / used;
+  // The collision estimator is noisier; accept a factor-of-2 band.
+  EXPECT_GT(mean, 0.4 * static_cast<double>(p.population));
+  EXPECT_LT(mean, 2.5 * static_cast<double>(p.population));
+}
+
+INSTANTIATE_TEST_SUITE_P(Populations, SizeEstimatorSimTest,
+                         ::testing::Values(SimParams{1000, 400, 1},
+                                           SimParams{5000, 1000, 2},
+                                           SimParams{500, 300, 3},
+                                           SimParams{20000, 3000, 4}));
+
+}  // namespace
+}  // namespace smartcrawl::sample

@@ -1,0 +1,106 @@
+#include "table/table.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace smartcrawl::table {
+namespace {
+
+Table MakeRestaurantTable() {
+  Table t(Schema{{"name", "rating"}});
+  EXPECT_TRUE(t.Append({"Thai Noodle House", "4.5"}, 1).ok());
+  EXPECT_TRUE(t.Append({"Noodle House", "4.0"}, 2).ok());
+  EXPECT_TRUE(t.Append({"Thai House", "4.1"}, 3).ok());
+  return t;
+}
+
+TEST(SchemaTest, FieldIndex) {
+  Schema s{{"a", "b", "c"}};
+  EXPECT_EQ(*s.FieldIndex("b"), 1u);
+  EXPECT_FALSE(s.FieldIndex("missing").has_value());
+  EXPECT_EQ(s.num_fields(), 3u);
+}
+
+TEST(TableTest, AppendAssignsSequentialIds) {
+  Table t = MakeRestaurantTable();
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.record(0).id, 0u);
+  EXPECT_EQ(t.record(2).id, 2u);
+  EXPECT_EQ(t.record(1).entity_id, 2u);
+}
+
+TEST(TableTest, AppendRejectsWrongArity) {
+  Table t(Schema{{"a", "b"}});
+  auto r = t.Append({"only-one"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(TableTest, ConcatenatedTextAllFields) {
+  Table t = MakeRestaurantTable();
+  EXPECT_EQ(t.ConcatenatedText(0), "Thai Noodle House 4.5");
+}
+
+TEST(TableTest, ConcatenatedTextSelectedFields) {
+  Table t = MakeRestaurantTable();
+  auto r = t.ConcatenatedText(0, {"name"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "Thai Noodle House");
+  EXPECT_FALSE(t.ConcatenatedText(0, {"nope"}).ok());
+}
+
+TEST(TableTest, BuildDocumentsSharesDictionary) {
+  Table t = MakeRestaurantTable();
+  text::TermDictionary dict;
+  auto docs = t.BuildDocuments(dict, {"name"});
+  ASSERT_EQ(docs.size(), 3u);
+  // "house" appears in all three names and must map to one TermId.
+  auto house = dict.Lookup("house");
+  ASSERT_TRUE(house.has_value());
+  for (const auto& d : docs) EXPECT_TRUE(d.Contains(*house));
+}
+
+TEST(TableTest, DeduplicateRemovesTokenDuplicates) {
+  Table t(Schema{{"name"}});
+  ASSERT_TRUE(t.Append({"Thai House"}, 1).ok());
+  ASSERT_TRUE(t.Append({"thai HOUSE"}, 2).ok());   // same token set
+  ASSERT_TRUE(t.Append({"House Thai"}, 3).ok());   // same token set
+  ASSERT_TRUE(t.Append({"Steak House"}, 4).ok());
+  size_t removed = t.Deduplicate();
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(t.size(), 2u);
+  // Ids reassigned densely.
+  EXPECT_EQ(t.record(0).id, 0u);
+  EXPECT_EQ(t.record(1).id, 1u);
+  EXPECT_EQ(t.record(1).entity_id, 4u);  // first occurrences kept
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table t = MakeRestaurantTable();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "sc_table_test.csv").string();
+  ASSERT_TRUE(t.ToCsvFile(path).ok());
+  auto back = Table::FromCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 3u);
+  EXPECT_EQ(back->schema().field_names,
+            (std::vector<std::string>{"name", "rating"}));
+  EXPECT_EQ(back->record(0).fields[0], "Thai Noodle House");
+  // Entity ids are not persisted in CSV.
+  EXPECT_EQ(back->record(0).entity_id, kUnknownEntity);
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, FromCsvEmptyFileFails) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "sc_empty.csv").string();
+  { std::FILE* f = std::fopen(path.c_str(), "w"); std::fclose(f); }
+  auto back = Table::FromCsvFile(path);
+  EXPECT_FALSE(back.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace smartcrawl::table

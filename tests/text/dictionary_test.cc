@@ -1,0 +1,55 @@
+#include "text/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace smartcrawl::text {
+namespace {
+
+TEST(DictionaryTest, InternAssignsDenseIds) {
+  TermDictionary dict;
+  EXPECT_EQ(dict.Intern("alpha"), 0u);
+  EXPECT_EQ(dict.Intern("beta"), 1u);
+  EXPECT_EQ(dict.Intern("alpha"), 0u);  // idempotent
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, TermOfRoundTrips) {
+  TermDictionary dict;
+  TermId a = dict.Intern("noodle");
+  TermId b = dict.Intern("house");
+  EXPECT_EQ(dict.TermOf(a), "noodle");
+  EXPECT_EQ(dict.TermOf(b), "house");
+}
+
+TEST(DictionaryTest, LookupMissing) {
+  TermDictionary dict;
+  dict.Intern("x");
+  EXPECT_FALSE(dict.Lookup("y").has_value());
+  EXPECT_EQ(*dict.Lookup("x"), 0u);
+}
+
+TEST(DictionaryTest, InternAllAndLookupAll) {
+  TermDictionary dict;
+  auto ids = dict.InternAll({"a", "b", "a"});
+  EXPECT_EQ(ids, (std::vector<TermId>{0, 1, 0}));
+  auto looked = dict.LookupAll({"b", "missing", "a"});
+  EXPECT_EQ(looked[0], 1u);
+  EXPECT_EQ(looked[1], kInvalidTermId);
+  EXPECT_EQ(looked[2], 0u);
+}
+
+TEST(DictionaryTest, ManyTermsStayConsistent) {
+  TermDictionary dict;
+  for (int i = 0; i < 5000; ++i) {
+    dict.Intern("term" + std::to_string(i));
+  }
+  EXPECT_EQ(dict.size(), 5000u);
+  for (int i = 0; i < 5000; i += 371) {
+    std::string t = "term" + std::to_string(i);
+    ASSERT_TRUE(dict.Lookup(t).has_value());
+    EXPECT_EQ(dict.TermOf(*dict.Lookup(t)), t);
+  }
+}
+
+}  // namespace
+}  // namespace smartcrawl::text

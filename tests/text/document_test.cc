@@ -1,0 +1,79 @@
+#include "text/document.h"
+
+#include <gtest/gtest.h>
+
+namespace smartcrawl::text {
+namespace {
+
+TEST(DocumentTest, SortsAndDeduplicates) {
+  Document d({5, 1, 3, 1, 5});
+  EXPECT_EQ(d.terms(), (std::vector<TermId>{1, 3, 5}));
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(DocumentTest, FromTextInterns) {
+  TermDictionary dict;
+  Document d = Document::FromText("Thai Noodle House noodle", dict);
+  EXPECT_EQ(d.size(), 3u);  // noodle deduplicated
+  EXPECT_TRUE(d.Contains(*dict.Lookup("thai")));
+  EXPECT_TRUE(d.Contains(*dict.Lookup("noodle")));
+  EXPECT_TRUE(d.Contains(*dict.Lookup("house")));
+}
+
+TEST(DocumentTest, FromTextFrozenDropsUnknown) {
+  TermDictionary dict;
+  dict.Intern("thai");
+  dict.Intern("house");
+  Document d = Document::FromTextFrozen("Thai Steak House", dict);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_FALSE(dict.Lookup("steak").has_value());  // dictionary untouched
+}
+
+TEST(DocumentTest, ContainsAllConjunctiveSemantics) {
+  TermDictionary dict;
+  Document d = Document::FromText("progressive deep web crawling", dict);
+  std::vector<TermId> q1 = {*dict.Lookup("deep"), *dict.Lookup("web")};
+  std::sort(q1.begin(), q1.end());
+  EXPECT_TRUE(d.ContainsAll(q1));
+
+  TermId other = dict.Intern("shallow");
+  std::vector<TermId> q2 = {*dict.Lookup("deep"), other};
+  std::sort(q2.begin(), q2.end());
+  EXPECT_FALSE(d.ContainsAll(q2));
+}
+
+TEST(DocumentTest, ContainsAllEmptyQueryIsTrue) {
+  Document d({1, 2});
+  EXPECT_TRUE(d.ContainsAll({}));
+}
+
+TEST(DocumentTest, ContainsAllOnEmptyDocument) {
+  Document d;
+  EXPECT_FALSE(d.ContainsAll({1}));
+  EXPECT_TRUE(d.ContainsAll({}));
+}
+
+TEST(DocumentTest, IntersectionSize) {
+  Document a({1, 2, 3, 4});
+  Document b({3, 4, 5});
+  EXPECT_EQ(a.IntersectionSize(b), 2u);
+  EXPECT_EQ(b.IntersectionSize(a), 2u);
+  EXPECT_EQ(a.IntersectionSize(Document{}), 0u);
+}
+
+TEST(DocumentTest, Jaccard) {
+  Document a({1, 2, 3});
+  Document b({2, 3, 4});
+  EXPECT_DOUBLE_EQ(a.Jaccard(b), 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(a.Jaccard(a), 1.0);
+  EXPECT_DOUBLE_EQ(a.Jaccard(Document{}), 0.0);
+  EXPECT_DOUBLE_EQ(Document{}.Jaccard(Document{}), 1.0);
+}
+
+TEST(DocumentTest, EqualityIsSetEquality) {
+  EXPECT_EQ(Document({3, 1, 2}), Document({1, 2, 3}));
+  EXPECT_FALSE(Document({1, 2}) == Document({1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace smartcrawl::text

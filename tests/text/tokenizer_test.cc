@@ -1,0 +1,88 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include "text/stopwords.h"
+
+namespace smartcrawl::text {
+namespace {
+
+TEST(TokenizerTest, BasicSplitAndLowercase) {
+  auto toks = Tokenize("Thai Noodle House");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], "thai");
+  EXPECT_EQ(toks[1], "noodle");
+  EXPECT_EQ(toks[2], "house");
+}
+
+TEST(TokenizerTest, PunctuationSeparates) {
+  auto toks = Tokenize("data-driven,systems;  (2019)");
+  EXPECT_EQ(toks, (std::vector<std::string>{"data", "driven", "systems",
+                                            "2019"}));
+}
+
+TEST(TokenizerTest, StopwordsRemovedByDefault) {
+  auto toks = Tokenize("The Lotus of Siam");
+  EXPECT_EQ(toks, (std::vector<std::string>{"lotus", "siam"}));
+}
+
+TEST(TokenizerTest, StopwordsKeptWhenDisabled) {
+  TokenizerOptions opt;
+  opt.remove_stopwords = false;
+  auto toks = Tokenize("The Lotus of Siam", opt);
+  EXPECT_EQ(toks, (std::vector<std::string>{"the", "lotus", "of", "siam"}));
+}
+
+TEST(TokenizerTest, CaseSensitiveMode) {
+  TokenizerOptions opt;
+  opt.lowercase = false;
+  opt.remove_stopwords = false;
+  auto toks = Tokenize("Thai HOUSE", opt);
+  EXPECT_EQ(toks, (std::vector<std::string>{"Thai", "HOUSE"}));
+}
+
+TEST(TokenizerTest, DigitsKeptByDefault) {
+  auto toks = Tokenize("room 42b");
+  EXPECT_EQ(toks, (std::vector<std::string>{"room", "42b"}));
+}
+
+TEST(TokenizerTest, DigitsDroppedWhenDisabled) {
+  TokenizerOptions opt;
+  opt.keep_digits = false;
+  auto toks = Tokenize("room 42b 2019", opt);
+  EXPECT_EQ(toks, (std::vector<std::string>{"room", "b"}));
+}
+
+TEST(TokenizerTest, MinTokenLength) {
+  TokenizerOptions opt;
+  opt.min_token_length = 3;
+  auto toks = Tokenize("go to the big db lab", opt);
+  EXPECT_EQ(toks, (std::vector<std::string>{"big", "lab"}));
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  \t\n ").empty());
+  EXPECT_TRUE(Tokenize("--- ;;; ...").empty());
+}
+
+TEST(TokenizerTest, DuplicatesPreserved) {
+  auto toks = Tokenize("house house house");
+  EXPECT_EQ(toks.size(), 3u);
+}
+
+TEST(StopwordsTest, CommonWordsAreStopwords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("of"));
+  EXPECT_TRUE(IsStopword("and"));
+  EXPECT_FALSE(IsStopword("database"));
+  EXPECT_FALSE(IsStopword("noodle"));
+}
+
+TEST(StopwordsTest, MatchingIsExactLowercase) {
+  // The tokenizer lowercases before the check; the raw list is lowercase.
+  EXPECT_FALSE(IsStopword("The"));
+}
+
+}  // namespace
+}  // namespace smartcrawl::text

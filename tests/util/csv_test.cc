@@ -1,0 +1,94 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace smartcrawl {
+namespace {
+
+TEST(CsvTest, ParseSimple) {
+  auto rows = ParseCsv("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvTest, ParseQuotedFieldWithSeparator) {
+  auto rows = ParseCsv("\"a,b\",c\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "a,b");
+  EXPECT_EQ((*rows)[0][1], "c");
+}
+
+TEST(CsvTest, ParseEscapedQuote) {
+  auto rows = ParseCsv("\"say \"\"hi\"\"\",x\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][0], "say \"hi\"");
+}
+
+TEST(CsvTest, ParseEmbeddedNewline) {
+  auto rows = ParseCsv("\"line1\nline2\",y\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, ParseCrlf) {
+  auto rows = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][0], "c");
+}
+
+TEST(CsvTest, ParseNoTrailingNewline) {
+  auto rows = ParseCsv("a,b\nc,d");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][1], "d");
+}
+
+TEST(CsvTest, UnterminatedQuoteFails) {
+  auto rows = ParseCsv("\"oops\n");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_TRUE(rows.status().IsInvalidArgument());
+}
+
+TEST(CsvTest, FormatRowQuotesWhenNeeded) {
+  EXPECT_EQ(FormatCsvRow({"a", "b"}), "a,b");
+  EXPECT_EQ(FormatCsvRow({"a,b"}), "\"a,b\"");
+  EXPECT_EQ(FormatCsvRow({"say \"hi\""}), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(FormatCsvRow({"line1\nline2"}), "\"line1\nline2\"");
+}
+
+TEST(CsvTest, RoundTripThroughFile) {
+  std::vector<std::vector<std::string>> rows = {
+      {"title", "venue"},
+      {"Crawling, the \"deep\" web", "SIGMOD"},
+      {"multi\nline", "VLDB"},
+  };
+  std::string path =
+      (std::filesystem::temp_directory_path() / "sc_csv_test.csv").string();
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto read = ReadCsvFile("/nonexistent/dir/file.csv");
+  EXPECT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsIOError());
+}
+
+TEST(CsvTest, CustomSeparator) {
+  auto rows = ParseCsv("a\tb\tc\n", '\t');
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0].size(), 3u);
+}
+
+}  // namespace
+}  // namespace smartcrawl

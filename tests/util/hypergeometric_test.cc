@@ -1,0 +1,119 @@
+#include "util/hypergeometric.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace smartcrawl {
+namespace {
+
+TEST(LogBinomialTest, SmallValuesExact) {
+  EXPECT_NEAR(std::exp(LogBinomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomial(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomial(10, 10)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomial(52, 5)), 2598960.0, 1.0);
+}
+
+TEST(HypergeometricMeanTest, Equation6) {
+  // The paper's ball example: 10 balls, top-4 black, 5 draws -> 2.
+  EXPECT_DOUBLE_EQ(HypergeometricMean(10, 4, 5), 2.0);
+  EXPECT_DOUBLE_EQ(HypergeometricMean(100, 0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(HypergeometricMean(100, 100, 10), 10.0);
+}
+
+TEST(FisherNchTest, PmfSumsToOne) {
+  for (double omega : {0.25, 1.0, 3.0, 10.0}) {
+    double sum = 0;
+    for (uint64_t i = 0; i <= 10; ++i) {
+      sum += FisherNchPmf(30, 10, 12, i, omega);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "omega=" << omega;
+  }
+}
+
+TEST(FisherNchTest, OmegaOneReducesToCentral) {
+  EXPECT_NEAR(FisherNchMean(10, 4, 5, 1.0), 2.0, 1e-9);
+  EXPECT_NEAR(FisherNchMean(1000, 50, 100, 1.0), 5.0, 1e-9);
+  EXPECT_NEAR(FisherNchMean(77, 13, 20, 1.0),
+              HypergeometricMean(77, 13, 20), 1e-9);
+}
+
+TEST(FisherNchTest, MeanMonotoneInOmega) {
+  double prev = -1;
+  for (double omega : {0.1, 0.5, 1.0, 2.0, 5.0, 20.0}) {
+    double m = FisherNchMean(200, 30, 50, omega);
+    EXPECT_GT(m, prev);
+    prev = m;
+  }
+}
+
+TEST(FisherNchTest, ExtremeOmegaLimits) {
+  // omega -> inf: all draws prefer black; mean -> min(n, K).
+  EXPECT_NEAR(FisherNchMean(100, 20, 50, 1e12), 20.0, 1e-6);
+  EXPECT_NEAR(FisherNchMean(100, 80, 50, 1e12), 50.0, 1e-6);
+  // omega -> 0: avoid black; mean -> max(0, n - (N - K)).
+  EXPECT_NEAR(FisherNchMean(100, 20, 50, 1e-12), 0.0, 1e-6);
+  EXPECT_NEAR(FisherNchMean(100, 80, 90, 1e-12), 70.0, 1e-6);
+}
+
+TEST(FisherNchTest, DegenerateSupports) {
+  // Drawing everything: mean = K regardless of omega.
+  EXPECT_NEAR(FisherNchMean(30, 12, 30, 7.0), 12.0, 1e-9);
+  // No draws / no blacks / empty population.
+  EXPECT_DOUBLE_EQ(FisherNchMean(30, 12, 0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(FisherNchMean(30, 0, 10, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(FisherNchMean(0, 0, 0, 2.0), 0.0);
+}
+
+TEST(FisherNchTest, MeanMonotoneInDraws) {
+  // The lazy priority queue relies on estimates not increasing as |q(D)|
+  // shrinks: the FNCH mean must be non-decreasing in n for fixed N, K, ω.
+  for (double omega : {0.5, 1.0, 4.0}) {
+    double prev = -1;
+    for (uint64_t n = 0; n <= 120; n += 10) {
+      double m = FisherNchMean(120, 25, n, omega);
+      EXPECT_GE(m + 1e-12, prev) << "n=" << n << " omega=" << omega;
+      prev = m;
+    }
+  }
+}
+
+TEST(FisherNchTest, PmfMatchesMonteCarloConditionedBernoullis) {
+  // Fisher's NCH arises from independent Bernoulli inclusions (blacks with
+  // odds ω times the whites') CONDITIONED on the total number drawn. This
+  // simulates exactly that: rejection-sample until the total equals n.
+  const uint64_t N = 20, K = 6, n = 8;
+  const double omega = 3.0;
+  // Baseline inclusion probability for whites; blacks get ω-times odds.
+  const double p_white = static_cast<double>(n) / static_cast<double>(N);
+  const double odds_w = p_white / (1 - p_white);
+  const double p_black = omega * odds_w / (1 + omega * odds_w);
+
+  Rng rng(99);
+  double sum = 0;
+  int accepted = 0;
+  const int target = 20000;
+  int guard = 0;
+  while (accepted < target && ++guard < 100 * target) {
+    uint64_t blacks = 0, total = 0;
+    for (uint64_t i = 0; i < N; ++i) {
+      bool in = rng.Bernoulli(i < K ? p_black : p_white);
+      if (in) {
+        ++total;
+        if (i < K) ++blacks;
+      }
+    }
+    if (total != n) continue;
+    sum += static_cast<double>(blacks);
+    ++accepted;
+  }
+  ASSERT_EQ(accepted, target);
+  double empirical = sum / accepted;
+  double analytic = FisherNchMean(N, K, n, omega);
+  EXPECT_NEAR(empirical, analytic, 0.05);
+}
+
+}  // namespace
+}  // namespace smartcrawl

@@ -1,0 +1,100 @@
+#include <thread>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace smartcrawl {
+namespace {
+
+TEST(HashTest, Fnv1aKnownValues) {
+  // FNV-1a 64-bit reference values.
+  EXPECT_EQ(Fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_NE(Fnv1a("abc"), Fnv1a("acb"));
+}
+
+TEST(HashTest, HashVectorDistinguishesOrderAndContent) {
+  std::vector<uint32_t> a = {1, 2, 3};
+  std::vector<uint32_t> b = {3, 2, 1};
+  std::vector<uint32_t> c = {1, 2, 3};
+  EXPECT_EQ(HashVector(a), HashVector(c));
+  EXPECT_NE(HashVector(a), HashVector(b));
+  EXPECT_NE(HashVector(a), HashVector(std::vector<uint32_t>{1, 2}));
+}
+
+TEST(HashTest, HashVectorLowCollisionRate) {
+  // 20k random small vectors: expect no collisions at 64-bit hashes.
+  Rng rng(5);
+  std::unordered_set<size_t> hashes;
+  std::set<std::vector<uint32_t>> seen;
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<uint32_t> v;
+    size_t len = 1 + rng.UniformIndex(6);
+    for (size_t j = 0; j < len; ++j) {
+      v.push_back(static_cast<uint32_t>(rng.UniformIndex(1000)));
+    }
+    if (!seen.insert(v).second) continue;  // genuine duplicate
+    EXPECT_TRUE(hashes.insert(HashVector(v)).second) << "collision";
+  }
+}
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(prev);
+}
+
+TEST(LoggingTest, MacroCompilesAndFilters) {
+  LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  // Below-threshold logs must not evaluate their stream arguments.
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  SC_LOG(kDebug) << count();
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(prev);
+}
+
+TEST(StopWatchTest, MeasuresElapsedTime) {
+  StopWatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double ms = sw.ElapsedMillis();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 5000.0);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedMillis(), 15.0);
+}
+
+TEST(TokenizerFuzzTest, ArbitraryBytesNeverCrashAndTokensAreClean) {
+  Rng rng(31);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string s;
+    size_t len = rng.UniformIndex(200);
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>(rng.UniformIndex(256));
+    }
+    auto tokens = text::Tokenize(s);
+    for (const auto& t : tokens) {
+      EXPECT_FALSE(t.empty());
+      for (unsigned char c : t) {
+        EXPECT_TRUE(std::isalnum(c)) << "token byte " << int(c);
+        EXPECT_FALSE(std::isupper(c));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smartcrawl

@@ -1,0 +1,171 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/zipf.h"
+
+namespace smartcrawl {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int diff = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.Next() != b.Next()) ++diff;
+  }
+  EXPECT_GT(diff, 15);
+}
+
+TEST(RngTest, UniformIndexInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformIndex(13), 13u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeProbabilities) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Fork();
+  // The fork must not replay the parent's sequence.
+  Rng b(5);
+  b.Next();  // align with post-fork parent state
+  EXPECT_NE(child.Next(), a.Next());
+}
+
+TEST(SampleWithoutReplacementTest, ExactSizeAndDistinct) {
+  Rng rng(3);
+  auto idx = SampleIndicesWithoutReplacement(100, 20, rng);
+  EXPECT_EQ(idx.size(), 20u);
+  std::set<size_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 20u);
+  for (size_t i : idx) EXPECT_LT(i, 100u);
+}
+
+TEST(SampleWithoutReplacementTest, FullDraw) {
+  Rng rng(4);
+  auto idx = SampleIndicesWithoutReplacement(10, 10, rng);
+  std::set<size_t> s(idx.begin(), idx.end());
+  EXPECT_EQ(s.size(), 10u);
+}
+
+TEST(SampleWithoutReplacementTest, ApproximatelyUniform) {
+  // Each element of [0,10) should be chosen ~ k/n of the time.
+  Rng rng(21);
+  std::vector<int> counts(10, 0);
+  const int trials = 5000;
+  for (int t = 0; t < trials; ++t) {
+    for (size_t i : SampleIndicesWithoutReplacement(10, 3, rng)) {
+      ++counts[i];
+    }
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.3, 0.05);
+  }
+}
+
+TEST(ShuffleTest, PermutesAllElements) {
+  Rng rng(6);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  Shuffle(v, rng);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), orig.begin()));
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution z(100, 1.0);
+  double sum = 0;
+  for (size_t i = 0; i < 100; ++i) sum += z.Pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  ZipfDistribution z(50, 1.2);
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(z.Sample(rng), 50u);
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  ZipfDistribution z(1000, 1.0);
+  Rng rng(10);
+  int low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (z.Sample(rng) < 10) ++low;
+  }
+  // Top-10 of 1000 ranks should take ~39% of the mass at s = 1.
+  EXPECT_GT(low, n / 4);
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  ZipfDistribution z(10, 0.0);
+  for (size_t i = 0; i < 10; ++i) EXPECT_NEAR(z.Pmf(i), 0.1, 1e-12);
+}
+
+TEST(ZipfTest, EmpiricalMatchesPmf) {
+  ZipfDistribution z(20, 1.1);
+  Rng rng(12);
+  std::vector<int> counts(20, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(rng)];
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, z.Pmf(i), 0.01)
+        << "rank " << i;
+  }
+}
+
+}  // namespace
+}  // namespace smartcrawl

@@ -1,0 +1,83 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace smartcrawl {
+namespace {
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("Thai Noodle HOUSE"), "thai noodle house");
+  EXPECT_EQ(ToLower(""), "");
+  EXPECT_EQ(ToLower("123-abc"), "123-abc");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  auto p = Split("a,,b", ',');
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0], "a");
+  EXPECT_EQ(p[1], "");
+  EXPECT_EQ(p[2], "b");
+}
+
+TEST(StringUtilTest, SplitSingle) {
+  auto p = Split("abc", ',');
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], "abc");
+}
+
+TEST(StringUtilTest, SplitTrailingSeparator) {
+  auto p = Split("a,", ',');
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[1], "");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  auto p = SplitWhitespace("  one\ttwo\n three  ");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[0], "one");
+  EXPECT_EQ(p[1], "two");
+  EXPECT_EQ(p[2], "three");
+}
+
+TEST(StringUtilTest, SplitWhitespaceEmptyInput) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("smartcrawl", "smart"));
+  EXPECT_FALSE(StartsWith("smart", "smartcrawl"));
+  EXPECT_TRUE(EndsWith("smartcrawl", "crawl"));
+  EXPECT_FALSE(EndsWith("crawl", "smartcrawl"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtilTest, EditDistanceBasics) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("restaurant", "rest"), 6u);
+}
+
+TEST(StringUtilTest, EditDistanceSymmetric) {
+  EXPECT_EQ(EditDistance("house", "mouse"), EditDistance("mouse", "house"));
+}
+
+}  // namespace
+}  // namespace smartcrawl
