@@ -26,6 +26,7 @@ core::ExperimentConfig Base(double error_pct) {
   cfg.seed = 8;
   cfg.error_pct = error_pct;
   cfg.arms = {core::Arm::kSmartCrawlB, core::Arm::kNaiveCrawl};
+  cfg.num_threads = 0;  // arms run concurrently; outcomes are unchanged
   return cfg;
 }
 
@@ -50,17 +51,17 @@ int main() {
     std::vector<SummaryRow> rows;
     struct Variant {
       const char* label;
-      core::SmartCrawlOptions::ErMode mode;
+      match::ErMode mode;
     };
     const Variant variants[] = {
-        {"oracle ER", core::SmartCrawlOptions::ErMode::kEntityOracle},
-        {"jaccard .9", core::SmartCrawlOptions::ErMode::kJaccard},
+        {"oracle ER", match::ErMode::kEntityOracle},
+        {"jaccard .9", match::ErMode::kJaccard},
     };
     for (const auto& v : variants) {
       auto cfg = Base(0.20);
       cfg.arms = {core::Arm::kSmartCrawlB};
-      cfg.smart.er_mode = v.mode;
-      cfg.smart.jaccard_threshold = 0.9;
+      cfg.smart.er.mode = v.mode;
+      cfg.smart.er.jaccard_threshold = 0.9;
       auto out = core::RunDblpExperiment(cfg);
       if (!out.ok()) {
         std::printf("ablation FAILED: %s\n",

@@ -81,11 +81,13 @@ int main() {
     core::SmartCrawlOptions opt;
     opt.policy = core::SelectionPolicy::kEstBiased;
     opt.local_text_fields = s.local_text_fields;
-    opt.er_mode = core::SmartCrawlOptions::ErMode::kJaccard;
-    opt.jaccard_threshold = 0.7;
-    core::SmartCrawler crawler(&s.local, std::move(opt), &hs_or.value());
+    opt.er.mode = match::ErMode::kJaccard;
+    opt.er.jaccard_threshold = 0.7;
+    auto crawler_or =
+        core::SmartCrawler::Create(&s.local, std::move(opt), &hs_or.value());
+    if (!crawler_or.ok()) return 1;
     hidden::BudgetedInterface iface(s.hidden.get(), budget);
-    auto r = crawler.Crawl(&iface, budget);
+    auto r = crawler_or.value()->Crawl(&iface, budget);
     if (!r.ok()) return 1;
     runs.push_back(
         {"SmartCrawl", core::CoverageAtBudgets(s.local, *r, checkpoints)});

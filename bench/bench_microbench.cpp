@@ -5,7 +5,11 @@
 ///     (the Sec. 6.3 on-demand updating mechanism),
 ///   * query-pool generation end to end,
 ///   * Jaccard similarity join,
-///   * tokenizer throughput.
+///   * tokenizer throughput,
+///   * thread sweeps (Arg = num_threads) for the parallel substrate:
+///     pool generation, crawler init (sample matching), similarity joins.
+///     Run with --benchmark_filter=Threads --benchmark_format=json to
+///     regenerate bench/BENCH_threads.json.
 
 #include <array>
 
@@ -13,14 +17,19 @@
 
 #include "core/estimator.h"
 #include "core/query_pool.h"
+#include "core/smart_crawler.h"
 #include "util/hypergeometric.h"
 #include "datagen/dblp_gen.h"
+#include "datagen/scenario.h"
 #include "fpm/itemset.h"
 #include "index/inverted_index.h"
 #include "index/lazy_priority_queue.h"
+#include "match/prefix_filter.h"
 #include "match/similarity_join.h"
+#include "sample/sampler.h"
 #include "text/tokenizer.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -216,6 +225,90 @@ void BM_FisherNchMean(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FisherNchMean);
+
+// ---- Thread sweeps: Arg = num_threads (1 = today's sequential path). ----
+// Every parallel path is bit-identical to the sequential one, so these
+// measure pure scheduling overhead/speedup.
+
+void BM_ParallelForOverheadThreads(benchmark::State& state) {
+  util::ThreadPool tp(static_cast<unsigned>(state.range(0)));
+  std::vector<double> out(1 << 16);
+  for (auto _ : state) {
+    tp.ParallelFor(0, out.size(), 1024, [&](size_t i) {
+      out[i] = static_cast<double>(i) * 1.5 + 1.0;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_ParallelForOverheadThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_QueryPoolGenerationThreads(benchmark::State& state) {
+  text::TermDictionary dict;
+  auto docs = MakeDocs(5000, &dict);
+  core::QueryPoolOptions opt;
+  opt.num_threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    auto pool = core::GenerateQueryPool(docs, dict, opt);
+    benchmark::DoNotOptimize(pool.size());
+  }
+}
+BENCHMARK(BM_QueryPoolGenerationThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_CrawlerInitThreads(benchmark::State& state) {
+  // SmartCrawler::Create cost: pool generation + indices + the
+  // O(|D| x |Hs|) sample-matching statistics.
+  datagen::DblpScenarioConfig cfg;
+  cfg.corpus.corpus_size = 30000;
+  cfg.corpus.db_community_fraction = 0.5;
+  cfg.hidden_size = 12000;
+  cfg.local_size = 2000;
+  cfg.top_k = 100;
+  cfg.seed = 41;
+  auto s = datagen::BuildDblpScenario(cfg);
+  if (!s.ok()) {
+    state.SkipWithError("scenario build failed");
+    return;
+  }
+  auto sample = sample::BernoulliSample(*s->hidden, 0.02, 6);
+  for (auto _ : state) {
+    core::SmartCrawlOptions opt;
+    opt.policy = core::SelectionPolicy::kEstBiased;
+    opt.local_text_fields = s->local_text_fields;
+    opt.num_threads = static_cast<unsigned>(state.range(0));
+    auto crawler = core::SmartCrawler::Create(&s->local, std::move(opt),
+                                              &sample);
+    benchmark::DoNotOptimize(crawler.ok());
+  }
+}
+BENCHMARK(BM_CrawlerInitThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_JaccardJoinThreads(benchmark::State& state) {
+  text::TermDictionary dict;
+  auto docs = MakeDocs(3000, &dict);
+  std::vector<text::Document> left(docs.begin(), docs.begin() + 1500);
+  std::vector<text::Document> right(docs.begin() + 1200, docs.end());
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    auto pairs = match::JaccardJoin(left, right, 0.8, threads);
+    benchmark::DoNotOptimize(pairs.size());
+  }
+}
+BENCHMARK(BM_JaccardJoinThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_PrefixFilterJoinThreads(benchmark::State& state) {
+  text::TermDictionary dict;
+  auto docs = MakeDocs(8000, &dict);
+  std::vector<text::Document> left(docs.begin(), docs.begin() + 4000);
+  std::vector<text::Document> right(docs.begin() + 3000, docs.end());
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    auto pairs = match::PrefixFilterJaccardJoin(left, right, 0.8, threads);
+    benchmark::DoNotOptimize(pairs.size());
+  }
+}
+BENCHMARK(BM_PrefixFilterJoinThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_Tokenizer(benchmark::State& state) {
   std::string text_block =

@@ -33,10 +33,12 @@ size_t RunWithOmega(const datagen::Scenario& s,
   opt.policy = core::SelectionPolicy::kEstBiased;
   opt.local_text_fields = s.local_text_fields;
   opt.omega = omega;
-  core::SmartCrawler crawler(&s.local, std::move(opt), &sample);
+  auto crawler_or =
+      core::SmartCrawler::Create(&s.local, std::move(opt), &sample);
+  if (!crawler_or.ok()) return 0;
   s.hidden->ResetQueryCounter();
   hidden::BudgetedInterface iface(s.hidden.get(), budget);
-  auto r = crawler.Crawl(&iface, budget);
+  auto r = crawler_or.value()->Crawl(&iface, budget);
   if (!r.ok()) return 0;
   return core::FinalCoverage(s.local, *r);
 }

@@ -54,13 +54,15 @@ int main() {
     core::SmartCrawlOptions opt;
     opt.policy = core::SelectionPolicy::kEstBiased;
     opt.local_text_fields = s->local_text_fields;
-    core::SmartCrawler crawler(&s->local, std::move(opt), &sample);
+    auto crawler_or =
+        core::SmartCrawler::Create(&s->local, std::move(opt), &sample);
+    if (!crawler_or.ok()) return 1;
     double init_ms = sw.ElapsedMillis();
 
     // Phase 3: the crawl loop.
     hidden::BudgetedInterface iface(s->hidden.get(), budget);
     sw.Restart();
-    auto r = crawler.Crawl(&iface, budget);
+    auto r = crawler_or.value()->Crawl(&iface, budget);
     double crawl_ms = sw.ElapsedMillis();
     if (!r.ok()) return 1;
 

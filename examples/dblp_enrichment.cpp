@@ -53,7 +53,13 @@ int main(int argc, char** argv) {
   opt.policy = core::SelectionPolicy::kEstBiased;
   opt.local_text_fields = s.local_text_fields;
   opt.keep_crawled_records = true;
-  core::SmartCrawler crawler(&s.local, std::move(opt), &smart_sample);
+  auto crawler_or =
+      core::SmartCrawler::Create(&s.local, std::move(opt), &smart_sample);
+  if (!crawler_or.ok()) {
+    std::printf("crawler: %s\n", crawler_or.status().ToString().c_str());
+    return 1;
+  }
+  core::SmartCrawler& crawler = *crawler_or.value();
   sw.Restart();
   s.hidden->ResetQueryCounter();
   hidden::BudgetedInterface i1(s.hidden.get(), budget);
@@ -88,8 +94,8 @@ int main(int argc, char** argv) {
 
   // --- Enrichment with the hidden year column. -----------------------------
   core::EnrichmentSpec spec;
-  spec.mode = core::EnrichmentSpec::MatchMode::kJaccard;
-  spec.jaccard_threshold = 0.8;
+  spec.er.mode = match::ErMode::kJaccard;
+  spec.er.jaccard_threshold = 0.8;
   spec.import_fields = {{3, "year_enriched"}};
   auto enriched = core::EnrichTable(s.local, smart->crawled_records, spec);
   if (!enriched.ok()) return 1;

@@ -44,7 +44,13 @@ int main(int argc, char** argv) {
   opt.policy = core::SelectionPolicy::kEstBiased;
   opt.local_text_fields = s.local_text_fields;
   opt.keep_crawled_records = true;
-  core::SmartCrawler crawler(&s.local, std::move(opt), &sample);
+  auto crawler_or =
+      core::SmartCrawler::Create(&s.local, std::move(opt), &sample);
+  if (!crawler_or.ok()) {
+    std::printf("crawler: %s\n", crawler_or.status().ToString().c_str());
+    return 1;
+  }
+  core::SmartCrawler& crawler = *crawler_or.value();
 
   // Multi-day crawl: the quota decorator rejects once the day is spent;
   // SmartCrawler crawls are RESUMABLE, so one crawler instance spreads its
@@ -86,8 +92,8 @@ int main(int argc, char** argv) {
                   static_cast<double>(s.local.size()));
 
   core::EnrichmentSpec spec;
-  spec.mode = core::EnrichmentSpec::MatchMode::kJaccard;
-  spec.jaccard_threshold = 0.8;
+  spec.er.mode = match::ErMode::kJaccard;
+  spec.er.jaccard_threshold = 0.8;
   spec.import_fields = {{5, "imdb_rating"}};
   auto enriched = core::EnrichTable(s.local, merged.crawled_records, spec);
   if (!enriched.ok()) return 1;

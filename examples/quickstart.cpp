@@ -57,10 +57,16 @@ int main() {
   // --- Crawl with a budget of 4 queries. ----------------------------------
   core::SmartCrawlOptions opt;
   opt.policy = core::SelectionPolicy::kEstBiased;
-  opt.er_mode = core::SmartCrawlOptions::ErMode::kJaccard;
-  opt.jaccard_threshold = 0.5;
+  opt.er.mode = match::ErMode::kJaccard;
+  opt.er.jaccard_threshold = 0.5;
   opt.keep_crawled_records = true;
-  core::SmartCrawler crawler(&local, std::move(opt), &hs);
+  auto crawler_or = core::SmartCrawler::Create(&local, std::move(opt), &hs);
+  if (!crawler_or.ok()) {
+    std::printf("crawler config rejected: %s\n",
+                crawler_or.status().ToString().c_str());
+    return 1;
+  }
+  core::SmartCrawler& crawler = *crawler_or.value();
   std::printf("query pool: %zu queries\n", crawler.pool().size());
 
   hidden::BudgetedInterface iface(&hidden_db, /*budget=*/4);
@@ -78,8 +84,8 @@ int main() {
 
   // --- Enrich: bring the rating column into the local table. --------------
   core::EnrichmentSpec spec;
-  spec.mode = core::EnrichmentSpec::MatchMode::kJaccard;
-  spec.jaccard_threshold = 0.5;
+  spec.er.mode = match::ErMode::kJaccard;
+  spec.er.jaccard_threshold = 0.5;
   spec.import_fields = {{1, "rating"}};
   auto enriched = core::EnrichTable(local, crawl->crawled_records, spec);
   if (!enriched.ok()) {

@@ -73,11 +73,16 @@ int main(int argc, char** argv) {
   core::SmartCrawlOptions opt;
   opt.policy = core::SelectionPolicy::kEstBiased;
   opt.local_text_fields = s.local_text_fields;
-  opt.er_mode = core::SmartCrawlOptions::ErMode::kJaccard;
-  opt.jaccard_threshold = 0.7;
-  core::SmartCrawler crawler(&s.local, std::move(opt), &hs_or.value());
+  opt.er.mode = match::ErMode::kJaccard;
+  opt.er.jaccard_threshold = 0.7;
+  auto crawler_or =
+      core::SmartCrawler::Create(&s.local, std::move(opt), &hs_or.value());
+  if (!crawler_or.ok()) {
+    std::printf("crawler: %s\n", crawler_or.status().ToString().c_str());
+    return 1;
+  }
   hidden::BudgetedInterface i1(s.hidden.get(), budget);
-  auto smart = crawler.Crawl(&i1, budget);
+  auto smart = crawler_or.value()->Crawl(&i1, budget);
   if (!smart.ok()) return 1;
   size_t smart_cov = core::FinalCoverage(s.local, *smart);
   std::printf("SmartCrawl-B: recall %.1f%% (%zu/%zu) in %zu queries\n",

@@ -23,8 +23,8 @@ Result<EnrichmentOutcome> EnrichTable(
 
   // best_match[d] = index into `crawled`, or -1.
   std::vector<int32_t> best_match(local.size(), -1);
-  switch (spec.mode) {
-    case EnrichmentSpec::MatchMode::kEntityOracle: {
+  switch (spec.er.mode) {
+    case match::ErMode::kEntityOracle: {
       std::unordered_map<table::EntityId, int32_t> by_entity;
       for (size_t c = 0; c < crawled.size(); ++c) {
         if (crawled[c].entity_id != table::kUnknownEntity) {
@@ -37,8 +37,8 @@ Result<EnrichmentOutcome> EnrichTable(
       }
       break;
     }
-    case EnrichmentSpec::MatchMode::kExact:
-    case EnrichmentSpec::MatchMode::kJaccard: {
+    case match::ErMode::kExact:
+    case match::ErMode::kJaccard: {
       text::TermDictionary dict;
       std::vector<text::Document> local_docs =
           local.BuildDocuments(dict, spec.local_match_fields);
@@ -52,7 +52,7 @@ Result<EnrichmentOutcome> EnrichTable(
         }
         crawled_docs.push_back(text::Document::FromText(textv, dict));
       }
-      if (spec.mode == EnrichmentSpec::MatchMode::kExact) {
+      if (spec.er.mode == match::ErMode::kExact) {
         std::unordered_map<size_t, int32_t> by_hash;
         for (size_t c = 0; c < crawled_docs.size(); ++c) {
           by_hash.emplace(HashVector(crawled_docs[c].terms()),
@@ -71,7 +71,8 @@ Result<EnrichmentOutcome> EnrichTable(
         // text, so join local docs against crawled docs built from ALL
         // hidden fields using the lower threshold in the spec.
         best_match = match::BestMatchPerLeft(local_docs, crawled_docs,
-                                             spec.jaccard_threshold);
+                                             spec.er.jaccard_threshold,
+                                             spec.num_threads);
       }
       break;
     }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/crawl_result.h"
+#include "match/er_config.h"
 #include "table/table.h"
 #include "util/result.h"
 
@@ -17,14 +18,18 @@ namespace smartcrawl::core {
 
 struct EnrichmentSpec {
   /// How crawled records are matched back to local records (the ER black
-  /// box). kJaccard is the realistic default; kEntityOracle works on
-  /// generated data only.
-  enum class MatchMode { kEntityOracle, kExact, kJaccard };
-  MatchMode mode = MatchMode::kJaccard;
-  double jaccard_threshold = 0.6;
+  /// box), shared with SmartCrawlOptions so crawling and enrichment agree.
+  /// kJaccard is the realistic default here (the crawled text carries
+  /// extra fields the local side lacks, so a lower threshold than the
+  /// crawler's); kEntityOracle works on generated data only.
+  match::ErConfig er{match::ErMode::kJaccard, 0.6};
 
   /// Local fields used to build the matching text (empty = all).
   std::vector<std::string> local_match_fields;
+
+  /// Worker threads for the similarity join (0 = hardware concurrency,
+  /// 1 = sequential); the join result is identical for any thread count.
+  unsigned num_threads = 1;
 
   /// Hidden-side fields to import: (field index in the crawled records,
   /// name of the new local column).

@@ -6,6 +6,7 @@
 #include "core/metrics.h"
 #include "core/online.h"
 #include "hidden/budget.h"
+#include "util/thread_pool.h"
 
 namespace smartcrawl::core {
 
@@ -48,6 +49,16 @@ SelectionPolicy PolicyForArm(Arm arm) {
     default:
       return SelectionPolicy::kSimple;  // unused for baselines
   }
+}
+
+/// Checkpoint lists arrive from user code in any shape; coverage columns
+/// are only meaningful over a sorted, duplicate-free budget axis.
+std::vector<size_t> NormalizedCheckpoints(const ExperimentConfig& config) {
+  if (config.checkpoints.empty()) return {config.budget};
+  std::vector<size_t> out = config.checkpoints;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 }  // namespace
@@ -105,19 +116,19 @@ Result<ArmOutcome> RunArm(Arm arm, const datagen::Scenario& scenario,
         sample = smart_sample;
       }
       if (arm == Arm::kIdealCrawl) oracle = scenario.hidden.get();
-      SmartCrawler crawler(&scenario.local, std::move(opt), sample, oracle);
-      SC_ASSIGN_OR_RETURN(crawl, crawler.Crawl(&iface, config.budget));
+      SC_ASSIGN_OR_RETURN(
+          auto crawler,
+          SmartCrawler::Create(&scenario.local, std::move(opt), sample,
+                               oracle));
+      SC_ASSIGN_OR_RETURN(crawl, crawler->Crawl(&iface, config.budget));
       break;
     }
   }
 
   outcome.queries_issued = crawl.queries_issued;
   outcome.stopped_early = crawl.stopped_early;
-  std::vector<size_t> checkpoints =
-      config.checkpoints.empty() ? std::vector<size_t>{config.budget}
-                                 : config.checkpoints;
   outcome.coverage_at_checkpoints =
-      CoverageAtBudgets(scenario.local, crawl, checkpoints);
+      CoverageAtBudgets(scenario.local, crawl, NormalizedCheckpoints(config));
   outcome.final_coverage = FinalCoverage(scenario.local, crawl);
   outcome.relative_coverage =
       RelativeCoverage(outcome.final_coverage, scenario.num_matchable);
@@ -153,13 +164,23 @@ Result<ExperimentOutcome> RunDblpExperiment(const ExperimentConfig& config) {
 
   ExperimentOutcome outcome;
   outcome.num_matchable = scenario.num_matchable;
-  outcome.checkpoints = config.checkpoints.empty()
-                            ? std::vector<size_t>{config.budget}
-                            : config.checkpoints;
+  outcome.checkpoints = NormalizedCheckpoints(config);
+
+  // Arms are independent (own budgeted interface, own RNG seed; the shared
+  // hidden database is read-only but for its atomic query counter), so they
+  // can run concurrently. Futures are collected in config order, which
+  // makes the outcome identical for any thread count.
+  util::ThreadPool tp(config.num_threads);
+  std::vector<std::future<Result<ArmOutcome>>> futures;
+  futures.reserve(config.arms.size());
   for (Arm arm : config.arms) {
-    SC_ASSIGN_OR_RETURN(
-        ArmOutcome armout,
-        RunArm(arm, scenario, config, &smart_sample, &full_sample));
+    futures.push_back(tp.Async([arm, &scenario, &config, &smart_sample,
+                                &full_sample]() {
+      return RunArm(arm, scenario, config, &smart_sample, &full_sample);
+    }));
+  }
+  for (auto& fut : futures) {
+    SC_ASSIGN_OR_RETURN(ArmOutcome armout, fut.get());
     outcome.arms.push_back(std::move(armout));
   }
   return outcome;

@@ -47,8 +47,17 @@ struct ExperimentConfig {
   double full_crawl_theta = 0.01;
 
   /// Budgets at which per-arm coverage is reported (values > budget are
-  /// clamped). Empty = {budget}.
+  /// clamped). Empty = {budget}. Normalized (sorted, deduplicated) on
+  /// entry, so unsorted or duplicate lists cannot misalign
+  /// `coverage_at_checkpoints`.
   std::vector<size_t> checkpoints;
+
+  /// Worker threads for running independent arms concurrently:
+  /// 0 = hardware concurrency, 1 = sequential (today's behavior). Arms are
+  /// independent — each gets its own budgeted interface and seeded RNG —
+  /// so outcomes are bit-identical for any thread count. Crawler-internal
+  /// parallelism is configured separately via `smart.num_threads`.
+  unsigned num_threads = 1;
 
   std::vector<Arm> arms = {Arm::kIdealCrawl, Arm::kSmartCrawlB,
                            Arm::kNaiveCrawl, Arm::kFullCrawl};

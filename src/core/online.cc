@@ -81,9 +81,11 @@ Result<CrawlResult> OnlineSampleCrawl(const table::Table& local,
   } else {
     return sample_or.status();
   }
-  SmartCrawler crawler(&local, std::move(smart), sample_ptr);
+  SC_ASSIGN_OR_RETURN(auto crawler,
+                      SmartCrawler::Create(&local, std::move(smart),
+                                           sample_ptr));
   SC_ASSIGN_OR_RETURN(CrawlResult crawl,
-                      crawler.Crawl(iface, budget - spent));
+                      crawler->Crawl(iface, budget - spent));
 
   combined.queries_issued += crawl.queries_issued;
   combined.stopped_early = crawl.stopped_early;

@@ -6,6 +6,7 @@
 
 #include "fpm/itemset.h"
 #include "util/hash.h"
+#include "util/thread_pool.h"
 
 namespace smartcrawl::core {
 
@@ -35,6 +36,9 @@ QueryPool GenerateQueryPool(const std::vector<text::Document>& local_docs,
                             const text::TermDictionary& dict,
                             const QueryPoolOptions& options) {
   QueryPool pool;
+  util::ThreadPool tp(options.num_threads);
+  constexpr size_t kDocGrain = 1024;
+  constexpr size_t kPostingGrain = 256;
 
   // Candidate term sets, deduplicated.
   std::unordered_set<size_t> seen_hashes;
@@ -60,13 +64,14 @@ QueryPool GenerateQueryPool(const std::vector<text::Document>& local_docs,
 
   // Mined queries: frequent keyword itemsets with support >= t.
   {
-    std::vector<std::vector<text::TermId>> txns;
-    txns.reserve(local_docs.size());
-    for (const auto& doc : local_docs) txns.push_back(doc.terms());
+    std::vector<std::vector<text::TermId>> txns(local_docs.size());
+    tp.ParallelFor(0, local_docs.size(), kDocGrain,
+                   [&](size_t i) { txns[i] = local_docs[i].terms(); });
     fpm::MiningOptions mopt;
     mopt.min_support = options.min_support;
     mopt.max_itemset_size = options.max_itemset_size;
     mopt.max_results = options.max_mined_itemsets;
+    mopt.num_threads = options.num_threads;
     fpm::MiningResult mined = fpm::MineFrequentItemsets(txns, mopt);
     pool.mining_truncated = mined.truncated;
     for (auto& fis : mined.itemsets) {
@@ -74,12 +79,14 @@ QueryPool GenerateQueryPool(const std::vector<text::Document>& local_docs,
     }
   }
 
-  // Compute q(D) posting lists through a local inverted index.
+  // Compute q(D) posting lists through a local inverted index. The index
+  // is read-only after construction and each slot is written by exactly
+  // one task, so the parallel loop matches the sequential one bit for bit.
   index::InvertedIndex local_index(local_docs, dict.size());
   std::vector<std::vector<index::DocIndex>> postings(term_sets.size());
-  for (size_t i = 0; i < term_sets.size(); ++i) {
+  tp.ParallelFor(0, term_sets.size(), kPostingGrain, [&](size_t i) {
     postings[i] = local_index.IntersectPostings(term_sets[i]);
-  }
+  });
 
   // Dominance pruning: bucket queries by their exact q(D) set; within a
   // bucket keep only queries not strictly contained (keyword-wise) in
@@ -94,15 +101,23 @@ QueryPool GenerateQueryPool(const std::vector<text::Document>& local_docs,
       }
       buckets[HashVector(postings[i])].push_back(static_cast<uint32_t>(i));
     }
+    // Buckets are disjoint index sets, so pruning them concurrently only
+    // ever writes disjoint keep[] slots; the per-bucket logic itself is
+    // sequential and unchanged.
+    std::vector<std::vector<uint32_t>*> bucket_list;
+    bucket_list.reserve(buckets.size());
     for (auto& [h, bucket] : buckets) {
-      if (bucket.size() < 2) continue;
+      if (bucket.size() >= 2) bucket_list.push_back(&bucket);
+    }
+    tp.ParallelFor(0, bucket_list.size(), 16, [&](size_t b) {
+      std::vector<uint32_t>& bucket = *bucket_list[b];
       // Longest term sets first: they can only dominate, not be dominated
       // by, later (shorter) ones.
-      std::sort(bucket.begin(), bucket.end(), [&](uint32_t a, uint32_t b) {
-        if (term_sets[a].size() != term_sets[b].size()) {
-          return term_sets[a].size() > term_sets[b].size();
+      std::sort(bucket.begin(), bucket.end(), [&](uint32_t a, uint32_t c) {
+        if (term_sets[a].size() != term_sets[c].size()) {
+          return term_sets[a].size() > term_sets[c].size();
         }
-        return term_sets[a] < term_sets[b];
+        return term_sets[a] < term_sets[c];
       });
       std::vector<uint32_t> kept_in_bucket;
       for (uint32_t qi : bucket) {
@@ -124,7 +139,7 @@ QueryPool GenerateQueryPool(const std::vector<text::Document>& local_docs,
           kept_in_bucket.push_back(qi);
         }
       }
-    }
+    });
   } else {
     for (size_t i = 0; i < term_sets.size(); ++i) {
       if (postings[i].empty()) keep[i] = 0;

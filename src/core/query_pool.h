@@ -52,6 +52,10 @@ struct QueryPoolOptions {
   /// principle 1 of Sec. 3.1) and the mined queries with the highest
   /// |q(D)| fill the remainder.
   size_t max_pool_size = 0;
+  /// Worker threads for transaction building, posting-list construction
+  /// and dominance pruning: 0 = hardware concurrency, 1 = sequential.
+  /// The generated pool is bit-identical for any thread count.
+  unsigned num_threads = 1;
 };
 
 struct QueryPool {

@@ -8,6 +8,7 @@
 #include "match/similarity_join.h"
 #include "util/hash.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace smartcrawl::core {
 
@@ -27,6 +28,26 @@ std::string PolicyName(SelectionPolicy policy) {
   return "?";
 }
 
+Result<std::unique_ptr<SmartCrawler>> SmartCrawler::Create(
+    const table::Table* local, SmartCrawlOptions options,
+    const sample::HiddenSample* sample,
+    const hidden::HiddenDatabase* oracle) {
+  if (local == nullptr) {
+    return Status::InvalidArgument("SmartCrawler requires a local table");
+  }
+  if ((options.policy == SelectionPolicy::kEstBiased ||
+       options.policy == SelectionPolicy::kEstUnbiased) &&
+      sample == nullptr) {
+    return Status::InvalidArgument(
+        "estimator policies require a hidden-database sample");
+  }
+  if (options.policy == SelectionPolicy::kIdeal && oracle == nullptr) {
+    return Status::InvalidArgument("kIdeal requires oracle access");
+  }
+  return std::unique_ptr<SmartCrawler>(
+      new SmartCrawler(local, std::move(options), sample, oracle));
+}
+
 SmartCrawler::SmartCrawler(const table::Table* local,
                            SmartCrawlOptions options,
                            const sample::HiddenSample* sample,
@@ -35,6 +56,8 @@ SmartCrawler::SmartCrawler(const table::Table* local,
       options_(std::move(options)),
       sample_(sample),
       oracle_(oracle) {
+  // The crawler-level thread knob governs all crawler-internal parallelism.
+  options_.pool.num_threads = options_.num_threads;
   local_docs_ = local_->BuildDocuments(dict_, options_.local_text_fields);
   pool_ = GenerateQueryPool(local_docs_, dict_, options_.pool);
   freq_d_ = pool_.local_frequency;
@@ -64,19 +87,9 @@ SmartCrawler::SmartCrawler(const table::Table* local,
   inter_.assign(pool_.size(), 0);
   if (options_.policy == SelectionPolicy::kEstBiased ||
       options_.policy == SelectionPolicy::kEstUnbiased) {
-    if (sample_ == nullptr) {
-      init_status_ = Status::InvalidArgument(
-          "estimator policies require a hidden-database sample");
-      return;
-    }
     InitSampleState();
   }
   if (options_.policy == SelectionPolicy::kIdeal) {
-    if (oracle_ == nullptr) {
-      init_status_ =
-          Status::InvalidArgument("kIdeal requires oracle access");
-      return;
-    }
     InitIdealState();
   }
 }
@@ -99,51 +112,80 @@ void SmartCrawler::InitSampleState() {
     sample_docs_.push_back(text::Document::FromText(textv, dict_));
   }
 
+  util::ThreadPool tp(options_.num_threads);
+  constexpr size_t kQueryGrain = 256;
+  constexpr size_t kSampleGrain = 512;
+
   // |q(Hs)| for every pool query via an inverted index over the sample.
+  // Reads are shared, writes are index-addressed, so the parallel loop is
+  // bit-identical to the sequential one.
   index::InvertedIndex sample_index(sample_docs_, dict_.size());
-  for (QueryIdx q = 0; q < pool_.size(); ++q) {
+  tp.ParallelFor(0, pool_.size(), kQueryGrain, [&](size_t q) {
     freq_hs_[q] =
         static_cast<uint32_t>(sample_index.IntersectionSize(
             pool_.queries[q].terms));
-  }
+  });
 
   // Match D against Hs once (the crawler legitimately owns both) to get the
-  // fuzzy intersection counts |q(D) ∩~ q(Hs)|.
+  // fuzzy intersection counts |q(D) ∩~ q(Hs)|. The record×sample matching
+  // partitions the sample; per-chunk (local, s) pairs are concatenated in
+  // chunk order, which preserves the sequential ascending-s order within
+  // each record_sample_matches_ row.
   record_sample_matches_.assign(local_->size(), {});
-  switch (options_.er_mode) {
-    case SmartCrawlOptions::ErMode::kEntityOracle: {
-      for (uint32_t s = 0; s < sample_->records.size(); ++s) {
-        const auto& rec = sample_->records.record(s);
-        auto it = entity_to_local_.find(rec.entity_id);
-        if (it != entity_to_local_.end()) {
-          record_sample_matches_[it->second].push_back(s);
-        }
-      }
+  using MatchPair = std::pair<table::RecordId, uint32_t>;
+  auto append_pairs = [&](const std::vector<std::vector<MatchPair>>& chunks) {
+    for (const auto& chunk : chunks) {
+      for (const auto& [d, s] : chunk) record_sample_matches_[d].push_back(s);
+    }
+  };
+  switch (options_.er.mode) {
+    case match::ErMode::kEntityOracle: {
+      append_pairs(tp.ParallelChunks(
+          0, sample_->records.size(), kSampleGrain,
+          [&](size_t lo, size_t hi) {
+            std::vector<MatchPair> out;
+            for (size_t s = lo; s < hi; ++s) {
+              const auto& rec = sample_->records.record(s);
+              auto it = entity_to_local_.find(rec.entity_id);
+              if (it != entity_to_local_.end()) {
+                out.emplace_back(it->second, static_cast<uint32_t>(s));
+              }
+            }
+            return out;
+          }));
       break;
     }
-    case SmartCrawlOptions::ErMode::kExact: {
-      for (uint32_t s = 0; s < sample_->records.size(); ++s) {
-        auto it = doc_hash_to_local_.find(
-            HashVector(sample_docs_[s].terms()));
-        if (it == doc_hash_to_local_.end()) continue;
-        for (table::RecordId d : it->second) {
-          if (local_docs_[d] == sample_docs_[s]) {
-            record_sample_matches_[d].push_back(s);
-          }
-        }
-      }
+    case match::ErMode::kExact: {
+      append_pairs(tp.ParallelChunks(
+          0, sample_->records.size(), kSampleGrain,
+          [&](size_t lo, size_t hi) {
+            std::vector<MatchPair> out;
+            for (size_t s = lo; s < hi; ++s) {
+              auto it = doc_hash_to_local_.find(
+                  HashVector(sample_docs_[s].terms()));
+              if (it == doc_hash_to_local_.end()) continue;
+              for (table::RecordId d : it->second) {
+                if (local_docs_[d] == sample_docs_[s]) {
+                  out.emplace_back(d, static_cast<uint32_t>(s));
+                }
+              }
+            }
+            return out;
+          }));
       break;
     }
-    case SmartCrawlOptions::ErMode::kJaccard: {
-      auto pairs = match::JaccardJoin(local_docs_, sample_docs_,
-                                      options_.jaccard_threshold);
+    case match::ErMode::kJaccard: {
+      auto pairs =
+          match::JaccardJoin(local_docs_, sample_docs_,
+                             options_.er.jaccard_threshold,
+                             options_.num_threads);
       for (const auto& p : pairs) {
         record_sample_matches_[p.left].push_back(p.right);
       }
       break;
     }
   }
-  for (QueryIdx q = 0; q < pool_.size(); ++q) {
+  tp.ParallelFor(0, pool_.size(), kQueryGrain, [&](size_t q) {
     uint32_t count = 0;
     for (index::DocIndex d : pool_.local_postings[q]) {
       for (uint32_t s : record_sample_matches_[d]) {
@@ -151,7 +193,7 @@ void SmartCrawler::InitSampleState() {
       }
     }
     inter_[q] = count;
-  }
+  });
 }
 
 void SmartCrawler::InitIdealState() {
@@ -211,15 +253,15 @@ std::vector<table::RecordId> SmartCrawler::ActivePostings(QueryIdx q) const {
 std::vector<table::RecordId> SmartCrawler::MatchPage(
     QueryIdx q, const std::vector<table::Record>& page, bool active_only) {
   std::vector<table::RecordId> matched;
-  switch (options_.er_mode) {
-    case SmartCrawlOptions::ErMode::kEntityOracle: {
+  switch (options_.er.mode) {
+    case match::ErMode::kEntityOracle: {
       for (const auto& rec : page) {
         auto it = entity_to_local_.find(rec.entity_id);
         if (it != entity_to_local_.end()) matched.push_back(it->second);
       }
       break;
     }
-    case SmartCrawlOptions::ErMode::kExact: {
+    case match::ErMode::kExact: {
       for (const auto& rec : page) {
         std::string textv;
         for (size_t i = 0; i < rec.fields.size(); ++i) {
@@ -235,7 +277,7 @@ std::vector<table::RecordId> SmartCrawler::MatchPage(
       }
       break;
     }
-    case SmartCrawlOptions::ErMode::kJaccard: {
+    case match::ErMode::kJaccard: {
       // Sec. 6.1: similarity join between q(D) and the returned page.
       std::vector<table::RecordId> candidates = ActivePostings(q);
       if (!active_only) {
@@ -256,7 +298,7 @@ std::vector<table::RecordId> SmartCrawler::MatchPage(
         right.push_back(text::Document::FromText(textv, dict_));
       }
       for (const auto& p :
-           match::JaccardJoin(left, right, options_.jaccard_threshold)) {
+           match::JaccardJoin(left, right, options_.er.jaccard_threshold)) {
         matched.push_back(candidates[p.left]);
       }
       break;
@@ -302,7 +344,6 @@ void SmartCrawler::RemoveRecords(const std::vector<table::RecordId>& ids,
 
 Result<CrawlResult> SmartCrawler::Crawl(hidden::KeywordSearchInterface* iface,
                                         size_t budget) {
-  if (!init_status_.ok()) return init_status_;
   if (pq_ == nullptr) {
     // First session: fix k and seed the selection state.
     ctx_.k = iface->top_k();

@@ -13,6 +13,7 @@
 #include "hidden/search_interface.h"
 #include "index/forward_index.h"
 #include "index/lazy_priority_queue.h"
+#include "match/er_config.h"
 #include "match/matcher.h"
 #include "sample/sampler.h"
 #include "table/table.h"
@@ -66,15 +67,18 @@ struct SmartCrawlOptions {
   /// queries (empty = all fields).
   std::vector<std::string> local_text_fields;
 
-  /// How returned/sampled hidden records are matched to local records
-  /// (the entity-resolution black box of Sec. 2).
-  enum class ErMode {
-    kEntityOracle,  // perfect ER via ground-truth ids (paper's evaluation)
-    kExact,         // Assumption 3: document equality
-    kJaccard,       // Sec. 6.1: similarity join with a threshold
-  };
-  ErMode er_mode = ErMode::kEntityOracle;
-  double jaccard_threshold = 0.9;
+  /// How returned/sampled hidden records are matched to local records (the
+  /// entity-resolution black box of Sec. 2). Shared with core::EnrichTable
+  /// so crawling and enrichment agree on what "the same entity" means.
+  /// Defaults to the paper's evaluation setting (perfect ER via
+  /// ground-truth ids).
+  match::ErConfig er;
+
+  /// Worker threads for crawler-side precomputation (pool generation and
+  /// the sample-matching init): 0 = hardware concurrency, 1 = sequential.
+  /// Parallel runs are bit-identical to sequential ones. This knob also
+  /// governs `pool.num_threads`.
+  unsigned num_threads = 1;
 
   /// Sec. 4.2 ΔD mitigation (only sound under conjunctive search).
   bool remove_unmatched_solid = true;
@@ -96,13 +100,20 @@ struct SmartCrawlOptions {
 
 class SmartCrawler {
  public:
+  /// Builds a crawler: validates the configuration, then runs the heavy
+  /// construction work (documents, query pool, indices, sample matching).
+  /// Configuration errors — a missing sample for the kEst* policies, a
+  /// missing oracle for kIdeal — surface here, at the call site, before
+  /// any heavy work happens.
+  ///
   /// \param local the local database D (must outlive the crawler)
   /// \param options crawl configuration
   /// \param sample hidden-database sample (required for kEst* policies)
   /// \param oracle the hidden database itself (required for kIdeal only)
-  SmartCrawler(const table::Table* local, SmartCrawlOptions options,
-               const sample::HiddenSample* sample = nullptr,
-               const hidden::HiddenDatabase* oracle = nullptr);
+  static Result<std::unique_ptr<SmartCrawler>> Create(
+      const table::Table* local, SmartCrawlOptions options,
+      const sample::HiddenSample* sample = nullptr,
+      const hidden::HiddenDatabase* oracle = nullptr);
 
   SmartCrawler(const SmartCrawler&) = delete;
   SmartCrawler& operator=(const SmartCrawler&) = delete;
@@ -128,6 +139,10 @@ class SmartCrawler {
   double PriorityOf(QueryIdx q) const;
 
  private:
+  SmartCrawler(const table::Table* local, SmartCrawlOptions options,
+               const sample::HiddenSample* sample,
+               const hidden::HiddenDatabase* oracle);
+
   void InitSampleState();
   void InitIdealState();
 
@@ -182,7 +197,6 @@ class SmartCrawler {
   std::unordered_map<table::EntityId, table::RecordId> entity_to_local_;
   std::unordered_map<size_t, std::vector<table::RecordId>> doc_hash_to_local_;
 
-  Status init_status_;  // construction-time configuration errors
   /// Selection state shared across Crawl() sessions (resumability).
   std::unique_ptr<index::LazyPriorityQueue> pq_;
   /// Crawled-record dedup across sessions (keep_crawled_records).

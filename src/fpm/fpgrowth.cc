@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "fpm/itemset.h"
+#include "util/thread_pool.h"
 
 /// FP-growth (Han, Pei, Yin — SIGMOD 2000), the miner the paper cites [24]
 /// for query-pool generation.
@@ -240,10 +241,26 @@ class Miner {
 MiningResult MineFrequentItemsets(
     const std::vector<std::vector<text::TermId>>& transactions,
     const MiningOptions& options) {
-  // Pass 1: global item frequencies.
+  util::ThreadPool tp(options.num_threads);
+  constexpr size_t kTxnGrain = 2048;
+
+  // Pass 1: global item frequencies. Per-chunk maps are merged by summing,
+  // so the totals (and everything downstream of the canonical sort below)
+  // are independent of the chunking.
   std::unordered_map<text::TermId, uint32_t> freq;
-  for (const auto& txn : transactions) {
-    for (text::TermId t : txn) ++freq[t];
+  {
+    auto chunk_freqs = tp.ParallelChunks(
+        0, transactions.size(), kTxnGrain,
+        [&](size_t lo, size_t hi) {
+          std::unordered_map<text::TermId, uint32_t> local;
+          for (size_t i = lo; i < hi; ++i) {
+            for (text::TermId t : transactions[i]) ++local[t];
+          }
+          return local;
+        });
+    for (auto& local : chunk_freqs) {
+      for (const auto& [t, c] : local) freq[t] += c;
+    }
   }
   // Frequent items ordered by descending frequency (ties by TermId for
   // determinism); rank 0 = most frequent.
@@ -264,17 +281,20 @@ MiningResult MineFrequentItemsets(
     term_to_rank.emplace(frequent[r].first, r);
   }
 
-  // Pass 2: build the global FP-tree.
-  FpTree tree(static_cast<uint32_t>(rank_to_term.size()));
-  std::vector<uint32_t> ranked;
-  for (const auto& txn : transactions) {
-    ranked.clear();
-    for (text::TermId t : txn) {
+  // Pass 2: rank every transaction (indexed writes, so parallel-safe),
+  // then build the global FP-tree by inserting in transaction order.
+  std::vector<std::vector<uint32_t>> ranked_txns(transactions.size());
+  tp.ParallelFor(0, transactions.size(), kTxnGrain, [&](size_t i) {
+    std::vector<uint32_t>& ranked = ranked_txns[i];
+    for (text::TermId t : transactions[i]) {
       auto it = term_to_rank.find(t);
       if (it != term_to_rank.end()) ranked.push_back(it->second);
     }
     std::sort(ranked.begin(), ranked.end());
     ranked.erase(std::unique(ranked.begin(), ranked.end()), ranked.end());
+  });
+  FpTree tree(static_cast<uint32_t>(rank_to_term.size()));
+  for (const auto& ranked : ranked_txns) {
     if (!ranked.empty()) tree.Insert(ranked, 1);
   }
 

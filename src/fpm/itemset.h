@@ -38,6 +38,11 @@ struct MiningOptions {
   /// and `truncated` is set in the result; itemsets discovered earlier
   /// (higher-frequency branches) are kept.
   size_t max_results = 0;
+  /// Worker threads for the scan passes (global frequency counting and
+  /// transaction ranking): 0 = hardware concurrency, 1 = sequential. The
+  /// mined result is bit-identical for any thread count; the tree build
+  /// and the recursive mining stay sequential.
+  unsigned num_threads = 1;
 };
 
 struct MiningResult {

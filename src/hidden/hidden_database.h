@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -123,7 +124,11 @@ class HiddenDatabase : public KeywordSearchInterface {
   std::vector<text::Document> docs_;
   index::InvertedIndex index_;
   std::unique_ptr<Ranker> ranker_;
-  size_t num_queries_ = 0;
+  /// Atomic so concurrent experiment arms may Search the shared database;
+  /// Search is otherwise logically const. Under concurrent arms the shared
+  /// lifetime counter is still only an aggregate — per-arm accounting lives
+  /// in each arm's BudgetedInterface.
+  std::atomic<size_t> num_queries_{0};
 };
 
 /// Convenience: builds a StaticScoreRanker over a numeric field of `t`

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "util/thread_pool.h"
+
 namespace smartcrawl::match {
 
 namespace {
@@ -63,7 +65,8 @@ size_t PrefixLength(size_t n, double t) {
 
 std::vector<JoinPair> PrefixFilterJaccardJoin(
     const std::vector<text::Document>& left,
-    const std::vector<text::Document>& right, double threshold) {
+    const std::vector<text::Document>& right, double threshold,
+    unsigned num_threads) {
   const std::vector<text::Document>* lp;
   const std::vector<text::Document>* rp;
   OrderedSets sets = OrderByFrequency(left, right, lp, rp);
@@ -78,31 +81,49 @@ std::vector<JoinPair> PrefixFilterJaccardJoin(
     }
   }
 
-  std::vector<JoinPair> out;
-  std::vector<uint32_t> last_seen(left.size(),
-                                  static_cast<uint32_t>(-1));  // per-probe dedup
-  for (uint32_t j = 0; j < right.size(); ++j) {
-    const auto& toks = sets.ordered[left.size() + j];
-    if (toks.empty()) continue;
-    size_t plen = PrefixLength(toks.size(), threshold);
-    for (size_t p = 0; p < plen; ++p) {
-      auto it = prefix_index.find(toks[p]);
-      if (it == prefix_index.end()) continue;
-      for (uint32_t i : it->second) {
-        if (last_seen[i] == j) continue;  // candidate already verified
-        last_seen[i] = j;
-        const text::Document& a = left[i];
-        const text::Document& b = right[j];
-        if (a.empty() || b.empty()) continue;
-        // Length filter before the exact verification.
-        double la = static_cast<double>(a.size());
-        double lb = static_cast<double>(b.size());
-        if (lb < threshold * la || la < threshold * lb) continue;
-        double sim = a.Jaccard(b);
-        if (sim >= threshold) {
-          out.push_back(JoinPair{i, j, sim});
+  // Probe, partitioned over the right side. Each chunk carries its own
+  // last_seen dedup array; a given j is probed by exactly one chunk, so
+  // no pair is emitted twice. The final (left, right) sort makes the
+  // output independent of the partitioning.
+  auto probe = [&](size_t j_lo, size_t j_hi) {
+    std::vector<JoinPair> out;
+    std::vector<uint32_t> last_seen(left.size(), static_cast<uint32_t>(-1));
+    for (size_t j = j_lo; j < j_hi; ++j) {
+      const auto& toks = sets.ordered[left.size() + j];
+      if (toks.empty()) continue;
+      size_t plen = PrefixLength(toks.size(), threshold);
+      for (size_t p = 0; p < plen; ++p) {
+        auto it = prefix_index.find(toks[p]);
+        if (it == prefix_index.end()) continue;
+        for (uint32_t i : it->second) {
+          if (last_seen[i] == j) continue;  // candidate already verified
+          last_seen[i] = static_cast<uint32_t>(j);
+          const text::Document& a = left[i];
+          const text::Document& b = right[j];
+          if (a.empty() || b.empty()) continue;
+          // Length filter before the exact verification.
+          double la = static_cast<double>(a.size());
+          double lb = static_cast<double>(b.size());
+          if (lb < threshold * la || la < threshold * lb) continue;
+          double sim = a.Jaccard(b);
+          if (sim >= threshold) {
+            out.push_back(JoinPair{i, static_cast<uint32_t>(j), sim});
+          }
         }
       }
+    }
+    return out;
+  };
+
+  util::ThreadPool tp(num_threads);
+  std::vector<JoinPair> out;
+  if (tp.num_threads() == 1) {
+    out = probe(0, right.size());
+  } else {
+    constexpr size_t kProbeGrain = 1024;
+    auto chunks = tp.ParallelChunks(0, right.size(), kProbeGrain, probe);
+    for (auto& chunk : chunks) {
+      out.insert(out.end(), chunk.begin(), chunk.end());
     }
   }
   std::sort(out.begin(), out.end(), [](const JoinPair& a, const JoinPair& b) {
@@ -114,12 +135,13 @@ std::vector<JoinPair> PrefixFilterJaccardJoin(
 
 std::vector<JoinPair> AutoJaccardJoin(const std::vector<text::Document>& left,
                                       const std::vector<text::Document>& right,
-                                      double threshold) {
+                                      double threshold,
+                                      unsigned num_threads) {
   // The nested loop wins below ~10^6 candidate pairs (no ordering pass).
   if (left.size() * right.size() <= 1'000'000) {
-    return JaccardJoin(left, right, threshold);
+    return JaccardJoin(left, right, threshold, num_threads);
   }
-  return PrefixFilterJaccardJoin(left, right, threshold);
+  return PrefixFilterJaccardJoin(left, right, threshold, num_threads);
 }
 
 }  // namespace smartcrawl::match

@@ -23,14 +23,19 @@ namespace smartcrawl::match {
 
 /// All pairs with Jaccard(left[i], right[j]) >= threshold, sorted by
 /// (left, right). Exact: identical output to JaccardJoin (up to ordering).
+/// `num_threads` (0 = hardware concurrency, 1 = sequential) partitions the
+/// probe side; the final (left, right) sort makes the output independent
+/// of the partitioning.
 std::vector<JoinPair> PrefixFilterJaccardJoin(
     const std::vector<text::Document>& left,
-    const std::vector<text::Document>& right, double threshold);
+    const std::vector<text::Document>& right, double threshold,
+    unsigned num_threads = 1);
 
 /// Chooses between the nested-loop join and the prefix-filtered join based
 /// on input sizes (|left| * |right| cutoff).
 std::vector<JoinPair> AutoJaccardJoin(const std::vector<text::Document>& left,
                                       const std::vector<text::Document>& right,
-                                      double threshold);
+                                      double threshold,
+                                      unsigned num_threads = 1);
 
 }  // namespace smartcrawl::match

@@ -1,5 +1,7 @@
 #include "match/similarity_join.h"
 
+#include "util/thread_pool.h"
+
 namespace smartcrawl::match {
 
 namespace {
@@ -11,13 +13,12 @@ bool PassesLengthFilter(size_t la, size_t lb, double threshold) {
   return b >= threshold * a && a >= threshold * b;
 }
 
-}  // namespace
-
-std::vector<JoinPair> JaccardJoin(const std::vector<text::Document>& left,
-                                  const std::vector<text::Document>& right,
-                                  double threshold) {
+/// The (i outer, j inner) scan restricted to left rows [lo, hi).
+std::vector<JoinPair> JoinRange(const std::vector<text::Document>& left,
+                                const std::vector<text::Document>& right,
+                                double threshold, size_t lo, size_t hi) {
   std::vector<JoinPair> out;
-  for (uint32_t i = 0; i < left.size(); ++i) {
+  for (size_t i = lo; i < hi; ++i) {
     if (left[i].empty()) continue;
     for (uint32_t j = 0; j < right.size(); ++j) {
       if (right[j].empty()) continue;
@@ -25,18 +26,43 @@ std::vector<JoinPair> JaccardJoin(const std::vector<text::Document>& left,
         continue;
       }
       double sim = left[i].Jaccard(right[j]);
-      if (sim >= threshold) out.push_back(JoinPair{i, j, sim});
+      if (sim >= threshold) {
+        out.push_back(JoinPair{static_cast<uint32_t>(i), j, sim});
+      }
     }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<JoinPair> JaccardJoin(const std::vector<text::Document>& left,
+                                  const std::vector<text::Document>& right,
+                                  double threshold, unsigned num_threads) {
+  util::ThreadPool tp(num_threads);
+  if (tp.num_threads() == 1) {
+    return JoinRange(left, right, threshold, 0, left.size());
+  }
+  // Partition the left side; per-chunk pair lists concatenated in chunk
+  // order reproduce the sequential (i outer, j inner) output exactly.
+  constexpr size_t kLeftGrain = 128;
+  auto chunks = tp.ParallelChunks(
+      0, left.size(), kLeftGrain, [&](size_t lo, size_t hi) {
+        return JoinRange(left, right, threshold, lo, hi);
+      });
+  std::vector<JoinPair> out;
+  for (auto& chunk : chunks) {
+    out.insert(out.end(), chunk.begin(), chunk.end());
   }
   return out;
 }
 
 std::vector<int32_t> BestMatchPerLeft(const std::vector<text::Document>& left,
                                       const std::vector<text::Document>& right,
-                                      double threshold) {
+                                      double threshold, unsigned num_threads) {
   std::vector<int32_t> best(left.size(), -1);
   std::vector<double> best_sim(left.size(), 0.0);
-  for (const JoinPair& p : JaccardJoin(left, right, threshold)) {
+  for (const JoinPair& p : JaccardJoin(left, right, threshold, num_threads)) {
     if (best[p.left] == -1 || p.similarity > best_sim[p.left]) {
       best[p.left] = static_cast<int32_t>(p.right);
       best_sim[p.left] = p.similarity;

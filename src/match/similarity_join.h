@@ -23,15 +23,18 @@ struct JoinPair {
   double similarity;
 };
 
-/// All pairs with Jaccard(left[i], right[j]) >= threshold.
+/// All pairs with Jaccard(left[i], right[j]) >= threshold, in (left, right)
+/// scan order. `num_threads` (0 = hardware concurrency, 1 = sequential)
+/// partitions the left side; the output is identical for any thread count.
 std::vector<JoinPair> JaccardJoin(const std::vector<text::Document>& left,
                                   const std::vector<text::Document>& right,
-                                  double threshold);
+                                  double threshold, unsigned num_threads = 1);
 
 /// For each left document, the best-matching right index (or -1) with
 /// similarity >= threshold. Ties broken toward the lower right index.
 std::vector<int32_t> BestMatchPerLeft(const std::vector<text::Document>& left,
                                       const std::vector<text::Document>& right,
-                                      double threshold);
+                                      double threshold,
+                                      unsigned num_threads = 1);
 
 }  // namespace smartcrawl::match

@@ -1,0 +1,138 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace smartcrawl::util {
+
+unsigned ResolveNumThreads(unsigned num_threads) {
+  if (num_threads != 0) return num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : num_threads_(ResolveNumThreads(num_threads)) {
+  if (num_threads_ <= 1) return;
+  workers_.reserve(num_threads_);
+  for (unsigned i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+std::vector<std::pair<size_t, size_t>> ThreadPool::Chunk(size_t begin,
+                                                         size_t end,
+                                                         size_t grain) {
+  std::vector<std::pair<size_t, size_t>> chunks;
+  if (begin >= end) return chunks;
+  if (grain == 0) grain = 1;
+  chunks.reserve((end - begin + grain - 1) / grain);
+  for (size_t lo = begin; lo < end; lo += grain) {
+    chunks.emplace_back(lo, std::min(lo + grain, end));
+  }
+  return chunks;
+}
+
+namespace {
+
+/// Shared fork-join state. Helper tasks hold it via shared_ptr because they
+/// can outlive RunChunks: a straggler that claimed no chunk may touch `next`
+/// after the final decrement has already released the caller.
+struct ChunkRun {
+  explicit ChunkRun(size_t n, const std::function<void(size_t)>& b)
+      : remaining(n), count(n), body(&b) {}
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> remaining;
+  size_t count;
+  // Only dereferenced for chunks claimed before the final decrement, all of
+  // which complete before RunChunks returns, so the referent stays valid.
+  const std::function<void(size_t)>* body;
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+void DrainChunks(const std::shared_ptr<ChunkRun>& run) {
+  for (;;) {
+    size_t c = run->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= run->count) return;
+    (*run->body)(c);
+    if (run->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(run->mu);
+      run->cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+void ThreadPool::RunChunks(size_t count,
+                           const std::function<void(size_t)>& body) {
+  // The calling thread also executes chunks so the caller is never idle
+  // while it blocks, and chunk claiming is dynamic: a worker stuck on a
+  // slow chunk doesn't serialize the rest. Determinism is unaffected —
+  // chunks write to disjoint, index-addressed slots.
+  auto run = std::make_shared<ChunkRun>(count, body);
+  size_t helpers = std::min<size_t>(workers_.size(), count);
+  for (size_t i = 0; i + 1 < helpers; ++i) {
+    Submit([run]() { DrainChunks(run); });
+  }
+  DrainChunks(run);
+  std::unique_lock<std::mutex> lock(run->mu);
+  run->cv.wait(lock, [&]() {
+    return run->remaining.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t)>& fn) {
+  std::vector<std::pair<size_t, size_t>> chunks = Chunk(begin, end, grain);
+  if (chunks.empty()) return;
+  if (workers_.empty() || chunks.size() == 1) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(chunks.size());
+  RunChunks(chunks.size(), [&](size_t c) {
+    try {
+      for (size_t i = chunks[c].first; i < chunks[c].second; ++i) fn(i);
+    } catch (...) {
+      errors[c] = std::current_exception();
+    }
+  });
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace smartcrawl::util

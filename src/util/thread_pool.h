@@ -1,0 +1,133 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+/// \file thread_pool.h
+/// The parallel crawl substrate: a fixed worker pool plus deterministic
+/// fork-join helpers.
+///
+/// Crawl-side precomputation (query-pool generation, the O(|D|·|Hs|)
+/// sample-matching init, similarity joins, multi-arm experiments) dominates
+/// wall clock long before any query is issued, and all of it decomposes into
+/// independent index ranges. The helpers here keep the parallel paths
+/// BIT-IDENTICAL to the sequential ones: work is split into contiguous
+/// chunks of a fixed grain and per-chunk results are merged in index order,
+/// so the output never depends on scheduling.
+///
+/// Thread-count convention used across the library (`num_threads` knobs):
+///   0 -> std::thread::hardware_concurrency()
+///   1 -> fully sequential, no worker threads are created (today's behavior)
+///   n -> n workers
+///
+/// A pool must not be re-entered from one of its own workers (tasks that
+/// call ParallelFor on the pool executing them would deadlock). Nested
+/// parallelism uses nested pools: e.g. the experiment driver runs arms on
+/// its pool while each crawler parallelizes its init on its own.
+
+namespace smartcrawl::util {
+
+/// Resolves a user-facing `num_threads` knob: 0 = hardware concurrency
+/// (at least 1), anything else is returned unchanged.
+unsigned ResolveNumThreads(unsigned num_threads);
+
+class ThreadPool {
+ public:
+  /// Creates `ResolveNumThreads(num_threads)` logical executors. With one
+  /// executor no OS thread is spawned; all work runs inline on the caller.
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Logical executor count (>= 1); 1 means sequential inline execution.
+  unsigned num_threads() const { return num_threads_; }
+
+  /// Schedules `fn` and returns its future. Inline (run before returning)
+  /// when the pool is sequential.
+  template <typename Fn>
+  auto Async(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> fut = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+    } else {
+      Submit([task]() { (*task)(); });
+    }
+    return fut;
+  }
+
+  /// Runs fn(i) for every i in [begin, end), partitioned into contiguous
+  /// chunks of at most `grain` indices (grain 0 behaves as 1; a grain
+  /// larger than the range yields one chunk). Blocks until every chunk
+  /// finished. If chunks threw, the FIRST exception in chunk (= index)
+  /// order is rethrown, so failure reporting is deterministic too.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t)>& fn);
+
+  /// Runs fn(chunk_begin, chunk_end) per chunk and returns the per-chunk
+  /// results merged in index order. Deterministic under the same contract
+  /// as ParallelFor.
+  template <typename Fn>
+  auto ParallelChunks(size_t begin, size_t end, size_t grain, Fn fn)
+      -> std::vector<std::invoke_result_t<Fn, size_t, size_t>> {
+    using R = std::invoke_result_t<Fn, size_t, size_t>;
+    std::vector<std::pair<size_t, size_t>> chunks = Chunk(begin, end, grain);
+    std::vector<R> results(chunks.size());
+    if (workers_.empty() || chunks.size() <= 1) {
+      for (size_t c = 0; c < chunks.size(); ++c) {
+        results[c] = fn(chunks[c].first, chunks[c].second);
+      }
+      return results;
+    }
+    std::vector<std::exception_ptr> errors(chunks.size());
+    RunChunks(chunks.size(), [&](size_t c) {
+      try {
+        results[c] = fn(chunks[c].first, chunks[c].second);
+      } catch (...) {
+        errors[c] = std::current_exception();
+      }
+    });
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    return results;
+  }
+
+  /// The chunk partition ParallelFor/ParallelChunks use (exposed for
+  /// tests): contiguous [first, second) ranges covering [begin, end).
+  static std::vector<std::pair<size_t, size_t>> Chunk(size_t begin,
+                                                      size_t end,
+                                                      size_t grain);
+
+ private:
+  /// Enqueues an opaque task for the workers.
+  void Submit(std::function<void()> task);
+
+  /// Dispatches body(0..count-1) to the workers and blocks until all
+  /// completed. Requires a non-empty worker set.
+  void RunChunks(size_t count, const std::function<void(size_t)>& body);
+
+  void WorkerLoop();
+
+  unsigned num_threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace smartcrawl::util

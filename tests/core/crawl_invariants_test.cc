@@ -62,10 +62,11 @@ CrawlResult RunOnce(const datagen::Scenario& s, const InvariantParams& p,
   opt.local_text_fields = {"title", "venue", "authors"};
   const hidden::HiddenDatabase* oracle =
       p.policy == SelectionPolicy::kIdeal ? s.hidden.get() : nullptr;
-  SmartCrawler crawler(&s.local, std::move(opt), sample, oracle);
+  auto crawler = SmartCrawler::Create(&s.local, std::move(opt), sample, oracle);
+  EXPECT_TRUE(crawler.ok()) << crawler.status();
   s.hidden->ResetQueryCounter();
   hidden::BudgetedInterface iface(s.hidden.get(), budget);
-  auto r = crawler.Crawl(&iface, budget);
+  auto r = crawler.value()->Crawl(&iface, budget);
   EXPECT_TRUE(r.ok()) << r.status();
   EXPECT_EQ(r->queries_issued, iface.num_queries_issued());  // I1
   return std::move(r).value();
@@ -155,11 +156,12 @@ TEST(CrawlInvariantsTest, SemiConjunctiveYelpScenarioHoldsToo) {
   SmartCrawlOptions opt;
   opt.policy = SelectionPolicy::kEstBiased;
   opt.local_text_fields = s->local_text_fields;
-  opt.er_mode = SmartCrawlOptions::ErMode::kJaccard;
-  opt.jaccard_threshold = 0.7;
-  SmartCrawler crawler(&s->local, std::move(opt), &sample);
+  opt.er.mode = match::ErMode::kJaccard;
+  opt.er.jaccard_threshold = 0.7;
+  auto crawler = SmartCrawler::Create(&s->local, std::move(opt), &sample);
+  ASSERT_TRUE(crawler.ok()) << crawler.status();
   hidden::BudgetedInterface iface(s->hidden.get(), 60);
-  auto r = crawler.Crawl(&iface, 60);
+  auto r = crawler.value()->Crawl(&iface, 60);
   ASSERT_TRUE(r.ok());
 
   EXPECT_LE(r->queries_issued, 60u);

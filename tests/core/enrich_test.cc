@@ -29,7 +29,7 @@ std::vector<table::Record> Crawled() {
 TEST(EnrichTest, EntityOracleJoin) {
   auto local = LocalRestaurants();
   EnrichmentSpec spec;
-  spec.mode = EnrichmentSpec::MatchMode::kEntityOracle;
+  spec.er.mode = match::ErMode::kEntityOracle;
   spec.import_fields = {{1, "rating"}, {2, "city"}};
   auto out = EnrichTable(local, Crawled(), spec);
   ASSERT_TRUE(out.ok());
@@ -46,10 +46,10 @@ TEST(EnrichTest, EntityOracleJoin) {
 TEST(EnrichTest, JaccardJoinToleratesExtraHiddenFields) {
   auto local = LocalRestaurants();
   EnrichmentSpec spec;
-  spec.mode = EnrichmentSpec::MatchMode::kJaccard;
+  spec.er.mode = match::ErMode::kJaccard;
   // Crawled records carry rating+city tokens the local side lacks; e.g.
   // "Steak House" vs {steak, house, 4, 3, tempe} has Jaccard 2/5.
-  spec.jaccard_threshold = 0.4;
+  spec.er.jaccard_threshold = 0.4;
   spec.import_fields = {{1, "rating"}};
   auto out = EnrichTable(local, Crawled(), spec);
   ASSERT_TRUE(out.ok());
@@ -60,7 +60,7 @@ TEST(EnrichTest, JaccardJoinToleratesExtraHiddenFields) {
 TEST(EnrichTest, ExactModeRequiresIdenticalTokens) {
   auto local = LocalRestaurants();
   EnrichmentSpec spec;
-  spec.mode = EnrichmentSpec::MatchMode::kExact;
+  spec.er.mode = match::ErMode::kExact;
   spec.import_fields = {{1, "rating"}};
   auto out = EnrichTable(local, Crawled(), spec);
   ASSERT_TRUE(out.ok());
@@ -81,7 +81,7 @@ TEST(EnrichTest, ExactModeMatchesIdenticalTokenSets) {
   crawled.push_back(rec);
 
   EnrichmentSpec spec;
-  spec.mode = EnrichmentSpec::MatchMode::kExact;
+  spec.er.mode = match::ErMode::kExact;
   spec.import_fields = {{0, "hidden_name"}};
   auto out = EnrichTable(local, crawled, spec);
   ASSERT_TRUE(out.ok());
@@ -106,7 +106,7 @@ TEST(EnrichTest, RejectsDuplicateColumnName) {
 TEST(EnrichTest, ImportIndexBeyondHiddenFieldsGivesEmpty) {
   auto local = LocalRestaurants();
   EnrichmentSpec spec;
-  spec.mode = EnrichmentSpec::MatchMode::kEntityOracle;
+  spec.er.mode = match::ErMode::kEntityOracle;
   spec.import_fields = {{9, "bogus"}};
   auto out = EnrichTable(local, Crawled(), spec);
   ASSERT_TRUE(out.ok());

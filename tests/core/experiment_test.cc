@@ -79,6 +79,56 @@ TEST(ExperimentTest, OnlineArmRunsWithinBudget) {
   EXPECT_GT(out->arms[0].final_coverage, 0u);
 }
 
+TEST(ExperimentTest, CheckpointsAreSortedAndDeduped) {
+  // Unsorted, duplicated checkpoints must behave exactly like the clean
+  // sorted list: normalization happens on entry.
+  auto messy = SmallConfig();
+  messy.checkpoints = {60, 20, 40, 20, 60, 40};
+  auto clean = SmallConfig();  // checkpoints = {20, 40, 60}
+  auto a = RunDblpExperiment(messy);
+  auto b = RunDblpExperiment(clean);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->arms.size(), b->arms.size());
+  for (size_t i = 0; i < a->arms.size(); ++i) {
+    ASSERT_EQ(a->arms[i].coverage_at_checkpoints.size(), 3u);
+    EXPECT_EQ(a->arms[i].coverage_at_checkpoints,
+              b->arms[i].coverage_at_checkpoints);
+  }
+}
+
+TEST(ExperimentTest, EmptyCheckpointsDefaultToFinalBudget) {
+  auto cfg = SmallConfig();
+  cfg.checkpoints.clear();
+  cfg.arms = {Arm::kSmartCrawlB};
+  auto out = RunDblpExperiment(cfg);
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->arms[0].coverage_at_checkpoints.size(), 1u);
+  EXPECT_EQ(out->arms[0].coverage_at_checkpoints[0],
+            out->arms[0].final_coverage);
+}
+
+TEST(ExperimentTest, ConcurrentArmsMatchSequentialArms) {
+  // Arms run on the driver's thread pool; each has its own budgeted
+  // interface and seeded RNG, so concurrency must not change any outcome.
+  auto seq_cfg = SmallConfig();
+  seq_cfg.num_threads = 1;
+  auto par_cfg = SmallConfig();
+  par_cfg.num_threads = 4;
+  auto seq = RunDblpExperiment(seq_cfg);
+  auto par = RunDblpExperiment(par_cfg);
+  ASSERT_TRUE(seq.ok()) << seq.status();
+  ASSERT_TRUE(par.ok()) << par.status();
+  ASSERT_EQ(par->arms.size(), seq->arms.size());
+  for (size_t i = 0; i < seq->arms.size(); ++i) {
+    EXPECT_EQ(par->arms[i].name, seq->arms[i].name);
+    EXPECT_EQ(par->arms[i].queries_issued, seq->arms[i].queries_issued);
+    EXPECT_EQ(par->arms[i].final_coverage, seq->arms[i].final_coverage);
+    EXPECT_EQ(par->arms[i].coverage_at_checkpoints,
+              seq->arms[i].coverage_at_checkpoints);
+  }
+}
+
 TEST(ExperimentTest, DeterministicForSameSeed) {
   auto a = RunDblpExperiment(SmallConfig());
   auto b = RunDblpExperiment(SmallConfig());

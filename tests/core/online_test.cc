@@ -95,8 +95,9 @@ TEST(OnlineSampleCrawlTest, ComparableToOfflineSample) {
   opt.local_text_fields = {"title", "venue", "authors"};
   s.hidden->ResetQueryCounter();
   hidden::BudgetedInterface i2(s.hidden.get(), budget);
-  SmartCrawler crawler(&s.local, std::move(opt), &offline_sample);
-  auto offline = crawler.Crawl(&i2, budget);
+  auto crawler = SmartCrawler::Create(&s.local, std::move(opt), &offline_sample);
+  ASSERT_TRUE(crawler.ok()) << crawler.status();
+  auto offline = crawler.value()->Crawl(&i2, budget);
   ASSERT_TRUE(offline.ok());
 
   size_t cov_online = FinalCoverage(s.local, *online);

@@ -66,22 +66,33 @@ SmartCrawlOptions BaseOptions(SelectionPolicy policy) {
   return opt;
 }
 
+std::unique_ptr<SmartCrawler> MakeCrawler(const Fixture& f,
+                                          SelectionPolicy policy) {
+  const bool ideal = policy == SelectionPolicy::kIdeal;
+  auto crawler =
+      SmartCrawler::Create(&f.local, BaseOptions(policy),
+                           ideal ? nullptr : &f.sample,
+                           ideal ? f.hidden.get() : nullptr);
+  EXPECT_TRUE(crawler.ok()) << crawler.status();
+  return crawler.ok() ? std::move(crawler).value() : nullptr;
+}
+
 TEST(RunningExampleTest, PoolMatchesHandDerivation) {
   Fixture f = MakeFixture();
-  SmartCrawler crawler(&f.local, BaseOptions(SelectionPolicy::kEstBiased),
-                       &f.sample);
+  auto crawler = MakeCrawler(f, SelectionPolicy::kEstBiased);
+  ASSERT_NE(crawler, nullptr);
   // Hand-derived pool after dedup + dominance pruning:
   // "thai noodle house", "noodle house", "thai house",
   // "japanese noodle house", "house".
-  EXPECT_EQ(crawler.pool().size(), 5u);
+  EXPECT_EQ(crawler->pool().size(), 5u);
 }
 
 TEST(RunningExampleTest, SmartCrawlBiasedSelectsByEstimatedBenefit) {
   Fixture f = MakeFixture();
-  SmartCrawler crawler(&f.local, BaseOptions(SelectionPolicy::kEstBiased),
-                       &f.sample);
+  auto crawler = MakeCrawler(f, SelectionPolicy::kEstBiased);
+  ASSERT_NE(crawler, nullptr);
   hidden::BudgetedInterface iface(f.hidden.get(), 2);
-  auto result = crawler.Crawl(&iface, 2);
+  auto result = crawler->Crawl(&iface, 2);
   ASSERT_TRUE(result.ok());
   ASSERT_EQ(result->queries_issued, 2u);
 
@@ -106,10 +117,10 @@ TEST(RunningExampleTest, SmartCrawlBiasedSelectsByEstimatedBenefit) {
 
 TEST(RunningExampleTest, IdealCrawlMatchesSmartCrawlHere) {
   Fixture f = MakeFixture();
-  SmartCrawler crawler(&f.local, BaseOptions(SelectionPolicy::kIdeal),
-                       /*sample=*/nullptr, f.hidden.get());
+  auto crawler = MakeCrawler(f, SelectionPolicy::kIdeal);
+  ASSERT_NE(crawler, nullptr);
   hidden::BudgetedInterface iface(f.hidden.get(), 2);
-  auto result = crawler.Crawl(&iface, 2);
+  auto result = crawler->Crawl(&iface, 2);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(FinalCoverage(f.local, *result), 3u);
 }
@@ -119,10 +130,10 @@ TEST(RunningExampleTest, RecordBehindOverflowingPageIsUncoverable) {
   // puts its hidden twin (rating 3.8) below the page cut — no strategy can
   // cover it with this pool. This is the top-k pain the paper analyzes.
   Fixture f = MakeFixture();
-  SmartCrawler crawler(&f.local, BaseOptions(SelectionPolicy::kEstBiased),
-                       &f.sample);
+  auto crawler = MakeCrawler(f, SelectionPolicy::kEstBiased);
+  ASSERT_NE(crawler, nullptr);
   hidden::BudgetedInterface iface(f.hidden.get(), 5);
-  auto result = crawler.Crawl(&iface, 5);
+  auto result = crawler->Crawl(&iface, 5);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(FinalCoverage(f.local, *result), 3u);
   for (const auto& it : result->iterations) {
@@ -132,10 +143,10 @@ TEST(RunningExampleTest, RecordBehindOverflowingPageIsUncoverable) {
 
 TEST(RunningExampleTest, UnbiasedEstimatorPrefersSampledIntersections) {
   Fixture f = MakeFixture();
-  SmartCrawler crawler(&f.local, BaseOptions(SelectionPolicy::kEstUnbiased),
-                       &f.sample);
+  auto crawler = MakeCrawler(f, SelectionPolicy::kEstUnbiased);
+  ASSERT_NE(crawler, nullptr);
   hidden::BudgetedInterface iface(f.hidden.get(), 2);
-  auto result = crawler.Crawl(&iface, 2);
+  auto result = crawler->Crawl(&iface, 2);
   ASSERT_TRUE(result.ok());
   // Unbiased estimates: only "thai house" (inter=1, overflow: 1*k/1 = 2)
   // and "house" (1*2/2 = 1) are nonzero; "thai house" goes first and its
@@ -165,10 +176,10 @@ TEST(RunningExampleTest, QuerySharingBeatsNaivePerQuery) {
   // NaiveCrawl can do no better, and does worse for most record orders
   // (its pages piggyback on shared names only by luck).
   Fixture f = MakeFixture();
-  SmartCrawler crawler(&f.local, BaseOptions(SelectionPolicy::kEstBiased),
-                       &f.sample);
+  auto crawler = MakeCrawler(f, SelectionPolicy::kEstBiased);
+  ASSERT_NE(crawler, nullptr);
   hidden::BudgetedInterface iface1(f.hidden.get(), 2);
-  auto smart = crawler.Crawl(&iface1, 2);
+  auto smart = crawler->Crawl(&iface1, 2);
   ASSERT_TRUE(smart.ok());
 
   NaiveCrawlOptions nopt;
@@ -183,10 +194,10 @@ TEST(RunningExampleTest, QuerySharingBeatsNaivePerQuery) {
 
 TEST(RunningExampleTest, StopsEarlyWhenNothingBeneficialRemains) {
   Fixture f = MakeFixture();
-  SmartCrawler crawler(&f.local, BaseOptions(SelectionPolicy::kEstBiased),
-                       &f.sample);
+  auto crawler = MakeCrawler(f, SelectionPolicy::kEstBiased);
+  ASSERT_NE(crawler, nullptr);
   hidden::BudgetedInterface iface(f.hidden.get(), 100);
-  auto result = crawler.Crawl(&iface, 100);
+  auto result = crawler->Crawl(&iface, 100);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->stopped_early);
   EXPECT_LT(result->queries_issued, 100u);

@@ -38,10 +38,12 @@ size_t RunPolicy(const datagen::Scenario& s, SelectionPolicy policy,
                  CrawlResult* out = nullptr) {
   const hidden::HiddenDatabase* oracle =
       policy == SelectionPolicy::kIdeal ? s.hidden.get() : nullptr;
-  SmartCrawler crawler(&s.local, Opts(policy), sample, oracle);
+  auto crawler = SmartCrawler::Create(&s.local, Opts(policy), sample, oracle);
+  EXPECT_TRUE(crawler.ok()) << crawler.status();
+  if (!crawler.ok()) return 0;
   s.hidden->ResetQueryCounter();
   hidden::BudgetedInterface iface(s.hidden.get(), budget);
-  auto result = crawler.Crawl(&iface, budget);
+  auto result = crawler.value()->Crawl(&iface, budget);
   EXPECT_TRUE(result.ok()) << result.status();
   if (out) *out = *result;
   return FinalCoverage(s.local, *result);
@@ -125,14 +127,16 @@ TEST(SmartCrawlerTest, DeltaDRemovalPreventsWastedBudget) {
   const size_t budget = 80;
   s->hidden->ResetQueryCounter();
   hidden::BudgetedInterface i1(s->hidden.get(), budget);
-  SmartCrawler c1(&s->local, std::move(with), &sample);
-  auto r1 = c1.Crawl(&i1, budget);
+  auto c1 = SmartCrawler::Create(&s->local, std::move(with), &sample);
+  ASSERT_TRUE(c1.ok());
+  auto r1 = c1.value()->Crawl(&i1, budget);
   ASSERT_TRUE(r1.ok());
 
   s->hidden->ResetQueryCounter();
   hidden::BudgetedInterface i2(s->hidden.get(), budget);
-  SmartCrawler c2(&s->local, std::move(without), &sample);
-  auto r2 = c2.Crawl(&i2, budget);
+  auto c2 = SmartCrawler::Create(&s->local, std::move(without), &sample);
+  ASSERT_TRUE(c2.ok());
+  auto r2 = c2.value()->Crawl(&i2, budget);
   ASSERT_TRUE(r2.ok());
 
   // With ΔD prediction the crawler should do at least as well.
@@ -149,16 +153,20 @@ TEST(SmartCrawlerTest, CrawlIsResumable) {
   ASSERT_TRUE(s1.ok());
   ASSERT_TRUE(s2.ok());
 
-  SmartCrawler one_shot(&s1->local, Opts(SelectionPolicy::kSimple));
+  auto one_shot =
+      SmartCrawler::Create(&s1->local, Opts(SelectionPolicy::kSimple));
+  ASSERT_TRUE(one_shot.ok());
   hidden::BudgetedInterface i1(s1->hidden.get(), 10);
-  auto full = one_shot.Crawl(&i1, 10);
+  auto full = one_shot.value()->Crawl(&i1, 10);
   ASSERT_TRUE(full.ok());
 
-  SmartCrawler resumed(&s2->local, Opts(SelectionPolicy::kSimple));
+  auto resumed =
+      SmartCrawler::Create(&s2->local, Opts(SelectionPolicy::kSimple));
+  ASSERT_TRUE(resumed.ok());
   hidden::BudgetedInterface i2(s2->hidden.get(), 10);
-  auto first = resumed.Crawl(&i2, 5);
+  auto first = resumed.value()->Crawl(&i2, 5);
   ASSERT_TRUE(first.ok());
-  auto second = resumed.Crawl(&i2, 5);
+  auto second = resumed.value()->Crawl(&i2, 5);
   ASSERT_TRUE(second.ok());
 
   std::vector<std::string> resumed_queries;
@@ -176,16 +184,18 @@ TEST(SmartCrawlerTest, ResumeRejectsDifferentTopK) {
   auto cfg = SmallConfig(12, 50);
   auto s = datagen::BuildDblpScenario(cfg);
   ASSERT_TRUE(s.ok());
-  SmartCrawler crawler(&s->local, Opts(SelectionPolicy::kSimple));
+  auto crawler =
+      SmartCrawler::Create(&s->local, Opts(SelectionPolicy::kSimple));
+  ASSERT_TRUE(crawler.ok());
   hidden::BudgetedInterface iface(s->hidden.get(), 5);
-  ASSERT_TRUE(crawler.Crawl(&iface, 3).ok());
+  ASSERT_TRUE(crawler.value()->Crawl(&iface, 3).ok());
 
   // A second interface with a different k must be rejected.
   datagen::DblpScenarioConfig cfg2 = SmallConfig(12, 10);
   auto s2 = datagen::BuildDblpScenario(cfg2);
   ASSERT_TRUE(s2.ok());
   hidden::BudgetedInterface other(s2->hidden.get(), 5);
-  auto again = crawler.Crawl(&other, 3);
+  auto again = crawler.value()->Crawl(&other, 3);
   EXPECT_FALSE(again.ok());
   EXPECT_TRUE(again.status().IsInvalidArgument());
 }
@@ -208,9 +218,10 @@ TEST(SmartCrawlerTest, KeepCrawledRecordsDeduplicates) {
   auto sample = sample::BernoulliSample(*s->hidden, 0.02, 2);
   SmartCrawlOptions opt = Opts(SelectionPolicy::kEstBiased);
   opt.keep_crawled_records = true;
-  SmartCrawler crawler(&s->local, std::move(opt), &sample);
+  auto crawler = SmartCrawler::Create(&s->local, std::move(opt), &sample);
+  ASSERT_TRUE(crawler.ok());
   hidden::BudgetedInterface iface(s->hidden.get(), 30);
-  auto result = crawler.Crawl(&iface, 30);
+  auto result = crawler.value()->Crawl(&iface, 30);
   ASSERT_TRUE(result.ok());
   std::set<table::EntityId> ids;
   for (const auto& rec : result->crawled_records) {
@@ -225,11 +236,12 @@ TEST(SmartCrawlerTest, JaccardErModeCoversDespiteDirtyTitles) {
   ASSERT_TRUE(s.ok());
   auto sample = sample::BernoulliSample(*s->hidden, 0.02, 3);
   SmartCrawlOptions opt = Opts(SelectionPolicy::kEstBiased);
-  opt.er_mode = SmartCrawlOptions::ErMode::kJaccard;
-  opt.jaccard_threshold = 0.7;
-  SmartCrawler crawler(&s->local, std::move(opt), &sample);
+  opt.er.mode = match::ErMode::kJaccard;
+  opt.er.jaccard_threshold = 0.7;
+  auto crawler = SmartCrawler::Create(&s->local, std::move(opt), &sample);
+  ASSERT_TRUE(crawler.ok());
   hidden::BudgetedInterface iface(s->hidden.get(), 80);
-  auto result = crawler.Crawl(&iface, 80);
+  auto result = crawler.value()->Crawl(&iface, 80);
   ASSERT_TRUE(result.ok());
   EXPECT_GT(FinalCoverage(s->local, *result), 20u);
 }
@@ -256,12 +268,13 @@ TEST(SmartCrawlerTest, StatsReflectEngineWork) {
   auto s = datagen::BuildDblpScenario(cfg);
   ASSERT_TRUE(s.ok());
   auto sample = sample::BernoulliSample(*s->hidden, 0.02, 6);
-  SmartCrawler crawler(&s->local, Opts(SelectionPolicy::kEstBiased),
-                       &sample);
+  auto crawler = SmartCrawler::Create(
+      &s->local, Opts(SelectionPolicy::kEstBiased), &sample);
+  ASSERT_TRUE(crawler.ok());
   hidden::BudgetedInterface iface(s->hidden.get(), 30);
-  auto r = crawler.Crawl(&iface, 30);
+  auto r = crawler.value()->Crawl(&iface, 30);
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(r->stats.pool_size, crawler.pool().size());
+  EXPECT_EQ(r->stats.pool_size, crawler.value()->pool().size());
   EXPECT_GT(r->stats.pool_size, 0u);
   // Pages were fetched; fan-out updates happened for covered records.
   size_t page_total = 0;
@@ -278,9 +291,11 @@ TEST(SmartCrawlerTest, ZeroBudgetIssuesNothing) {
   auto cfg = SmallConfig(29, 50);
   auto s = datagen::BuildDblpScenario(cfg);
   ASSERT_TRUE(s.ok());
-  SmartCrawler crawler(&s->local, Opts(SelectionPolicy::kSimple));
+  auto crawler =
+      SmartCrawler::Create(&s->local, Opts(SelectionPolicy::kSimple));
+  ASSERT_TRUE(crawler.ok());
   hidden::BudgetedInterface iface(s->hidden.get(), 0);
-  auto result = crawler.Crawl(&iface, 0);
+  auto result = crawler.value()->Crawl(&iface, 0);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->queries_issued, 0u);
 }

@@ -100,9 +100,10 @@ TEST(MoviesScenarioTest, SmartCrawlWorksOnMovies) {
   core::SmartCrawlOptions opt;
   opt.policy = core::SelectionPolicy::kEstBiased;
   opt.local_text_fields = s->local_text_fields;
-  core::SmartCrawler crawler(&s->local, std::move(opt), &sample);
+  auto crawler = core::SmartCrawler::Create(&s->local, std::move(opt), &sample);
+  ASSERT_TRUE(crawler.ok()) << crawler.status();
   hidden::BudgetedInterface iface(s->hidden.get(), 60);
-  auto r = crawler.Crawl(&iface, 60);
+  auto r = crawler.value()->Crawl(&iface, 60);
   ASSERT_TRUE(r.ok());
   EXPECT_GT(core::FinalCoverage(s->local, *r), 60u);
 }

@@ -36,16 +36,17 @@ TEST(EndToEndTest, DblpEnrichmentPipeline) {
   opt.policy = core::SelectionPolicy::kEstBiased;
   opt.local_text_fields = s->local_text_fields;
   opt.keep_crawled_records = true;
-  core::SmartCrawler crawler(&s->local, std::move(opt), &sample);
+  auto crawler = core::SmartCrawler::Create(&s->local, std::move(opt), &sample);
+  ASSERT_TRUE(crawler.ok()) << crawler.status();
   hidden::BudgetedInterface iface(s->hidden.get(), 60);
-  auto crawl = crawler.Crawl(&iface, 60);
+  auto crawl = crawler.value()->Crawl(&iface, 60);
   ASSERT_TRUE(crawl.ok());
   size_t coverage = core::FinalCoverage(s->local, *crawl);
   EXPECT_GT(coverage, 100u);
 
   // Enrich the local table with the hidden "year" attribute (index 3).
   core::EnrichmentSpec spec;
-  spec.mode = core::EnrichmentSpec::MatchMode::kEntityOracle;
+  spec.er.mode = match::ErMode::kEntityOracle;
   spec.import_fields = {{3, "year_from_hidden"}};
   auto enriched = core::EnrichTable(s->local, crawl->crawled_records, spec);
   ASSERT_TRUE(enriched.ok());
@@ -94,10 +95,12 @@ TEST(EndToEndTest, YelpStylePipelineWithQueryDerivedSample) {
   core::SmartCrawlOptions opt;
   opt.policy = core::SelectionPolicy::kEstBiased;
   opt.local_text_fields = s->local_text_fields;
-  core::SmartCrawler crawler(&s->local, std::move(opt), &sample_or.value());
+  auto crawler =
+      core::SmartCrawler::Create(&s->local, std::move(opt), &sample_or.value());
+  ASSERT_TRUE(crawler.ok()) << crawler.status();
   s->hidden->ResetQueryCounter();
   hidden::BudgetedInterface iface(s->hidden.get(), 150);
-  auto crawl = crawler.Crawl(&iface, 150);
+  auto crawl = crawler.value()->Crawl(&iface, 150);
   ASSERT_TRUE(crawl.ok());
 
   size_t coverage = core::FinalCoverage(s->local, *crawl);
@@ -123,9 +126,10 @@ TEST(EndToEndTest, SmartOutperformsNaivePerQueryOnDirtyData) {
   core::SmartCrawlOptions opt;
   opt.policy = core::SelectionPolicy::kEstBiased;
   opt.local_text_fields = s->local_text_fields;
-  core::SmartCrawler crawler(&s->local, std::move(opt), &sample);
+  auto crawler = core::SmartCrawler::Create(&s->local, std::move(opt), &sample);
+  ASSERT_TRUE(crawler.ok()) << crawler.status();
   hidden::BudgetedInterface i1(s->hidden.get(), budget);
-  auto smart = crawler.Crawl(&i1, budget);
+  auto smart = crawler.value()->Crawl(&i1, budget);
   ASSERT_TRUE(smart.ok());
 
   core::NaiveCrawlOptions nopt;

@@ -1,0 +1,138 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace smartcrawl::util {
+namespace {
+
+TEST(ResolveNumThreadsTest, ZeroMeansHardwareConcurrency) {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  EXPECT_EQ(ResolveNumThreads(0), hw);
+  EXPECT_GE(ResolveNumThreads(0), 1u);
+  EXPECT_EQ(ResolveNumThreads(1), 1u);
+  EXPECT_EQ(ResolveNumThreads(7), 7u);
+}
+
+TEST(ThreadPoolTest, ChunkCoversRangeContiguously) {
+  auto chunks = ThreadPool::Chunk(3, 17, 5);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0], (std::pair<size_t, size_t>{3, 8}));
+  EXPECT_EQ(chunks[1], (std::pair<size_t, size_t>{8, 13}));
+  EXPECT_EQ(chunks[2], (std::pair<size_t, size_t>{13, 17}));
+}
+
+TEST(ThreadPoolTest, ChunkGrainZeroBehavesAsOne) {
+  auto chunks = ThreadPool::Chunk(0, 3, 0);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[2], (std::pair<size_t, size_t>{2, 3}));
+}
+
+TEST(ThreadPoolTest, ChunkGrainLargerThanRangeYieldsOneChunk) {
+  auto chunks = ThreadPool::Chunk(5, 9, 1000);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<size_t, size_t>{5, 9}));
+}
+
+TEST(ThreadPoolTest, ZeroLengthRangeIsANoOp) {
+  EXPECT_TRUE(ThreadPool::Chunk(4, 4, 8).empty());
+  for (unsigned n : {1u, 4u}) {
+    ThreadPool tp(n);
+    std::atomic<int> calls{0};
+    tp.ParallelFor(10, 10, 4, [&](size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+    auto r = tp.ParallelChunks(10, 10, 4, [](size_t, size_t) { return 1; });
+    EXPECT_TRUE(r.empty());
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  for (unsigned n : {1u, 2u, 8u}) {
+    ThreadPool tp(n);
+    std::vector<std::atomic<int>> hits(1000);
+    tp.ParallelFor(0, hits.size(), 7, [&](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelChunksMergesInIndexOrder) {
+  for (unsigned n : {1u, 2u, 8u}) {
+    ThreadPool tp(n);
+    auto per_chunk = tp.ParallelChunks(
+        0, 100, 9, [](size_t lo, size_t hi) -> std::vector<size_t> {
+          std::vector<size_t> v(hi - lo);
+          std::iota(v.begin(), v.end(), lo);
+          return v;
+        });
+    std::vector<size_t> flat;
+    for (auto& v : per_chunk) flat.insert(flat.end(), v.begin(), v.end());
+    ASSERT_EQ(flat.size(), 100u);
+    for (size_t i = 0; i < flat.size(); ++i) EXPECT_EQ(flat[i], i);
+  }
+}
+
+TEST(ThreadPoolTest, FirstExceptionInChunkOrderPropagates) {
+  for (unsigned n : {1u, 4u}) {
+    ThreadPool tp(n);
+    // Indices 30 and 70 both throw; grain 10 puts them in different
+    // chunks, and the chunk-order contract says index 30's error wins.
+    try {
+      tp.ParallelFor(0, 100, 10, [](size_t i) {
+        if (i == 30 || i == 70) {
+          throw std::runtime_error("boom at " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected ParallelFor to rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at 30");
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelChunksPropagatesExceptions) {
+  ThreadPool tp(4);
+  EXPECT_THROW(tp.ParallelChunks(0, 50, 5,
+                                 [](size_t lo, size_t) -> int {
+                                   if (lo >= 20) throw std::logic_error("x");
+                                   return 0;
+                                 }),
+               std::logic_error);
+  // The pool is still usable after an exception.
+  std::atomic<int> sum{0};
+  tp.ParallelFor(0, 10, 2, [&](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, AsyncReturnsFutureValue) {
+  for (unsigned n : {1u, 3u}) {
+    ThreadPool tp(n);
+    auto f = tp.Async([] { return 41 + 1; });
+    EXPECT_EQ(f.get(), 42);
+  }
+}
+
+TEST(ThreadPoolTest, SequentialPoolSpawnsNoWorkers) {
+  ThreadPool tp(1);
+  EXPECT_EQ(tp.num_threads(), 1u);
+  // Async on a sequential pool runs inline on this thread.
+  auto self = std::this_thread::get_id();
+  auto f = tp.Async([] { return std::this_thread::get_id(); });
+  EXPECT_EQ(f.get(), self);
+}
+
+TEST(ThreadPoolTest, ManyConcurrentTasksDrain) {
+  ThreadPool tp(8);
+  std::atomic<size_t> total{0};
+  tp.ParallelFor(0, 10000, 1, [&](size_t) { ++total; });
+  EXPECT_EQ(total.load(), 10000u);
+}
+
+}  // namespace
+}  // namespace smartcrawl::util

@@ -40,6 +40,7 @@ struct CliConfig {
   std::string sample_in;
   std::string sample_out;
   double jaccard = 0.6;
+  int64_t threads = 1;
   int64_t seed = 1;
   std::string import_spec;
   std::string output;
@@ -56,10 +57,12 @@ Result<core::SelectionPolicy> ParsePolicy(const std::string& s) {
 }
 
 Result<core::EnrichmentSpec> ParseImportSpec(const std::string& spec,
-                                             double jaccard) {
+                                             double jaccard,
+                                             unsigned num_threads) {
   core::EnrichmentSpec out;
-  out.mode = core::EnrichmentSpec::MatchMode::kJaccard;
-  out.jaccard_threshold = jaccard;
+  out.er.mode = match::ErMode::kJaccard;
+  out.er.jaccard_threshold = jaccard;
+  out.num_threads = num_threads;
   for (const std::string& part : Split(spec, ',')) {
     if (part.empty()) continue;
     auto pieces = Split(part, ':');
@@ -148,9 +151,11 @@ int Run(const CliConfig& cfg) {
     }
     core::SmartCrawlOptions opt;
     opt.policy = *policy_or;
-    opt.er_mode = core::SmartCrawlOptions::ErMode::kJaccard;
-    opt.jaccard_threshold = cfg.jaccard;
+    opt.er.mode = match::ErMode::kJaccard;
+    opt.er.jaccard_threshold = cfg.jaccard;
     opt.keep_crawled_records = true;
+    opt.num_threads = cfg.threads < 0 ? 1u
+                                      : static_cast<unsigned>(cfg.threads);
     const bool needs_sample =
         opt.policy == core::SelectionPolicy::kEstBiased ||
         opt.policy == core::SelectionPolicy::kEstUnbiased;
@@ -197,9 +202,15 @@ int Run(const CliConfig& cfg) {
                       cfg.sample_out.c_str());
         }
       }
-      core::SmartCrawler crawler(&local, std::move(opt),
-                                 needs_sample ? &sample : nullptr);
-      auto r = crawler.Crawl(&iface, static_cast<size_t>(cfg.budget));
+      auto crawler_or = core::SmartCrawler::Create(
+          &local, std::move(opt), needs_sample ? &sample : nullptr);
+      if (!crawler_or.ok()) {
+        std::fprintf(stderr, "crawler: %s\n",
+                     crawler_or.status().ToString().c_str());
+        return 1;
+      }
+      auto r = crawler_or.value()->Crawl(&iface,
+                                         static_cast<size_t>(cfg.budget));
       if (!r.ok()) {
         std::fprintf(stderr, "crawl: %s\n", r.status().ToString().c_str());
         return 1;
@@ -214,7 +225,9 @@ int Run(const CliConfig& cfg) {
 
   // --- Enrich and write outputs. --------------------------------------------
   if (!cfg.output.empty()) {
-    auto spec_or = ParseImportSpec(cfg.import_spec, cfg.jaccard);
+    auto spec_or = ParseImportSpec(
+        cfg.import_spec, cfg.jaccard,
+        cfg.threads < 0 ? 1u : static_cast<unsigned>(cfg.threads));
     if (!spec_or.ok()) {
       std::fprintf(stderr, "%s\n", spec_or.status().ToString().c_str());
       return 2;
@@ -291,6 +304,9 @@ int main(int argc, char** argv) {
                   "reuse a persisted sample (CSV written by --sample-out)");
   flags.AddString("sample-out", &cfg.sample_out,
                   "persist the sample for reuse (writes CSV + .meta)");
+  flags.AddInt("threads", &cfg.threads,
+               "worker threads for crawl-side precomputation "
+               "(0 = all hardware threads; result is identical either way)");
   flags.AddDouble("jaccard", &cfg.jaccard,
                   "Jaccard threshold for entity resolution");
   flags.AddInt("seed", &cfg.seed, "seed for sampling/shuffling");
