@@ -60,7 +60,12 @@ Result<CrawlResult> NaiveCrawl(const table::Table& local,
     auto page_or = iface->Search({query_text});
     if (!page_or.ok()) {
       if (page_or.status().IsBudgetExhausted()) break;
-      continue;  // rejected (e.g. empty after stop-word removal): skip
+      if (page_or.status().IsUnavailable()) {
+        ++result.stats.queries_unavailable;  // transport failure: skip
+      } else {
+        ++result.stats.queries_rejected;  // e.g. empty after stop words
+      }
+      continue;
     }
     --budget_left;
     ++result.queries_issued;
@@ -106,6 +111,11 @@ Result<CrawlResult> FullCrawl(const sample::HiddenSample& sample,
     auto page_or = iface->Search({keyword});
     if (!page_or.ok()) {
       if (page_or.status().IsBudgetExhausted()) break;
+      if (page_or.status().IsUnavailable()) {
+        ++result.stats.queries_unavailable;
+      } else {
+        ++result.stats.queries_rejected;
+      }
       continue;
     }
     --budget_left;

@@ -88,6 +88,7 @@ Result<CrawlResult> OnlineSampleCrawl(const table::Table& local,
                       crawler->Crawl(iface, budget - spent));
 
   combined.queries_issued += crawl.queries_issued;
+  combined.stats = crawl.stats;
   combined.stopped_early = crawl.stopped_early;
   combined.covered_local_ids = std::move(crawl.covered_local_ids);
   combined.crawled_records = std::move(crawl.crawled_records);

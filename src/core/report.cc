@@ -68,4 +68,44 @@ std::string FormatSeriesTable(const SeriesTable& table, int precision) {
   return out;
 }
 
+std::string FormatTransportStats(const net::TransportStats& stats) {
+  std::string out;
+  char buf[160];
+  auto line = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out += buf;
+    out += '\n';
+  };
+  if (!stats.has_fault_layer && !stats.has_retry_layer &&
+      !stats.has_cache_layer) {
+    return "transport: direct (no net:: layers)\n";
+  }
+  if (stats.has_cache_layer) {
+    line("transport.cache: %zu hits / %zu misses (%.1f%% hit rate), "
+         "%zu evictions",
+         stats.cache.hits, stats.cache.misses, 100.0 * stats.cache.hit_rate(),
+         stats.cache.evictions);
+  }
+  if (stats.has_retry_layer) {
+    line("transport.retry: %zu attempts, %zu retries, %zu gave up, "
+         "%zu breaker trips",
+         stats.retry.attempts, stats.retry.retries, stats.retry.gave_up,
+         stats.retry.breaker_trips);
+  }
+  if (stats.has_fault_layer) {
+    line("transport.faults: %zu transient, %zu rate-limited, %zu truncated, "
+         "%zu duplicated (of %zu attempts)",
+         stats.fault.transient_faults, stats.fault.rate_limited,
+         stats.fault.truncated_pages, stats.fault.duplicated_pages,
+         stats.fault.attempts_seen);
+  }
+  line("transport.simulated_wait: %llu ms (latency %llu + backoff %llu + "
+       "breaker %llu)",
+       static_cast<unsigned long long>(stats.total_simulated_wait_ms()),
+       static_cast<unsigned long long>(stats.fault.simulated_latency_ms),
+       static_cast<unsigned long long>(stats.retry.backoff_wait_ms),
+       static_cast<unsigned long long>(stats.retry.breaker_wait_ms));
+  return out;
+}
+
 }  // namespace smartcrawl::core

@@ -5,12 +5,14 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "net/transport_stats.h"
 #include "util/status.h"
 
 /// \file report.h
 /// Result export: coverage curves and experiment outcomes as CSV (for
-/// plotting) and as aligned text tables (for terminals). Used by the CLI
-/// tools; the bench drivers print through the same table formatter.
+/// plotting) and as aligned text tables (for terminals), plus the
+/// transport-stack summary. Used by the CLI tools; the bench drivers print
+/// through the same table formatter.
 
 namespace smartcrawl::core {
 
@@ -30,5 +32,11 @@ Status WriteSeriesCsv(const std::string& path, const SeriesTable& table);
 
 /// Renders an aligned text table.
 std::string FormatSeriesTable(const SeriesTable& table, int precision = 0);
+
+/// Renders a per-layer transport summary (attempts, retries, faults by
+/// kind, breaker trips, cache hit rate, simulated waits). Layers absent
+/// from the stack are omitted; an empty stack renders a single line saying
+/// so.
+std::string FormatTransportStats(const net::TransportStats& stats);
 
 }  // namespace smartcrawl::core

@@ -383,7 +383,16 @@ Result<CrawlResult> SmartCrawler::Crawl(hidden::KeywordSearchInterface* iface,
         pq.Push(q, priority);
         break;
       }
+      if (page_or.status().IsUnavailable()) {
+        // Transport failure that survived the resilient layers: skip this
+        // query and keep crawling. The query is retired rather than
+        // re-pushed — re-pushing at the same priority would re-select it
+        // immediately and spin against a dead endpoint.
+        ++result.stats.queries_unavailable;
+        continue;
+      }
       // Query rejected by the interface (not counted): drop it and go on.
+      ++result.stats.queries_rejected;
       continue;
     }
     const std::vector<table::Record>& page = page_or.value();

@@ -30,7 +30,11 @@ class BudgetedInterface : public KeywordSearchInterface {
   size_t num_queries_issued() const override { return used_; }
 
   size_t budget() const { return budget_; }
-  size_t remaining() const { return budget_ - used_; }
+  /// Queries left before exhaustion. Guarded against underflow: should
+  /// `used_` ever exceed `budget_` (e.g. an inner decorator that issues
+  /// more than one provider query per Search), this saturates at 0 rather
+  /// than wrapping around to SIZE_MAX.
+  size_t remaining() const { return used_ >= budget_ ? 0 : budget_ - used_; }
   bool exhausted() const { return used_ >= budget_; }
 
  private:

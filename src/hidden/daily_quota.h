@@ -14,6 +14,22 @@
 /// AdvanceDay() models waiting for the next day. A crawler driven across
 /// several simulated days can spend b > quota total queries — the
 /// decorator keeps per-day and lifetime counts.
+///
+/// Stacking order with the net:: layers (see docs/architecture.md,
+/// "Transport stack"): the canonical order places the quota INSIDE the
+/// resilient client and OUTSIDE the fault injector,
+///
+///   cache -> resilient -> quota -> budget -> faults -> hidden DB.
+///
+/// The quota meters what the PROVIDER serves, not what the caller asks:
+/// Search charges the day's quota by the inner chain's accepted-query
+/// delta rather than by `result.ok()`. A net::CachingInterface placed
+/// inside this decorator (quota -> cache -> ...) therefore serves hits
+/// without consuming quota, and a faulted attempt that never reached the
+/// engine is free — matching how real APIs bill. Caveat of delta
+/// accounting: the inner chain must not be shared with concurrently
+/// querying users, or the delta would misattribute their traffic (the
+/// per-arm experiment harness gives each arm its own stack, as required).
 
 namespace smartcrawl::hidden {
 
@@ -30,11 +46,11 @@ class DailyQuotaInterface : public KeywordSearchInterface {
           "daily quota of " + std::to_string(quota_) +
           " requests exhausted (day " + std::to_string(day_) + ")");
     }
+    size_t before = inner_->num_queries_issued();
     auto result = inner_->Search(keywords);
-    if (result.ok()) {
-      ++used_today_;
-      ++total_;
-    }
+    size_t issued = inner_->num_queries_issued() - before;
+    used_today_ += issued;
+    total_ += issued;
     return result;
   }
 
@@ -49,7 +65,11 @@ class DailyQuotaInterface : public KeywordSearchInterface {
 
   size_t day() const { return day_; }
   size_t used_today() const { return used_today_; }
-  size_t remaining_today() const { return quota_ - used_today_; }
+  /// Saturates at 0 if an inner decorator ever over-issues (see
+  /// BudgetedInterface::remaining()).
+  size_t remaining_today() const {
+    return used_today_ >= quota_ ? 0 : quota_ - used_today_;
+  }
 
  private:
   KeywordSearchInterface* inner_;

@@ -1,0 +1,50 @@
+#include "net/caching_interface.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace smartcrawl::net {
+
+std::string CachingInterface::NormalizedKey(
+    const std::vector<std::string>& keywords) {
+  std::vector<std::string> normalized;
+  normalized.reserve(keywords.size());
+  for (const std::string& kw : keywords) normalized.push_back(ToLower(kw));
+  std::sort(normalized.begin(), normalized.end());
+  normalized.erase(std::unique(normalized.begin(), normalized.end()),
+                   normalized.end());
+  // '\x1f' (ASCII unit separator) cannot appear inside a tokenized keyword,
+  // so the join is collision-free.
+  return Join(normalized, "\x1f");
+}
+
+Result<std::vector<table::Record>> CachingInterface::Search(
+    const std::vector<std::string>& keywords) {
+  if (capacity_ == 0) return inner_->Search(keywords);
+
+  std::string key = NormalizedKey(keywords);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return it->second->page;  // copy: callers own their pages
+  }
+  ++stats_.misses;
+
+  auto result = inner_->Search(keywords);
+  if (!result.ok()) return result;
+  std::vector<table::Record> page = std::move(result).value();
+
+  entries_.push_front(Entry{std::move(key), page});
+  index_[entries_.front().key] = entries_.begin();
+  ++stats_.insertions;
+  if (entries_.size() > capacity_) {
+    index_.erase(entries_.back().key);
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+  return page;
+}
+
+}  // namespace smartcrawl::net

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hidden/search_interface.h"
+
+/// \file caching_interface.h
+/// Bounded LRU query-result cache for the hidden-database client path.
+///
+/// The same keyword query against the same (static, deterministic) hidden
+/// engine always returns the same page, so repeated queries — online
+/// sampling followed by crawling over one endpoint, multi-arm experiments
+/// sharing a provider, QSEL-BOUND re-issuing a kept query — can be served
+/// from a client-side cache instead of burning metered quota. Entries are
+/// keyed on the NORMALIZED keyword set (lowercased, sorted, deduplicated),
+/// so {"Noodle", "house"} and {"house", "noodle", "noodle"} share one
+/// entry, mirroring the engine's own set semantics.
+///
+/// Only successful pages are cached; errors (including kUnavailable from
+/// lower layers) always pass through. In the canonical stack the cache is
+/// the OUTERMOST layer — a hit costs neither a retry attempt nor budget.
+
+namespace smartcrawl::net {
+
+/// Cache counters (part of net::TransportStats).
+struct CacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;
+  size_t insertions = 0;
+
+  double hit_rate() const {
+    size_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+class CachingInterface : public hidden::KeywordSearchInterface {
+ public:
+  /// `inner` must outlive this decorator. `capacity` is the maximum number
+  /// of cached pages; 0 disables caching (pure pass-through).
+  CachingInterface(hidden::KeywordSearchInterface* inner, size_t capacity)
+      : inner_(inner), capacity_(capacity) {}
+
+  Result<std::vector<table::Record>> Search(
+      const std::vector<std::string>& keywords) override;
+
+  size_t top_k() const override { return inner_->top_k(); }
+  /// Cache hits issue nothing: the provider-side count is the inner one.
+  size_t num_queries_issued() const override {
+    return inner_->num_queries_issued();
+  }
+
+  const CacheStats& stats() const { return stats_; }
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// The canonical cache key for a keyword set (exposed for tests).
+  static std::string NormalizedKey(const std::vector<std::string>& keywords);
+
+ private:
+  struct Entry {
+    std::string key;
+    std::vector<table::Record> page;
+  };
+
+  hidden::KeywordSearchInterface* inner_;
+  size_t capacity_;
+  /// Most-recently-used at the front.
+  std::list<Entry> entries_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace smartcrawl::net

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file clock.h
+/// Simulated time for the transport subsystem.
+///
+/// Everything in net:: that "waits" — fault-model latency, retry backoff,
+/// circuit-breaker cooldowns — advances a SimulatedClock instead of
+/// sleeping, so tests covering minutes of simulated traffic run in
+/// microseconds and remain fully deterministic. One clock instance is
+/// shared by every layer of a transport stack.
+
+namespace smartcrawl::net {
+
+/// Monotonic simulated clock, in milliseconds since construction.
+class SimulatedClock {
+ public:
+  uint64_t now_ms() const { return now_ms_; }
+
+  /// Advances time by `ms` (a simulated wait).
+  void Advance(uint64_t ms) { now_ms_ += ms; }
+
+  /// Advances time to `deadline_ms` if it lies in the future; a no-op
+  /// otherwise (the clock never moves backwards).
+  void AdvanceTo(uint64_t deadline_ms) {
+    if (deadline_ms > now_ms_) now_ms_ = deadline_ms;
+  }
+
+ private:
+  uint64_t now_ms_ = 0;
+};
+
+}  // namespace smartcrawl::net

@@ -1,0 +1,47 @@
+#include "net/fault_injection.h"
+
+namespace smartcrawl::net {
+
+Result<std::vector<table::Record>> FaultInjectingInterface::Search(
+    const std::vector<std::string>& keywords) {
+  ++stats_.attempts_seen;
+
+  // Latency is paid by every attempt, faulted or not: a timed-out request
+  // still spent its round trip.
+  uint64_t latency = options_.latency_ms;
+  if (options_.latency_jitter_ms > 0) {
+    latency += rng_.UniformIndex(options_.latency_jitter_ms + 1);
+  }
+  stats_.simulated_latency_ms += latency;
+  if (clock_ != nullptr) clock_->Advance(latency);
+
+  // Fault fate is drawn in a fixed order so the stream is reproducible
+  // regardless of which rates are zero.
+  if (rng_.Bernoulli(options_.rate_limit_rate)) {
+    ++stats_.rate_limited;
+    return Status::RateLimited("injected rate limit",
+                               options_.retry_after_ms);
+  }
+  if (rng_.Bernoulli(options_.transient_fault_rate)) {
+    ++stats_.transient_faults;
+    return Status::Unavailable("injected transient transport failure");
+  }
+
+  auto result = inner_->Search(keywords);
+  if (!result.ok()) return result;
+  std::vector<table::Record> page = std::move(result).value();
+
+  if (page.size() >= 2 && rng_.Bernoulli(options_.truncate_rate)) {
+    // Keep a uniform strict prefix of length in [1, size-1].
+    size_t keep = 1 + static_cast<size_t>(rng_.UniformIndex(page.size() - 1));
+    page.resize(keep);
+    ++stats_.truncated_pages;
+  }
+  if (!page.empty() && rng_.Bernoulli(options_.duplicate_rate)) {
+    page.push_back(page[rng_.UniformIndex(page.size())]);
+    ++stats_.duplicated_pages;
+  }
+  return page;
+}
+
+}  // namespace smartcrawl::net

@@ -1,0 +1,53 @@
+#include "net/transport_stack.h"
+
+namespace smartcrawl::net {
+
+TransportStack::TransportStack(hidden::KeywordSearchInterface* origin,
+                               const TransportOptions& options) {
+  hidden::KeywordSearchInterface* current = origin;
+  if (options.inject_faults) {
+    fault_ = std::make_unique<FaultInjectingInterface>(current, options.fault,
+                                                       &clock_);
+    current = fault_.get();
+  }
+  if (options.budget > 0) {
+    budget_ = std::make_unique<hidden::BudgetedInterface>(current,
+                                                          options.budget);
+    current = budget_.get();
+  }
+  if (options.daily_quota > 0) {
+    quota_ = std::make_unique<hidden::DailyQuotaInterface>(
+        current, options.daily_quota);
+    current = quota_.get();
+  }
+  if (options.resilient) {
+    resilient_ =
+        std::make_unique<ResilientClient>(current, options.retry, &clock_);
+    current = resilient_.get();
+  }
+  if (options.cache_capacity > 0) {
+    cache_ = std::make_unique<CachingInterface>(current,
+                                                options.cache_capacity);
+    current = cache_.get();
+  }
+  top_ = current;
+}
+
+TransportStats TransportStack::Stats() const {
+  TransportStats out;
+  if (fault_ != nullptr) {
+    out.fault = fault_->stats();
+    out.has_fault_layer = true;
+  }
+  if (resilient_ != nullptr) {
+    out.retry = resilient_->stats();
+    out.has_retry_layer = true;
+  }
+  if (cache_ != nullptr) {
+    out.cache = cache_->stats();
+    out.has_cache_layer = true;
+  }
+  return out;
+}
+
+}  // namespace smartcrawl::net

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "hidden/budget.h"
+#include "hidden/daily_quota.h"
+#include "hidden/search_interface.h"
+#include "net/caching_interface.h"
+#include "net/clock.h"
+#include "net/fault_injection.h"
+#include "net/resilient_client.h"
+#include "net/transport_stats.h"
+
+/// \file transport_stack.h
+/// Assembles the canonical transport stack over a hidden-database origin.
+///
+/// Layer order, outermost first (what the crawler talks to is top()):
+///
+///   CachingInterface          repeated queries never leave the client
+///     ResilientClient         retries/backoff/breaker around everything
+///       DailyQuotaInterface   per-day metering (optional)
+///         BudgetedInterface   lifetime budget b (optional)
+///           FaultInjecting    the simulated flaky network/endpoint
+///             origin          hidden::HiddenDatabase (or any interface)
+///
+/// Rationale: the cache is outermost so hits cost nothing at all; the
+/// resilient client sits above the meters so a kBudgetExhausted is seen
+/// un-retried and failed attempts never show up in budget accounting; the
+/// fault injector is innermost because faults model the wire between the
+/// client stack and the provider. Every layer is optional — disabled
+/// layers are simply not constructed and top() skips them.
+
+namespace smartcrawl::net {
+
+struct TransportOptions {
+  /// Fault model. Only applied when `inject_faults` is true (so a stack
+  /// with an all-zero-rate-but-latency model is still expressible).
+  bool inject_faults = false;
+  FaultOptions fault;
+
+  /// Lifetime query budget b; 0 = no budget layer.
+  size_t budget = 0;
+
+  /// Per-day quota; 0 = no quota layer.
+  size_t daily_quota = 0;
+
+  /// Retry layer. Disable for raw pass-through stacks.
+  bool resilient = true;
+  RetryOptions retry;
+
+  /// LRU cache capacity in pages; 0 = no cache layer.
+  size_t cache_capacity = 0;
+};
+
+class TransportStack {
+ public:
+  /// `origin` must outlive the stack.
+  TransportStack(hidden::KeywordSearchInterface* origin,
+                 const TransportOptions& options);
+
+  TransportStack(const TransportStack&) = delete;
+  TransportStack& operator=(const TransportStack&) = delete;
+
+  /// The outermost interface — what crawlers should Search through.
+  hidden::KeywordSearchInterface* top() { return top_; }
+
+  /// The shared simulated clock (latency + backoff + cooldowns).
+  SimulatedClock& clock() { return clock_; }
+  const SimulatedClock& clock() const { return clock_; }
+
+  /// Snapshot of all per-layer counters.
+  TransportStats Stats() const;
+
+  /// Layer accessors; nullptr when the layer is disabled.
+  hidden::BudgetedInterface* budget() { return budget_.get(); }
+  hidden::DailyQuotaInterface* quota() { return quota_.get(); }
+  FaultInjectingInterface* fault_injector() { return fault_.get(); }
+  ResilientClient* resilient() { return resilient_.get(); }
+  CachingInterface* cache() { return cache_.get(); }
+
+ private:
+  SimulatedClock clock_;
+  // Innermost to outermost; construction order is destruction-safe because
+  // each layer only holds a raw pointer to the one below.
+  std::unique_ptr<FaultInjectingInterface> fault_;
+  std::unique_ptr<hidden::BudgetedInterface> budget_;
+  std::unique_ptr<hidden::DailyQuotaInterface> quota_;
+  std::unique_ptr<ResilientClient> resilient_;
+  std::unique_ptr<CachingInterface> cache_;
+  hidden::KeywordSearchInterface* top_;
+};
+
+}  // namespace smartcrawl::net

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "net/caching_interface.h"
+#include "net/fault_injection.h"
+#include "net/resilient_client.h"
+
+/// \file transport_stats.h
+/// Aggregated per-layer counters of a transport stack.
+///
+/// Each net:: layer keeps its own counters; TransportStats snapshots them
+/// into one value object so the crawl harness, core::report and the CLI
+/// summary can surface the whole stack's behaviour (attempts, retries,
+/// faults by kind, breaker trips, cache hit rate, simulated waits) without
+/// holding pointers into the stack.
+
+namespace smartcrawl::net {
+
+struct TransportStats {
+  FaultStats fault;
+  RetryStats retry;
+  CacheStats cache;
+
+  /// Which layers were present in the stack that produced this snapshot
+  /// (absent layers keep zeroed counters).
+  bool has_fault_layer = false;
+  bool has_retry_layer = false;
+  bool has_cache_layer = false;
+
+  /// Total simulated time attributable to transport: endpoint latency plus
+  /// retry backoff plus breaker cooldowns.
+  uint64_t total_simulated_wait_ms() const {
+    return fault.simulated_latency_ms + retry.backoff_wait_ms +
+           retry.breaker_wait_ms;
+  }
+};
+
+}  // namespace smartcrawl::net

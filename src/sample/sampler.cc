@@ -95,12 +95,18 @@ Result<HiddenSample> KeywordSample(hidden::KeywordSearchInterface* iface,
   HiddenSample out;
   size_t queries = 0;
   bool out_of_budget = false;
+  // Failed Search attempts (kUnavailable surviving any resilience layers
+  // below us). They consume no provider budget, but an endpoint that is
+  // down for good must not spin the sampler forever — give up once the
+  // failures alone exceed the query cap.
+  size_t unavailable_attempts = 0;
   std::unordered_map<uint64_t, size_t> seen;  // record key -> sample index
   // Accepted draws in order (with repetition) for capture–recapture.
   std::vector<uint64_t> draws;
 
   while (seen.size() < options.target_sample_size && !out_of_budget &&
-         queries < options.max_queries) {
+         queries < options.max_queries &&
+         unavailable_attempts <= options.max_queries) {
     // Random walk: start from one random pool keyword; while the page comes
     // back full (possible overflow, contents ranking-biased), refine the
     // query with a keyword from a random record of the page.
@@ -112,7 +118,8 @@ Result<HiddenSample> KeywordSample(hidden::KeywordSearchInterface* iface,
       auto page_or = iface->Search(query);
       if (!page_or.ok()) {
         if (page_or.status().IsBudgetExhausted()) out_of_budget = true;
-        break;
+        if (page_or.status().IsUnavailable()) ++unavailable_attempts;
+        break;  // abandon this walk, draw a fresh start keyword
       }
       ++queries;
       page = std::move(page_or).value();

@@ -22,6 +22,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "IO error";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
@@ -32,6 +34,9 @@ std::string Status::ToString() const {
   if (!message_.empty()) {
     out += ": ";
     out += message_;
+  }
+  if (retry_after_ms_ > 0) {
+    out += " (retry after " + std::to_string(retry_after_ms_) + "ms)";
   }
   return out;
 }

@@ -25,6 +25,11 @@ enum class StatusCode : int {
   kBudgetExhausted = 6,
   kIOError = 7,
   kInternal = 8,
+  /// Transient transport-level failure (network fault, timeout, 429-style
+  /// rate limiting). Unlike the terminal kBudgetExhausted, an Unavailable
+  /// operation may be RETRIED; rate-limit rejections can carry a
+  /// retry-after hint (see Status::retry_after_ms()).
+  kUnavailable = 9,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -68,6 +73,17 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// An Unavailable status carrying a retry-after hint, as returned by
+  /// rate-limiting endpoints (HTTP 429 + Retry-After). `retry_after_ms`
+  /// is in simulated milliseconds; 0 means "no hint".
+  static Status RateLimited(std::string msg, uint64_t retry_after_ms) {
+    Status s(StatusCode::kUnavailable, std::move(msg));
+    s.retry_after_ms_ = retry_after_ms;
+    return s;
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -87,17 +103,23 @@ class Status {
   }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+
+  /// Retry-after hint in milliseconds (kUnavailable only; 0 = no hint).
+  uint64_t retry_after_ms() const { return retry_after_ms_; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;
 
   bool operator==(const Status& other) const {
-    return code_ == other.code_ && message_ == other.message_;
+    return code_ == other.code_ && message_ == other.message_ &&
+           retry_after_ms_ == other.retry_after_ms_;
   }
 
  private:
   StatusCode code_;
   std::string message_;
+  uint64_t retry_after_ms_ = 0;
 };
 
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {

@@ -55,6 +55,26 @@ TEST(BudgetedInterfaceTest, ForwardsTopK) {
   EXPECT_EQ(iface.top_k(), 10u);
 }
 
+TEST(BudgetedInterfaceTest, RemainingSaturatesAtZero) {
+  // remaining() is budget - used; the subtraction must saturate rather
+  // than wrap when used_ has (through any accounting path) caught up with
+  // or passed the budget. Walk right up to the boundary and over it.
+  auto db = SmallDb();
+  BudgetedInterface iface(&db, 2);
+  EXPECT_EQ(iface.remaining(), 2u);
+  ASSERT_TRUE(iface.Search({"beta"}).ok());
+  EXPECT_EQ(iface.remaining(), 1u);
+  ASSERT_TRUE(iface.Search({"beta"}).ok());
+  EXPECT_EQ(iface.remaining(), 0u);
+  // Past the boundary: rejected queries must leave remaining() pinned at
+  // 0, never underflowed to SIZE_MAX.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(iface.Search({"beta"}).ok());
+    EXPECT_EQ(iface.remaining(), 0u);
+    EXPECT_TRUE(iface.exhausted());
+  }
+}
+
 TEST(BudgetedInterfaceTest, ZeroBudgetRejectsImmediately) {
   auto db = SmallDb();
   BudgetedInterface iface(&db, 0);

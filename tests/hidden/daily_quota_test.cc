@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "hidden/hidden_database.h"
+#include "net/caching_interface.h"
 
 namespace smartcrawl::hidden {
 namespace {
@@ -43,6 +44,30 @@ TEST(DailyQuotaTest, RejectedQueriesDontConsumeQuota) {
   DailyQuotaInterface iface(&db, 1);
   EXPECT_FALSE(iface.Search({}).ok());  // invalid query
   EXPECT_EQ(iface.remaining_today(), 1u);
+}
+
+TEST(DailyQuotaTest, CacheHitsInsideTheQuotaAreFree) {
+  // Stacking-order contract from daily_quota.h: the quota meters the
+  // engine-issued delta, so a cache layer placed INSIDE the quota (quota
+  // -> cache -> db, the inverted order) still gets its hits for free.
+  auto db = SmallDb();
+  net::CachingInterface cache(&db, 8);
+  DailyQuotaInterface quota(&cache, 2);
+  ASSERT_TRUE(quota.Search({"beta"}).ok());   // miss: reaches the engine
+  EXPECT_EQ(quota.remaining_today(), 1u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(quota.Search({"beta"}).ok());  // hits: engine never moves
+  }
+  EXPECT_EQ(quota.remaining_today(), 1u);
+  EXPECT_EQ(cache.stats().hits, 5u);
+  ASSERT_TRUE(quota.Search({"alpha"}).ok());  // second real query
+  EXPECT_EQ(quota.remaining_today(), 0u);
+  // Once the day's quota is spent the gate rejects everything — including
+  // queries the inner cache could have answered. That is the cost of the
+  // inverted order; the canonical order (cache OUTSIDE quota) keeps cached
+  // answers flowing after exhaustion.
+  EXPECT_TRUE(quota.Search({"gamma"}).status().IsBudgetExhausted());
+  EXPECT_TRUE(quota.Search({"beta"}).status().IsBudgetExhausted());
 }
 
 TEST(DailyQuotaTest, MultiDayCrawlAccumulates) {

@@ -1,0 +1,154 @@
+#include "net/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include "hidden/hidden_database.h"
+
+namespace smartcrawl::net {
+namespace {
+
+hidden::HiddenDatabase SmallDb(size_t top_k = 10) {
+  table::Table t(table::Schema{{"name"}});
+  EXPECT_TRUE(t.Append({"alpha beta"}, 1).ok());
+  EXPECT_TRUE(t.Append({"beta gamma"}, 2).ok());
+  EXPECT_TRUE(t.Append({"beta delta"}, 3).ok());
+  hidden::HiddenDatabaseOptions opt;
+  opt.top_k = top_k;
+  return hidden::HiddenDatabase(std::move(t), opt);
+}
+
+TEST(NetFaultInjectionTest, ZeroRatesArePureDecoration) {
+  auto db = SmallDb();
+  FaultInjectingInterface iface(&db, FaultOptions{});
+  auto r = iface.Search({"beta"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 3u);
+  EXPECT_EQ(iface.top_k(), 10u);
+  EXPECT_EQ(iface.num_queries_issued(), 1u);
+  EXPECT_EQ(iface.stats().transient_faults, 0u);
+  EXPECT_EQ(iface.stats().rate_limited, 0u);
+}
+
+TEST(NetFaultInjectionTest, FaultStreamIsDeterministicPerSeed) {
+  FaultOptions opt;
+  opt.transient_fault_rate = 0.3;
+  opt.rate_limit_rate = 0.1;
+  opt.seed = 42;
+
+  auto fates = [&](uint64_t seed) {
+    auto db = SmallDb();
+    FaultOptions o = opt;
+    o.seed = seed;
+    FaultInjectingInterface iface(&db, o);
+    std::vector<int> out;
+    for (int i = 0; i < 200; ++i) {
+      auto r = iface.Search({"beta"});
+      out.push_back(r.ok() ? 0 : (r.status().retry_after_ms() > 0 ? 2 : 1));
+    }
+    return out;
+  };
+
+  EXPECT_EQ(fates(42), fates(42));
+  EXPECT_NE(fates(42), fates(43));
+}
+
+TEST(NetFaultInjectionTest, FaultedAttemptsNeverReachTheEngine) {
+  auto db = SmallDb();
+  FaultOptions opt;
+  opt.transient_fault_rate = 1.0;
+  FaultInjectingInterface iface(&db, opt);
+  for (int i = 0; i < 5; ++i) {
+    auto r = iface.Search({"beta"});
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsUnavailable());
+  }
+  EXPECT_EQ(db.num_queries_issued(), 0u);
+  EXPECT_EQ(iface.num_queries_issued(), 0u);
+  EXPECT_EQ(iface.stats().transient_faults, 5u);
+  EXPECT_EQ(iface.stats().attempts_seen, 5u);
+}
+
+TEST(NetFaultInjectionTest, RateLimitCarriesRetryAfterHint) {
+  auto db = SmallDb();
+  FaultOptions opt;
+  opt.rate_limit_rate = 1.0;
+  opt.retry_after_ms = 2500;
+  FaultInjectingInterface iface(&db, opt);
+  auto r = iface.Search({"beta"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnavailable());
+  EXPECT_EQ(r.status().retry_after_ms(), 2500u);
+  EXPECT_EQ(iface.stats().rate_limited, 1u);
+}
+
+TEST(NetFaultInjectionTest, LatencyModelAdvancesSimulatedClock) {
+  auto db = SmallDb();
+  SimulatedClock clock;
+  FaultOptions opt;
+  opt.latency_ms = 40;
+  FaultInjectingInterface iface(&db, opt, &clock);
+  ASSERT_TRUE(iface.Search({"beta"}).ok());
+  ASSERT_TRUE(iface.Search({"beta"}).ok());
+  EXPECT_EQ(clock.now_ms(), 80u);
+  EXPECT_EQ(iface.stats().simulated_latency_ms, 80u);
+
+  // Jitter stays within [base, base + jitter].
+  SimulatedClock jclock;
+  FaultOptions jopt;
+  jopt.latency_ms = 10;
+  jopt.latency_jitter_ms = 5;
+  FaultInjectingInterface jiface(&db, jopt, &jclock);
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(jiface.Search({"beta"}).ok());
+  EXPECT_GE(jclock.now_ms(), 20u * 10u);
+  EXPECT_LE(jclock.now_ms(), 20u * 15u);
+}
+
+TEST(NetFaultInjectionTest, TruncatedPagesAreStrictPrefixes) {
+  auto db = SmallDb();
+  FaultOptions opt;
+  opt.truncate_rate = 1.0;
+  FaultInjectingInterface iface(&db, opt);
+  auto full = db.Search({"beta"});
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(full.value().size(), 3u);
+  for (int i = 0; i < 10; ++i) {
+    auto r = iface.Search({"beta"});
+    ASSERT_TRUE(r.ok());
+    ASSERT_GE(r.value().size(), 1u);
+    ASSERT_LT(r.value().size(), 3u);
+    for (size_t j = 0; j < r.value().size(); ++j) {
+      EXPECT_EQ(r.value()[j].id, full.value()[j].id);
+    }
+  }
+  EXPECT_EQ(iface.stats().truncated_pages, 10u);
+}
+
+TEST(NetFaultInjectionTest, DuplicatedPagesRepeatAnExistingRecord) {
+  auto db = SmallDb();
+  FaultOptions opt;
+  opt.duplicate_rate = 1.0;
+  FaultInjectingInterface iface(&db, opt);
+  auto r = iface.Search({"beta"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 4u);  // 3 matches + 1 duplicate
+  const table::Record& dup = r.value().back();
+  size_t occurrences = 0;
+  for (const auto& rec : r.value()) {
+    if (rec.id == dup.id) ++occurrences;
+  }
+  EXPECT_GE(occurrences, 2u);
+  EXPECT_EQ(iface.stats().duplicated_pages, 1u);
+}
+
+TEST(NetFaultInjectionTest, InnerErrorsPassThroughUnchanged) {
+  auto db = SmallDb();
+  FaultOptions opt;
+  opt.truncate_rate = 1.0;  // must not matter for errored results
+  FaultInjectingInterface iface(&db, opt);
+  auto r = iface.Search({});  // invalid: no keywords
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace smartcrawl::net

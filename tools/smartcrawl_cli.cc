@@ -8,6 +8,7 @@
 ///       --budget=500 --k=50 --policy=smart-b --theta=0.005 \
 ///       --import=3:year --output=enriched.csv --curve=curve.csv
 
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 
@@ -18,6 +19,7 @@
 #include "core/smart_crawler.h"
 #include "hidden/budget.h"
 #include "hidden/hidden_database.h"
+#include "net/transport_stack.h"
 #include "sample/sampler.h"
 #include "util/flags.h"
 #include "util/string_util.h"
@@ -45,6 +47,15 @@ struct CliConfig {
   std::string import_spec;
   std::string output;
   std::string curve;
+
+  // Transport-stack knobs (see docs/architecture.md, "Transport stack").
+  double fault_rate = 0.0;
+  double rate_limit_rate = 0.0;
+  int64_t latency_ms = 0;
+  int64_t retry_max = 4;
+  int64_t retry_budget = -1;  // -1 = unlimited
+  int64_t cache_size = 0;
+  int64_t net_seed = 0;
 };
 
 Result<core::SelectionPolicy> ParsePolicy(const std::string& s) {
@@ -129,8 +140,28 @@ int Run(const CliConfig& cfg) {
               local.size(), db.OracleSize(), db.top_k(), cfg.mode.c_str(),
               static_cast<long long>(cfg.budget));
 
-  // --- Crawl. ---------------------------------------------------------------
-  hidden::BudgetedInterface iface(&db, static_cast<size_t>(cfg.budget));
+  // --- Assemble the transport stack and crawl. ------------------------------
+  // Canonical order: cache -> resilient -> budget -> faults -> hidden DB.
+  net::TransportOptions topt;
+  topt.inject_faults = cfg.fault_rate > 0.0 || cfg.rate_limit_rate > 0.0 ||
+                       cfg.latency_ms > 0;
+  topt.fault.transient_fault_rate = cfg.fault_rate;
+  topt.fault.rate_limit_rate = cfg.rate_limit_rate;
+  topt.fault.latency_ms =
+      cfg.latency_ms > 0 ? static_cast<uint64_t>(cfg.latency_ms) : 0;
+  topt.fault.seed = static_cast<uint64_t>(cfg.net_seed);
+  topt.budget = static_cast<size_t>(cfg.budget);
+  topt.resilient = true;
+  topt.retry.max_attempts =
+      cfg.retry_max < 1 ? 1 : static_cast<size_t>(cfg.retry_max);
+  topt.retry.retry_budget = cfg.retry_budget < 0
+                                ? SIZE_MAX
+                                : static_cast<size_t>(cfg.retry_budget);
+  topt.retry.seed = static_cast<uint64_t>(cfg.net_seed) + 1;
+  topt.cache_capacity =
+      cfg.cache_size > 0 ? static_cast<size_t>(cfg.cache_size) : 0;
+  net::TransportStack stack(&db, topt);
+  hidden::KeywordSearchInterface& iface = *stack.top();
   core::CrawlResult crawl;
   if (cfg.policy == "naive") {
     core::NaiveCrawlOptions nopt;
@@ -222,6 +253,12 @@ int Run(const CliConfig& cfg) {
               "%zu local records matched by the crawler\n",
               crawl.queries_issued, crawl.crawled_records.size(),
               crawl.covered_local_ids.size());
+  if (crawl.stats.queries_unavailable > 0) {
+    std::printf("skipped %zu queries on transport failures (endpoint "
+                "unavailable after retries)\n",
+                crawl.stats.queries_unavailable);
+  }
+  std::printf("%s", core::FormatTransportStats(stack.Stats()).c_str());
 
   // --- Enrich and write outputs. --------------------------------------------
   if (!cfg.output.empty()) {
@@ -314,6 +351,22 @@ int main(int argc, char** argv) {
                   "columns to import: <hidden-field-index>:<new-name>,...");
   flags.AddString("output", &cfg.output, "enriched CSV output path");
   flags.AddString("curve", &cfg.curve, "per-query fetch-curve CSV path");
+  flags.AddDouble("fault-rate", &cfg.fault_rate,
+                  "inject transient transport failures with this "
+                  "probability per attempt");
+  flags.AddDouble("rate-limit-rate", &cfg.rate_limit_rate,
+                  "inject rate-limit rejections (with retry-after hint) "
+                  "with this probability per attempt");
+  flags.AddInt("latency-ms", &cfg.latency_ms,
+               "simulated per-attempt endpoint latency (no real sleeping)");
+  flags.AddInt("retry-max", &cfg.retry_max,
+               "attempts per query incl. the first (1 = no retries)");
+  flags.AddInt("retry-budget", &cfg.retry_budget,
+               "lifetime cap on retries across the crawl (-1 = unlimited)");
+  flags.AddInt("cache-size", &cfg.cache_size,
+               "LRU query-result cache capacity in pages (0 = no cache)");
+  flags.AddInt("net-seed", &cfg.net_seed,
+               "seed for the fault model and retry jitter");
 
   auto st = flags.Parse(argc, argv);
   if (!st.ok()) {
