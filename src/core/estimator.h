@@ -47,22 +47,25 @@ struct EstimatorContext {
 };
 
 /// Computes α = θ|D| / |Hs| (0 when the sample is empty).
-double ComputeAlpha(double theta, size_t local_size, size_t sample_size);
+[[nodiscard]] double ComputeAlpha(double theta, size_t local_size,
+                                  size_t sample_size);
 
 /// Predicts whether q is solid or overflowing from sample frequencies
 /// (paper Sec. 5.1 + the Sec. 6.2 fallback for freq_hs = 0).
-QueryType PredictQueryType(size_t freq_hs, size_t freq_d,
-                           const EstimatorContext& ctx);
+[[nodiscard]] QueryType PredictQueryType(size_t freq_hs, size_t freq_d,
+                                         const EstimatorContext& ctx);
 
 /// Estimated benefit of q. `type` should come from PredictQueryType.
 /// All estimates are clamped to [0, k]: no query's true benefit can exceed
 /// the page size (Sec. 5).
-double EstimateBenefit(EstimatorKind kind, QueryType type, size_t freq_d,
-                       size_t freq_hs, size_t inter,
-                       const EstimatorContext& ctx);
+[[nodiscard]] double EstimateBenefit(EstimatorKind kind, QueryType type,
+                                     size_t freq_d, size_t freq_hs,
+                                     size_t inter,
+                                     const EstimatorContext& ctx);
 
 /// Convenience: predict-then-estimate.
-double EstimateBenefit(EstimatorKind kind, size_t freq_d, size_t freq_hs,
-                       size_t inter, const EstimatorContext& ctx);
+[[nodiscard]] double EstimateBenefit(EstimatorKind kind, size_t freq_d,
+                                     size_t freq_hs, size_t inter,
+                                     const EstimatorContext& ctx);
 
 }  // namespace smartcrawl::core

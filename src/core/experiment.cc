@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/baseline_crawlers.h"
+#include "util/result.h"
 #include "core/metrics.h"
 #include "core/online.h"
 #include "hidden/budget.h"

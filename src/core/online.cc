@@ -6,6 +6,7 @@
 #include "sample/sampler.h"
 #include "text/tokenizer.h"
 #include "util/string_util.h"
+#include "util/result.h"
 
 namespace smartcrawl::core {
 

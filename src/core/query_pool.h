@@ -33,7 +33,7 @@ struct Query {
   /// True if this query came from Q_naive (vs pattern mining).
   bool is_naive = false;
 
-  std::string Display() const;
+  [[nodiscard]] std::string Display() const;
 };
 
 struct QueryPoolOptions {
@@ -67,13 +67,13 @@ struct QueryPool {
   /// True if itemset mining hit the max_mined_itemsets cap.
   bool mining_truncated = false;
 
-  size_t size() const { return queries.size(); }
+  [[nodiscard]] size_t size() const { return queries.size(); }
 };
 
 /// Generates the pool from the local documents.
 /// `local_docs[i]` must be the document of local record i over `dict`.
-QueryPool GenerateQueryPool(const std::vector<text::Document>& local_docs,
-                            const text::TermDictionary& dict,
-                            const QueryPoolOptions& options);
+[[nodiscard]] QueryPool GenerateQueryPool(
+    const std::vector<text::Document>& local_docs,
+    const text::TermDictionary& dict, const QueryPoolOptions& options);
 
 }  // namespace smartcrawl::core

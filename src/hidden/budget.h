@@ -23,19 +23,19 @@ class BudgetedInterface : public KeywordSearchInterface {
   BudgetedInterface(KeywordSearchInterface* inner, size_t budget)
       : inner_(inner), budget_(budget) {}
 
-  Result<std::vector<table::Record>> Search(
+  [[nodiscard]] Result<std::vector<table::Record>> Search(
       const std::vector<std::string>& keywords) override;
 
-  size_t top_k() const override { return inner_->top_k(); }
-  size_t num_queries_issued() const override { return used_; }
+  [[nodiscard]] size_t top_k() const override { return inner_->top_k(); }
+  [[nodiscard]] size_t num_queries_issued() const override { return used_; }
 
-  size_t budget() const { return budget_; }
+  [[nodiscard]] size_t budget() const { return budget_; }
   /// Queries left before exhaustion. Guarded against underflow: should
   /// `used_` ever exceed `budget_` (e.g. an inner decorator that issues
   /// more than one provider query per Search), this saturates at 0 rather
   /// than wrapping around to SIZE_MAX.
-  size_t remaining() const { return used_ >= budget_ ? 0 : budget_ - used_; }
-  bool exhausted() const { return used_ >= budget_; }
+  [[nodiscard]] size_t remaining() const { return used_ >= budget_ ? 0 : budget_ - used_; }
+  [[nodiscard]] bool exhausted() const { return used_ >= budget_; }
 
  private:
   KeywordSearchInterface* inner_;

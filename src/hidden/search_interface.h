@@ -27,14 +27,14 @@ class KeywordSearchInterface {
   /// top-k matching records (the "result page"). An effectively empty query
   /// (no non-stop-word keywords) is rejected with InvalidArgument and does
   /// not count as issued.
-  virtual Result<std::vector<table::Record>> Search(
+  [[nodiscard]] virtual Result<std::vector<table::Record>> Search(
       const std::vector<std::string>& keywords) = 0;
 
   /// The documented result-page limit k of this interface.
-  virtual size_t top_k() const = 0;
+  [[nodiscard]] virtual size_t top_k() const = 0;
 
   /// Number of (accepted) queries issued so far through this handle.
-  virtual size_t num_queries_issued() const = 0;
+  [[nodiscard]] virtual size_t num_queries_issued() const = 0;
 };
 
 }  // namespace smartcrawl::hidden

@@ -8,6 +8,8 @@
 
 #include "sample/size_estimator.h"
 #include "text/tokenizer.h"
+#include "util/result.h"
+#include "util/status.h"
 
 namespace smartcrawl::sample {
 

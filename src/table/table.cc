@@ -4,6 +4,7 @@
 
 #include "util/csv.h"
 #include "util/hash.h"
+#include "util/result.h"
 
 namespace smartcrawl::table {
 

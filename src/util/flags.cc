@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "util/string_util.h"
+#include "util/status.h"
 
 namespace smartcrawl {
 

@@ -14,8 +14,11 @@ namespace smartcrawl {
 /// Holds either a successfully computed T or the Status explaining why the
 /// computation failed. Accessing the value of an errored Result is a
 /// programming error (checked by assertion).
+///
+/// Like Status, Result is [[nodiscard]]: dropping one silently loses both
+/// the value and the error (see rule sc-discarded-status).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -25,10 +28,10 @@ class Result {
            "Result constructed from OK status");
   }
 
-  bool ok() const { return std::holds_alternative<T>(repr_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(repr_); }
 
   /// The error status; Status::OK() when the Result holds a value.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(repr_);
   }

@@ -41,7 +41,12 @@ std::string_view StatusCodeToString(StatusCode code);
 /// Statuses are cheap to copy in the OK case (single enum) and cheap enough
 /// otherwise. Functions that can fail return Status and write outputs through
 /// pointers, or return Result<T>.
-class Status {
+///
+/// The class is [[nodiscard]]: every function returning a Status by value
+/// makes the caller either check it, propagate it (SC_RETURN_NOT_OK), or
+/// discard it explicitly with (void) — sc_lint enforces the same contract
+/// statically (rule sc-discarded-status).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -85,9 +90,9 @@ class Status {
     return s;
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
@@ -106,10 +111,10 @@ class Status {
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// Retry-after hint in milliseconds (kUnavailable only; 0 = no hint).
-  uint64_t retry_after_ms() const { return retry_after_ms_; }
+  [[nodiscard]] uint64_t retry_after_ms() const { return retry_after_ms_; }
 
   /// "OK" or "<code name>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_ &&

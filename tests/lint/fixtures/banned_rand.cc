@@ -1,0 +1,7 @@
+// Fixture: sc-banned-rand fires on every ambient-randomness call.
+#include <cstdlib>
+int FixtureRand() {
+  int a = rand();  // finding: line 4
+  srand(42u);      // finding: line 5
+  return a + static_cast<int>(drand48());  // finding: line 6
+}

@@ -1,0 +1,7 @@
+// Fixture: sc-banned-time fires on wall-clock seeds.
+#include <ctime>
+long FixtureTime() {
+  long t = time(nullptr);  // finding: line 4
+  long u = time(NULL);     // finding: line 5
+  return t + u;
+}

@@ -1,0 +1,6 @@
+// Fixture: SC_RETURN_NOT_OK without a direct include of util/status.h
+// (or the util/result.h umbrella) — sc-direct-include.
+#define SC_RETURN_NOT_OK(x) (x)
+int FixtureInclude() {
+  return SC_RETURN_NOT_OK(0);  // finding: line 5
+}

@@ -1,0 +1,20 @@
+// Fixture: sc-discarded-status fires on dropped Status/Result values,
+// including a call that is the whole body of an if; explicit (void)
+// discards and consumed values are allowed.
+struct Status {
+  bool ok() const { return true; }
+};
+template <typename T>
+struct Result {
+  bool ok() const { return true; }
+};
+Status Produce();
+Status Chain();
+Result<int> Compute();
+void FixtureDiscard() {
+  Produce();             // finding: line 15
+  Compute();             // finding: line 16
+  (void)Produce();       // ok: explicit discard
+  Status s = Produce();  // ok: consumed
+  if (s.ok()) Chain();   // finding: line 19
+}

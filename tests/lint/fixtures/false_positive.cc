@@ -1,0 +1,10 @@
+// Fixture: banned tokens inside comments and literals must NOT fire.
+// In prose: std::rand(), srand(1), time(nullptr), sleep_for, usleep,
+// std::random_device, std::mt19937 gen; and steady_clock::now().
+const char* kFpA = "std::rand() srand(1) time(nullptr) usleep(5)";
+const char* kFpB = R"(steady_clock::now() sleep_for std::random_device)";
+const char* kFpC = u8"std::default_random_engine e; using namespace std;";
+const char kFpD = 'r';
+/* block comment: std::mt19937 gen; rand(); marker inside a string below */
+const char* kFpE = "// TODO: not a real marker";
+int FixtureFalsePositive() { return kFpD; }

@@ -1,0 +1,5 @@
+#ifndef TESTS_LINT_FIXTURES_GUARDED_H_
+#define TESTS_LINT_FIXTURES_GUARDED_H_
+// Fixture: a classic ifndef/define guard satisfies sc-include-guard.
+inline int FixtureGuarded() { return 2; }
+#endif  // TESTS_LINT_FIXTURES_GUARDED_H_

@@ -1,0 +1,3 @@
+// Fixture: header without #pragma once or an include guard —
+// sc-include-guard finding at 1:1.
+inline int FixtureGuard() { return 1; }

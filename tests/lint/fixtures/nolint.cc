@@ -1,0 +1,10 @@
+// Fixture: NOLINT suppression semantics.
+#include <cstdlib>
+int FixtureNolint() {
+  int a = rand();  // NOLINT(sc-banned-rand) — suppressed
+  // NOLINTNEXTLINE(sc-banned-rand)
+  int b = rand();  // suppressed by the previous line
+  int c = rand();  // NOLINT — bare form suppresses everything
+  int d = rand();  // NOLINT(sc-wall-clock) — wrong rule: finding line 8
+  return a + b + c + d;
+}

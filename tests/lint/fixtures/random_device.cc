@@ -1,0 +1,6 @@
+// Fixture: sc-random-device fires outside the seed utilities.
+#include <random>
+unsigned FixtureDevice() {
+  std::random_device rd;  // finding: line 4
+  return rd();
+}

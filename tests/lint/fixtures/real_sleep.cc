@@ -1,0 +1,8 @@
+// Fixture: sc-real-sleep fires on real sleeps (simulated time only).
+#include <chrono>
+#include <thread>
+#include <unistd.h>
+void FixtureSleep() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // finding: 6
+  usleep(10);                                                 // finding: 7
+}

@@ -1,0 +1,6 @@
+// TODO: assign an owner — finding: line 1
+// FIXME without attribution — finding: line 2
+// TODO(alice): owned, allowed
+/* FIXME(bob): owned, allowed */
+// Plural "TODOs" in prose must not fire, nor MYTODO markers.
+int kFixtureTodo = 0;

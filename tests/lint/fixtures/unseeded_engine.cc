@@ -1,0 +1,10 @@
+// Fixture: sc-unseeded-engine fires on default-constructed std engines
+// and on default_random_engine in any form; a seeded engine is allowed.
+#include <random>
+unsigned long FixtureEngine() {
+  std::mt19937 gen;              // finding: line 5
+  std::mt19937_64 gen64{};       // finding: line 6
+  std::default_random_engine e;  // finding: line 7 (always banned)
+  std::mt19937 seeded{123};      // ok: explicitly seeded
+  return gen() + gen64() + e() + seeded();
+}

@@ -1,0 +1,5 @@
+#pragma once
+// Fixture: using-directive in a header — sc-using-namespace-header.
+#include <string>
+using namespace std;  // finding: line 4
+inline string FixtureUsing() { return "x"; }

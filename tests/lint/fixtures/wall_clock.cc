@@ -1,0 +1,8 @@
+// Fixture: sc-wall-clock fires on chrono ::now() outside the clock shim.
+#include <chrono>
+double FixtureClock() {
+  auto t0 = std::chrono::steady_clock::now();  // finding: line 4
+  auto t1 = std::chrono::system_clock::now();  // finding: line 5
+  return std::chrono::duration<double>(t1.time_since_epoch()).count() +
+         std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

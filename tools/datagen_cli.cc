@@ -2,7 +2,7 @@
 /// the rest of the pipeline (and external tools) can consume them.
 ///
 ///   datagen_cli --kind=dblp --size=100000 --out=corpus.csv
-///   datagen_cli --kind=yelp --scenario --local=3000 --error=0.25 \
+///   datagen_cli --kind=yelp --scenario --local=3000 --error=0.25
 ///       --out-local=local.csv --out-hidden=hidden.csv
 
 #include <cstdio>

@@ -1,0 +1,182 @@
+#include "lint/config.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace sclint {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0)
+    --e;
+  return s.substr(b, e - b);
+}
+
+/// Strips a trailing `# comment` that is not inside a quoted string.
+std::string StripComment(const std::string& line) {
+  bool in_string = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (c == '"' && (i == 0 || line[i - 1] != '\\')) in_string = !in_string;
+    if (c == '#' && !in_string) return line.substr(0, i);
+  }
+  return line;
+}
+
+/// Parses one scalar: quoted string, bool, or bare number.
+bool ParseScalar(const std::string& raw, std::string* out,
+                 std::string* error) {
+  std::string v = Trim(raw);
+  if (v.empty()) {
+    *error = "empty value";
+    return false;
+  }
+  if (v.front() == '"') {
+    if (v.size() < 2 || v.back() != '"') {
+      *error = "unterminated string: " + v;
+      return false;
+    }
+    std::string decoded;
+    for (size_t i = 1; i + 1 < v.size(); ++i) {
+      if (v[i] == '\\' && i + 2 < v.size()) {
+        ++i;
+        switch (v[i]) {
+          case 'n': decoded.push_back('\n'); break;
+          case 't': decoded.push_back('\t'); break;
+          default: decoded.push_back(v[i]); break;
+        }
+      } else {
+        decoded.push_back(v[i]);
+      }
+    }
+    *out = decoded;
+    return true;
+  }
+  *out = v;  // bools and numbers keep their literal spelling
+  return true;
+}
+
+}  // namespace
+
+bool Config::Parse(const std::string& text, std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  std::string section;
+  int lineno = 0;
+  // Multi-line arrays: accumulate until the closing bracket.
+  std::string pending_key;
+  std::string pending_value;
+  bool in_array = false;
+
+  auto fail = [&](const std::string& msg) {
+    *error = "line " + std::to_string(lineno) + ": " + msg;
+    return false;
+  };
+
+  auto commit_array = [&]() -> bool {
+    std::string body = Trim(pending_value);
+    if (body.empty() || body.front() != '[' || body.back() != ']')
+      return fail("malformed array for key '" + pending_key + "'");
+    body = body.substr(1, body.size() - 2);
+    std::vector<std::string> values;
+    std::string item;
+    bool in_string = false;
+    for (size_t i = 0; i <= body.size(); ++i) {
+      char c = i < body.size() ? body[i] : ',';
+      if (c == '"' && (i == 0 || body[i - 1] != '\\')) in_string = !in_string;
+      if (c == ',' && !in_string) {
+        std::string t = Trim(item);
+        if (!t.empty()) {
+          std::string scalar;
+          if (!ParseScalar(t, &scalar, error)) return false;
+          values.push_back(scalar);
+        }
+        item.clear();
+      } else {
+        item.push_back(c);
+      }
+    }
+    sections_[section][pending_key] = values;
+    in_array = false;
+    return true;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (in_array) {
+      pending_value += " " + StripComment(line);
+      if (Trim(StripComment(line)).find(']') != std::string::npos) {
+        if (!commit_array()) return false;
+      }
+      continue;
+    }
+    std::string t = Trim(StripComment(line));
+    if (t.empty()) continue;
+    if (t.front() == '[') {
+      if (t.back() != ']') return fail("malformed section header: " + t);
+      section = Trim(t.substr(1, t.size() - 2));
+      if (section.empty()) return fail("empty section name");
+      sections_[section];  // record even if empty
+      continue;
+    }
+    size_t eq = t.find('=');
+    if (eq == std::string::npos) return fail("expected key = value: " + t);
+    std::string key = Trim(t.substr(0, eq));
+    std::string value = Trim(t.substr(eq + 1));
+    if (key.empty()) return fail("empty key");
+    if (!value.empty() && value.front() == '[') {
+      pending_key = key;
+      pending_value = value;
+      if (value.find(']') != std::string::npos) {
+        if (!commit_array()) return false;
+      } else {
+        in_array = true;
+      }
+      continue;
+    }
+    std::string scalar;
+    if (!ParseScalar(value, &scalar, error)) return fail(*error);
+    sections_[section][key] = {scalar};
+  }
+  if (in_array) return fail("unterminated array for key '" + pending_key + "'");
+  return true;
+}
+
+bool Config::LoadFile(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open config file: " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str(), error);
+}
+
+const std::vector<std::string>& Config::GetList(const std::string& section,
+                                                const std::string& key) const {
+  static const std::vector<std::string> kEmpty;
+  auto sit = sections_.find(section);
+  if (sit == sections_.end()) return kEmpty;
+  auto kit = sit->second.find(key);
+  if (kit == sit->second.end()) return kEmpty;
+  return kit->second;
+}
+
+std::string Config::GetString(const std::string& section,
+                              const std::string& key,
+                              const std::string& fallback) const {
+  const std::vector<std::string>& v = GetList(section, key);
+  return v.empty() ? fallback : v.front();
+}
+
+bool Config::Has(const std::string& section, const std::string& key) const {
+  auto sit = sections_.find(section);
+  return sit != sections_.end() && sit->second.count(key) > 0;
+}
+
+}  // namespace sclint

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file config.h
+/// `.sclint.toml` — the data side of the rule registry.
+///
+/// sc_lint reads a small TOML subset (sections, string/bool/int scalars,
+/// arrays of strings; `#` comments). That covers everything the linter is
+/// configured with and keeps the tool dependency-free. Unknown sections
+/// and keys are preserved so forward-compatible configs do not error.
+
+namespace sclint {
+
+/// Parsed configuration. Sections map to key -> list-of-values; scalar
+/// keys are single-element lists.
+class Config {
+ public:
+  /// Parses TOML text. On a syntax error returns false and sets `error`.
+  bool Parse(const std::string& text, std::string* error);
+
+  /// Loads and parses a file. A missing file is an error.
+  bool LoadFile(const std::string& path, std::string* error);
+
+  /// All values of section.key, empty if absent.
+  const std::vector<std::string>& GetList(const std::string& section,
+                                          const std::string& key) const;
+
+  /// First value of section.key, or `fallback` if absent.
+  std::string GetString(const std::string& section, const std::string& key,
+                        const std::string& fallback) const;
+
+  bool Has(const std::string& section, const std::string& key) const;
+
+ private:
+  std::map<std::string, std::map<std::string, std::vector<std::string>>>
+      sections_;
+};
+
+}  // namespace sclint

@@ -1,0 +1,238 @@
+#include "lint/driver.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace sclint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string NormalizeSlashes(std::string p) {
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+/// Path relative to root when `path` lies under it; `path` otherwise.
+std::string RelativeTo(const fs::path& root, const fs::path& path) {
+  std::error_code ec;
+  fs::path rel = fs::relative(path, root, ec);
+  if (ec || rel.empty() || rel.native()[0] == '.')
+    return NormalizeSlashes(path.generic_string());
+  return NormalizeSlashes(rel.generic_string());
+}
+
+bool HasExtension(const fs::path& p,
+                  const std::vector<std::string>& extensions) {
+  std::string ext = p.extension().string();
+  for (const std::string& e : extensions)
+    if (ext == e) return true;
+  return false;
+}
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+/// True when `path` matches an allowlist entry: exact file, or directory
+/// prefix ("src/net" covers "src/net/clock.h").
+bool PathMatches(const std::string& path, const std::string& pattern) {
+  if (path == pattern) return true;
+  return path.size() > pattern.size() && !pattern.empty() &&
+         path.compare(0, pattern.size(), pattern) == 0 &&
+         path[pattern.size()] == '/';
+}
+
+bool PathInList(const std::string& path,
+                const std::vector<std::string>& patterns) {
+  for (const std::string& p : patterns)
+    if (PathMatches(path, p)) return true;
+  return false;
+}
+
+/// Per-line suppression sets harvested from NOLINT comments. A line mapped
+/// to an empty set suppresses every rule on that line.
+std::map<int, std::set<std::string>> CollectNolint(const FileUnit& unit) {
+  std::map<int, std::set<std::string>> suppress;
+  auto add = [&suppress](int line, const std::set<std::string>& rules) {
+    auto [it, inserted] = suppress.emplace(line, rules);
+    if (!inserted) {
+      if (rules.empty() || it->second.empty())
+        it->second.clear();  // bare NOLINT wins: suppress everything
+      else
+        it->second.insert(rules.begin(), rules.end());
+    }
+  };
+  for (const Token& t : unit.tokens) {
+    if (t.kind != TokenKind::kComment) continue;
+    std::string_view text = t.text;
+    for (size_t pos = 0; (pos = text.find("NOLINT", pos)) !=
+                         std::string_view::npos;) {
+      bool nextline =
+          text.compare(pos, 14, "NOLINTNEXTLINE") == 0;
+      size_t after = pos + (nextline ? 14 : 6);
+      std::set<std::string> rules;  // empty = all
+      if (after < text.size() && text[after] == '(') {
+        size_t close = text.find(')', after);
+        if (close != std::string_view::npos) {
+          std::string list(text.substr(after + 1, close - after - 1));
+          std::istringstream items(list);
+          std::string item;
+          while (std::getline(items, item, ',')) {
+            size_t b = item.find_first_not_of(" \t");
+            size_t e = item.find_last_not_of(" \t");
+            if (b != std::string::npos)
+              rules.insert(item.substr(b, e - b + 1));
+          }
+          after = close + 1;
+        }
+      }
+      int line = t.line;
+      for (size_t k = 0; k < pos; ++k)
+        if (text[k] == '\n') ++line;
+      add(nextline ? line + 1 : line, rules);
+      pos = after;
+    }
+  }
+  return suppress;
+}
+
+bool IsSuppressed(const std::map<int, std::set<std::string>>& suppress,
+                  const Finding& f) {
+  auto it = suppress.find(f.line);
+  if (it == suppress.end()) return false;
+  return it->second.empty() || it->second.count(f.rule) > 0;
+}
+
+}  // namespace
+
+bool RunLint(const LintOptions& options, LintReport* report,
+             std::string* error) {
+  fs::path root(options.root.empty() ? "." : options.root);
+  if (!fs::exists(root)) {
+    *error = "root does not exist: " + root.string();
+    return false;
+  }
+
+  Config config;
+  std::string config_path = options.config_path;
+  if (config_path.empty()) {
+    fs::path candidate = root / ".sclint.toml";
+    if (fs::exists(candidate)) config_path = candidate.string();
+  }
+  if (!config_path.empty() && !config.LoadFile(config_path, error))
+    return false;
+
+  std::vector<std::string> roots = config.GetList("lint", "roots");
+  if (roots.empty()) roots = {"src", "tools", "bench"};
+  std::vector<std::string> extensions = config.GetList("lint", "extensions");
+  if (extensions.empty()) extensions = {".h", ".hpp", ".hh", ".cc", ".cpp"};
+  const std::vector<std::string>& excludes = config.GetList("lint", "exclude");
+
+  // 1. Collect files (explicit list, or a deterministic walk of the roots).
+  std::vector<fs::path> paths;
+  if (!options.files.empty()) {
+    for (const std::string& f : options.files) {
+      fs::path p(f);
+      if (!fs::exists(p) && fs::exists(root / p)) p = root / p;
+      if (!fs::exists(p)) {
+        *error = "no such file: " + f;
+        return false;
+      }
+      paths.push_back(p);
+    }
+  } else {
+    for (const std::string& r : roots) {
+      fs::path dir = root / r;
+      if (!fs::exists(dir)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+        if (!entry.is_regular_file()) continue;
+        if (!HasExtension(entry.path(), extensions)) continue;
+        std::string rel = RelativeTo(root, entry.path());
+        if (PathInList(rel, excludes)) continue;
+        paths.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  // 2. Lex everything up front; rules and the registry need all units.
+  std::vector<FileUnit> units;
+  units.reserve(paths.size());
+  for (const fs::path& p : paths) {
+    std::string content;
+    if (!ReadFile(p, &content)) {
+      *error = "cannot read: " + p.string();
+      return false;
+    }
+    units.push_back(MakeFileUnit(RelativeTo(root, p), std::move(content)));
+  }
+  report->files_scanned = units.size();
+
+  // 3. Cross-file registry of Status/Result-returning functions.
+  RuleContext ctx;
+  ctx.config = &config;
+  for (const FileUnit& unit : units)
+    HarvestStatusFunctions(unit, &ctx.status_functions);
+  for (const std::string& extra :
+       config.GetList("rule.sc-discarded-status", "functions"))
+    ctx.status_functions.insert(extra);
+
+  // 4. Run every enabled rule over every unit.
+  for (const FileUnit& unit : units) {
+    std::map<int, std::set<std::string>> suppress = CollectNolint(unit);
+    for (const RuleDef& rule : AllRules()) {
+      std::string section = "rule." + rule.name;
+      std::string severity =
+          config.GetString(section, "severity",
+                           rule.default_severity == Severity::kError
+                               ? "error"
+                               : "warning");
+      if (severity == "off") continue;
+      if (PathInList(unit.path, config.GetList(section, "allow"))) continue;
+
+      std::vector<Finding> raw;
+      rule.check(unit, ctx, &raw);
+      for (Finding& f : raw) {
+        if (IsSuppressed(suppress, f)) continue;
+        f.severity =
+            severity == "warning" ? Severity::kWarning : Severity::kError;
+        report->findings.push_back(std::move(f));
+      }
+    }
+  }
+
+  std::sort(report->findings.begin(), report->findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.path, a.line, a.col, a.rule) <
+                     std::tie(b.path, b.line, b.col, b.rule);
+            });
+  for (const Finding& f : report->findings) {
+    if (f.severity == Severity::kError)
+      ++report->errors;
+    else
+      ++report->warnings;
+  }
+  return true;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  std::ostringstream out;
+  out << finding.path << ':' << finding.line << ':' << finding.col << ": "
+      << (finding.severity == Severity::kError ? "error" : "warning")
+      << ": [" << finding.rule << "] " << finding.message;
+  return out.str();
+}
+
+}  // namespace sclint

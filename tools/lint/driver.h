@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/rules.h"
+
+/// \file driver.h
+/// Orchestrates a lint run: collects files, builds the cross-file
+/// Status-function registry, applies rules, and filters findings through
+/// per-path allowlists, severity overrides, and NOLINT suppressions.
+
+namespace sclint {
+
+struct LintOptions {
+  /// Repository root; config paths and reported paths are relative to it.
+  std::string root = ".";
+  /// Path to `.sclint.toml`. Empty: use `<root>/.sclint.toml` when present,
+  /// built-in defaults otherwise.
+  std::string config_path;
+  /// Explicit files to lint (relative to root or absolute). Empty: walk
+  /// the roots configured under `[lint] roots`.
+  std::vector<std::string> files;
+};
+
+struct LintReport {
+  std::vector<Finding> findings;  // sorted by path, line, col
+  size_t files_scanned = 0;
+  size_t errors = 0;
+  size_t warnings = 0;
+};
+
+/// Runs the linter. Returns false on an operational failure (bad config,
+/// unreadable root) with `error` set; findings are NOT an operational
+/// failure.
+bool RunLint(const LintOptions& options, LintReport* report,
+             std::string* error);
+
+/// GCC-style, editor-clickable: `path:line:col: error: [sc-rule] message`.
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace sclint

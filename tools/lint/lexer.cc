@@ -1,0 +1,231 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace sclint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsDigit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Tracks line/col while scanning forward through the content.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view content) : content_(content) {}
+
+  bool AtEnd() const { return pos_ >= content_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < content_.size() ? content_[pos_ + ahead] : '\0';
+  }
+  size_t pos() const { return pos_; }
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+  void Advance() {
+    if (AtEnd()) return;
+    if (content_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+  void AdvanceBy(size_t n) {
+    for (size_t i = 0; i < n; ++i) Advance();
+  }
+
+  std::string_view Slice(size_t from) const {
+    return content_.substr(from, pos_ - from);
+  }
+
+ private:
+  std::string_view content_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+/// Consumes a quoted literal body after the opening quote has been
+/// consumed; handles backslash escapes and stops after the closing quote.
+void ConsumeQuoted(Cursor& cur, char quote) {
+  while (!cur.AtEnd()) {
+    char c = cur.Peek();
+    if (c == '\\') {
+      cur.AdvanceBy(2);
+      continue;
+    }
+    cur.Advance();
+    if (c == quote || c == '\n') break;  // newline: unterminated literal
+  }
+}
+
+/// Consumes a raw string after `R"` has been consumed: reads the delimiter
+/// up to '(' and scans for `)delimiter"`.
+void ConsumeRawString(Cursor& cur, std::string_view content) {
+  std::string delim;
+  while (!cur.AtEnd() && cur.Peek() != '(') {
+    delim.push_back(cur.Peek());
+    cur.Advance();
+  }
+  cur.Advance();  // '('
+  std::string closer = ")" + delim + "\"";
+  while (!cur.AtEnd()) {
+    if (cur.Peek() == ')' &&
+        content.substr(cur.pos(), closer.size()) == closer) {
+      cur.AdvanceBy(closer.size());
+      return;
+    }
+    cur.Advance();
+  }
+}
+
+/// True when the identifier just lexed is a string-literal prefix (u8, L,
+/// ...) directly followed by a quote, e.g. `u8"x"` or `LR"(x)"`.
+bool IsLiteralPrefix(std::string_view ident, char next) {
+  if (next != '"' && next != '\'') return false;
+  return ident == "u8" || ident == "u" || ident == "U" || ident == "L" ||
+         ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view content) {
+  std::vector<Token> tokens;
+  Cursor cur(content);
+
+  auto emit = [&](TokenKind kind, size_t from, int line, int col) {
+    tokens.push_back(Token{kind, content.substr(from, cur.pos() - from),
+                           line, col});
+  };
+
+  bool at_line_start = true;  // only whitespace seen since the last newline
+  while (!cur.AtEnd()) {
+    char c = cur.Peek();
+    size_t start = cur.pos();
+    int line = cur.line();
+    int col = cur.col();
+
+    if (c == '\n') {
+      at_line_start = true;
+      cur.Advance();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      cur.Advance();
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on the line; consume the logical
+    // line including backslash continuations.
+    if (c == '#' && at_line_start) {
+      while (!cur.AtEnd()) {
+        if (cur.Peek() == '\\' && cur.Peek(1) == '\n') {
+          cur.AdvanceBy(2);
+          continue;
+        }
+        if (cur.Peek() == '\n') break;
+        // A // comment ends the directive; leave it for the main loop.
+        if (cur.Peek() == '/' && (cur.Peek(1) == '/' || cur.Peek(1) == '*'))
+          break;
+        cur.Advance();
+      }
+      emit(TokenKind::kDirective, start, line, col);
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+
+    if (c == '/' && cur.Peek(1) == '/') {
+      while (!cur.AtEnd() && cur.Peek() != '\n') cur.Advance();
+      emit(TokenKind::kComment, start, line, col);
+      continue;
+    }
+    if (c == '/' && cur.Peek(1) == '*') {
+      cur.AdvanceBy(2);
+      while (!cur.AtEnd() &&
+             !(cur.Peek() == '*' && cur.Peek(1) == '/'))
+        cur.Advance();
+      cur.AdvanceBy(2);
+      emit(TokenKind::kComment, start, line, col);
+      continue;
+    }
+
+    if (c == '"') {
+      cur.Advance();
+      ConsumeQuoted(cur, '"');
+      emit(TokenKind::kString, start, line, col);
+      continue;
+    }
+    if (c == '\'') {
+      cur.Advance();
+      ConsumeQuoted(cur, '\'');
+      emit(TokenKind::kCharLiteral, start, line, col);
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      while (!cur.AtEnd() && IsIdentChar(cur.Peek())) cur.Advance();
+      std::string_view ident = cur.Slice(start);
+      if (IsLiteralPrefix(ident, cur.Peek())) {
+        bool raw = ident.back() == 'R';
+        char quote = cur.Peek();
+        cur.Advance();
+        if (raw)
+          ConsumeRawString(cur, content);
+        else
+          ConsumeQuoted(cur, quote);
+        emit(quote == '"' ? TokenKind::kString : TokenKind::kCharLiteral,
+             start, line, col);
+      } else {
+        emit(TokenKind::kIdentifier, start, line, col);
+      }
+      continue;
+    }
+
+    if (IsDigit(c) || (c == '.' && IsDigit(cur.Peek(1)))) {
+      // Numbers, including hex, digit separators (1'000) and exponents.
+      cur.Advance();
+      while (!cur.AtEnd()) {
+        char n = cur.Peek();
+        if (IsIdentChar(n) || n == '.') {
+          cur.Advance();
+        } else if (n == '\'' && IsIdentChar(cur.Peek(1))) {
+          cur.AdvanceBy(2);  // digit separator
+        } else if ((n == '+' || n == '-') && cur.pos() > start) {
+          char prev = content[cur.pos() - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P')
+            cur.Advance();
+          else
+            break;
+        } else {
+          break;
+        }
+      }
+      emit(TokenKind::kNumber, start, line, col);
+      continue;
+    }
+
+    // Punctuation. Fuse the two-char tokens rules care about.
+    if (c == ':' && cur.Peek(1) == ':') {
+      cur.AdvanceBy(2);
+    } else if (c == '-' && cur.Peek(1) == '>') {
+      cur.AdvanceBy(2);
+    } else {
+      cur.Advance();
+    }
+    emit(TokenKind::kPunct, start, line, col);
+  }
+  return tokens;
+}
+
+}  // namespace sclint

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file lexer.h
+/// A C++-aware tokenizer for sc_lint.
+///
+/// sc_lint deliberately does not parse C++ — the project invariants it
+/// enforces (banned identifiers, discarded statuses, header hygiene) are
+/// all expressible over a token stream, and a tokenizer is cheap enough to
+/// run over the whole tree on every build. What the lexer MUST get right
+/// is classification: a banned token inside a string literal or a comment
+/// is not a violation, so comments, string/char literals (including raw
+/// strings) and preprocessor directives are lexed as single opaque tokens
+/// and kept out of the code-token stream that rules match against.
+
+namespace sclint {
+
+enum class TokenKind {
+  kIdentifier,   // foo, std, operator words
+  kNumber,       // 123, 0xff, 1'000'000, 1.5e-3
+  kString,       // "..." including raw strings and prefixes (u8"", L"")
+  kCharLiteral,  // 'x', '\n'
+  kPunct,        // one token per operator; `::` and `->` are fused
+  kComment,      // // ... or /* ... */ (one token per comment)
+  kDirective,    // a whole preprocessor logical line, continuations fused
+};
+
+struct Token {
+  TokenKind kind;
+  /// View into the file content passed to Lex (valid while it lives).
+  std::string_view text;
+  /// 1-based position of the token's first character.
+  int line = 0;
+  int col = 0;
+};
+
+/// Tokenizes `content`. Never fails: unrecognized bytes become single-char
+/// punctuation, an unterminated literal extends to end of file.
+std::vector<Token> Lex(std::string_view content);
+
+/// True for tokens rules should match against (identifiers, numbers,
+/// punctuation) as opposed to opaque ones (comments, literals, directives).
+inline bool IsCodeToken(const Token& t) {
+  return t.kind == TokenKind::kIdentifier || t.kind == TokenKind::kNumber ||
+         t.kind == TokenKind::kPunct;
+}
+
+}  // namespace sclint

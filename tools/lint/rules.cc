@@ -1,0 +1,513 @@
+#include "lint/rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+
+namespace sclint {
+namespace {
+
+bool TextIs(const Token& t, std::string_view s) { return t.text == s; }
+
+/// code[i].text == s, with bounds check.
+bool At(const std::vector<Token>& code, size_t i, std::string_view s) {
+  return i < code.size() && code[i].text == s;
+}
+
+bool IsIdent(const std::vector<Token>& code, size_t i) {
+  return i < code.size() && code[i].kind == TokenKind::kIdentifier;
+}
+
+void Emit(std::vector<Finding>* out, const FileUnit& unit, const Token& tok,
+          std::string rule, std::string message) {
+  Finding f;
+  f.path = unit.path;
+  f.line = tok.line;
+  f.col = tok.col;
+  f.rule = std::move(rule);
+  f.message = std::move(message);
+  out->push_back(std::move(f));
+}
+
+/// Index of the matching close paren/brace/bracket for the opener at `i`,
+/// or code.size() when unbalanced.
+size_t MatchForward(const std::vector<Token>& code, size_t i) {
+  std::string_view open = code[i].text;
+  std::string_view close = open == "(" ? ")" : open == "{" ? "}" : "]";
+  int depth = 0;
+  for (size_t j = i; j < code.size(); ++j) {
+    if (code[j].text == open) ++depth;
+    if (code[j].text == close && --depth == 0) return j;
+  }
+  return code.size();
+}
+
+/// Index of the matching opener for the closer at `i`, or npos-like 0 with
+/// `ok=false` when unbalanced.
+bool MatchBackward(const std::vector<Token>& code, size_t i, size_t* opener) {
+  std::string_view close = code[i].text;
+  std::string_view open = close == ")" ? "(" : close == "}" ? "{" : "[";
+  int depth = 0;
+  for (size_t j = i + 1; j-- > 0;) {
+    if (code[j].text == close) ++depth;
+    if (code[j].text == open && --depth == 0) {
+      *opener = j;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism rules
+// ---------------------------------------------------------------------------
+
+void CheckBannedRand(const FileUnit& unit, const RuleContext&,
+                     std::vector<Finding>* out) {
+  const std::vector<Token>& code = unit.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].kind != TokenKind::kIdentifier) continue;
+    std::string_view t = code[i].text;
+    bool banned_always = t == "srand" || t == "rand_r" || t == "drand48" ||
+                         t == "lrand48" || t == "mrand48";
+    bool banned_called =
+        t == "rand" && (At(code, i + 1, "(") || (i > 0 && At(code, i - 1, "::")));
+    if (banned_always || banned_called) {
+      Emit(out, unit, code[i], "sc-banned-rand",
+           "'" + std::string(t) +
+               "' is banned: use smartcrawl::Rng with an explicit seed "
+               "(util/random.h) so runs are reproducible");
+    }
+  }
+}
+
+void CheckBannedTime(const FileUnit& unit, const RuleContext&,
+                     std::vector<Finding>* out) {
+  const std::vector<Token>& code = unit.code;
+  for (size_t i = 0; i + 3 < code.size(); ++i) {
+    if (!TextIs(code[i], "time") ||
+        code[i].kind != TokenKind::kIdentifier)
+      continue;
+    if (!At(code, i + 1, "(")) continue;
+    std::string_view arg = code[i + 2].text;
+    if ((arg == "nullptr" || arg == "NULL" || arg == "0") &&
+        At(code, i + 3, ")")) {
+      Emit(out, unit, code[i], "sc-banned-time",
+           "'time(" + std::string(arg) +
+               ")' reads the wall clock: thread a seed or a "
+               "net::SimulatedClock through instead");
+    }
+  }
+}
+
+void CheckRandomDevice(const FileUnit& unit, const RuleContext&,
+                       std::vector<Finding>* out) {
+  for (const Token& t : unit.code) {
+    if (t.kind == TokenKind::kIdentifier && t.text == "random_device") {
+      Emit(out, unit, t, "sc-random-device",
+           "std::random_device is nondeterministic: derive seeds from the "
+           "experiment seed (util/random.h) instead");
+    }
+  }
+}
+
+void CheckUnseededEngine(const FileUnit& unit, const RuleContext&,
+                         std::vector<Finding>* out) {
+  const std::vector<Token>& code = unit.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].kind != TokenKind::kIdentifier) continue;
+    std::string_view t = code[i].text;
+    if (t == "default_random_engine") {
+      Emit(out, unit, code[i], "sc-unseeded-engine",
+           "std::default_random_engine has an implementation-defined "
+           "default: use smartcrawl::Rng (util/random.h)");
+      continue;
+    }
+    if (t != "mt19937" && t != "mt19937_64" && t != "minstd_rand" &&
+        t != "minstd_rand0" && t != "knuth_b")
+      continue;
+    // Unseeded spellings: `mt19937{}` / `mt19937()` temporaries,
+    // `mt19937 g;` and `mt19937 g{};` default-constructed variables.
+    bool unseeded =
+        (At(code, i + 1, "{") && At(code, i + 2, "}")) ||
+        (At(code, i + 1, "(") && At(code, i + 2, ")")) ||
+        (IsIdent(code, i + 1) &&
+         (At(code, i + 2, ";") ||
+          (At(code, i + 2, "{") && At(code, i + 3, "}"))));
+    if (unseeded) {
+      Emit(out, unit, code[i], "sc-unseeded-engine",
+           "unseeded std::" + std::string(t) +
+               ": every generator must take an explicit seed "
+               "(prefer smartcrawl::Rng, util/random.h)");
+    }
+  }
+}
+
+void CheckWallClock(const FileUnit& unit, const RuleContext&,
+                    std::vector<Finding>* out) {
+  const std::vector<Token>& code = unit.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].kind != TokenKind::kIdentifier) continue;
+    std::string_view t = code[i].text;
+    if (t == "gettimeofday" || t == "clock_gettime") {
+      Emit(out, unit, code[i], "sc-wall-clock",
+           "'" + std::string(t) +
+               "' reads real time: use net::SimulatedClock (src/net/clock.h)");
+      continue;
+    }
+    if (t != "system_clock" && t != "steady_clock" &&
+        t != "high_resolution_clock")
+      continue;
+    if (At(code, i + 1, "::") && At(code, i + 2, "now")) {
+      Emit(out, unit, code[i], "sc-wall-clock",
+           "std::chrono::" + std::string(t) +
+               "::now() outside the clock shim breaks deterministic "
+               "replay: use net::SimulatedClock (src/net/clock.h)");
+    }
+  }
+}
+
+void CheckRealSleep(const FileUnit& unit, const RuleContext&,
+                    std::vector<Finding>* out) {
+  const std::vector<Token>& code = unit.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].kind != TokenKind::kIdentifier) continue;
+    std::string_view t = code[i].text;
+    bool banned = t == "sleep_for" || t == "sleep_until" || t == "usleep" ||
+                  t == "nanosleep" ||
+                  (t == "sleep" && At(code, i + 1, "("));
+    if (banned) {
+      Emit(out, unit, code[i], "sc-real-sleep",
+           "real sleeps are banned (tests covering minutes of simulated "
+           "traffic must run in microseconds): advance a "
+           "net::SimulatedClock instead");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Status-discipline rules
+// ---------------------------------------------------------------------------
+
+/// Walks left from the first token of a qualified call chain
+/// (`ns::obj.field->Call`) to the token index where the chain begins.
+size_t ChainStart(const std::vector<Token>& code, size_t i) {
+  while (i > 0) {
+    std::string_view prev = code[i - 1].text;
+    if (prev == "::" || prev == "." || prev == "->") {
+      if (i < 2) return i - 1;  // leading `::name` at start of file
+      std::string_view before = code[i - 2].text;
+      if (code[i - 2].kind == TokenKind::kIdentifier) {
+        i -= 2;
+        continue;
+      }
+      if (before == ")" || before == "]") {
+        size_t opener = 0;
+        if (!MatchBackward(code, i - 2, &opener)) return i - 1;
+        // `foo(...)Y.Call` — continue from the token that owns the group.
+        if (opener == 0) return opener;
+        i = opener;
+        continue;
+      }
+      return i - 1;  // global-scope `::name`
+    }
+    return i;
+  }
+  return i;
+}
+
+void EmitDiscard(const FileUnit& unit, const Token& call,
+                 std::vector<Finding>* out) {
+  Emit(out, unit, call, "sc-discarded-status",
+       "result of '" + std::string(call.text) +
+           "' (Status/Result) is discarded: check it, propagate it with "
+           "SC_RETURN_NOT_OK, or discard explicitly with (void)");
+}
+
+void CheckDiscardedStatus(const FileUnit& unit, const RuleContext& ctx,
+                          std::vector<Finding>* out) {
+  const std::vector<Token>& code = unit.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].kind != TokenKind::kIdentifier) continue;
+    if (ctx.status_functions.count(std::string(code[i].text)) == 0) continue;
+    if (!At(code, i + 1, "(")) continue;
+    size_t close = MatchForward(code, i + 1);
+    if (!At(code, close + 1, ";")) continue;  // value is consumed
+
+    size_t start = ChainStart(code, i);
+    if (start == 0) {
+      EmitDiscard(unit, code[i], out);
+      continue;
+    }
+    std::string_view before = code[start - 1].text;
+    if (before == ";" || before == "{" || before == "}" || before == ":" ||
+        before == "else" || before == "do") {
+      EmitDiscard(unit, code[i], out);
+      continue;
+    }
+    if (before == ")") {
+      // Either `(void)Call();` (an intentional discard — allowed), or the
+      // close of an `if (...)`/loop head, making the call the whole body.
+      size_t opener = 0;
+      if (!MatchBackward(code, start - 1, &opener)) continue;
+      bool void_cast = start - 1 == opener + 2 && At(code, opener + 1, "void");
+      if (void_cast) continue;
+      if (opener > 0) {
+        std::string_view head = code[opener - 1].text;
+        if (head == "if" || head == "while" || head == "for" ||
+            head == "switch") {
+          EmitDiscard(unit, code[i], out);
+        }
+      }
+    }
+  }
+}
+
+void CheckTodoOwner(const FileUnit& unit, const RuleContext&,
+                    std::vector<Finding>* out) {
+  for (const Token& t : unit.tokens) {
+    if (t.kind != TokenKind::kComment) continue;
+    std::string_view text = t.text;
+    for (size_t pos = 0; pos < text.size(); ++pos) {
+      size_t todo = text.find("TODO", pos);
+      size_t fixme = text.find("FIXME", pos);
+      size_t hit = std::min(todo, fixme);
+      if (hit == std::string_view::npos) break;
+      size_t tag_len = hit == todo ? 4 : 5;
+      pos = hit + tag_len;
+      // Word boundaries: "TODOs" in prose or "MYTODO" are not markers.
+      auto word_char = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+      };
+      if (hit > 0 && word_char(text[hit - 1])) continue;
+      if (pos < text.size() && word_char(text[pos])) continue;
+      // Owner tag: TODO(name) with a non-empty name.
+      bool owned = pos < text.size() && text[pos] == '(' &&
+                   text.find(')', pos) != std::string_view::npos &&
+                   text.find(')', pos) > pos + 1;
+      if (owned) continue;
+      // Position of the tag inside a possibly multi-line comment.
+      int line = t.line;
+      int col = t.col;
+      for (size_t k = 0; k < hit; ++k) {
+        if (text[k] == '\n') {
+          ++line;
+          col = 1;
+        } else {
+          ++col;
+        }
+      }
+      Finding f;
+      f.path = unit.path;
+      f.line = line;
+      f.col = col;
+      f.rule = "sc-todo-owner";
+      f.message = std::string(text.substr(hit, tag_len)) +
+                  " without an owner: write " +
+                  std::string(text.substr(hit, tag_len)) +
+                  "(name): so stale markers are attributable";
+      out->push_back(std::move(f));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Header-hygiene rules
+// ---------------------------------------------------------------------------
+
+/// First word of a directive after '#', e.g. "include", "pragma".
+std::string_view DirectiveKeyword(std::string_view text) {
+  size_t i = 1;  // skip '#'
+  while (i < text.size() &&
+         (text[i] == ' ' || text[i] == '\t'))
+    ++i;
+  size_t j = i;
+  while (j < text.size() &&
+         (std::isalnum(static_cast<unsigned char>(text[j])) != 0 ||
+          text[j] == '_'))
+    ++j;
+  return text.substr(i, j - i);
+}
+
+void CheckIncludeGuard(const FileUnit& unit, const RuleContext&,
+                       std::vector<Finding>* out) {
+  if (!unit.is_header) return;
+  std::vector<const Token*> directives;
+  for (const Token& t : unit.tokens)
+    if (t.kind == TokenKind::kDirective) directives.push_back(&t);
+  for (const Token* d : directives) {
+    std::string_view kw = DirectiveKeyword(d->text);
+    if (kw == "pragma" &&
+        d->text.find("once") != std::string_view::npos)
+      return;
+  }
+  // Classic guard: first directive #ifndef, second #define.
+  if (directives.size() >= 2 &&
+      DirectiveKeyword(directives[0]->text) == "ifndef" &&
+      DirectiveKeyword(directives[1]->text) == "define")
+    return;
+  Finding f;
+  f.path = unit.path;
+  f.line = 1;
+  f.col = 1;
+  f.rule = "sc-include-guard";
+  f.message =
+      "header has neither '#pragma once' nor an include guard: double "
+      "inclusion is an ODR trap";
+  out->push_back(std::move(f));
+}
+
+void CheckUsingNamespaceHeader(const FileUnit& unit, const RuleContext&,
+                               std::vector<Finding>* out) {
+  if (!unit.is_header) return;
+  const std::vector<Token>& code = unit.code;
+  for (size_t i = 0; i + 1 < code.size(); ++i) {
+    if (TextIs(code[i], "using") && TextIs(code[i + 1], "namespace")) {
+      Emit(out, unit, code[i], "sc-using-namespace-header",
+           "'using namespace' in a header leaks into every includer: "
+           "qualify names or use a namespace alias");
+    }
+  }
+}
+
+void CheckDirectInclude(const FileUnit& unit, const RuleContext& ctx,
+                        std::vector<Finding>* out) {
+  const std::vector<std::string>& rules =
+      ctx.config->GetList("rule.sc-direct-include", "require");
+  for (const std::string& spec : rules) {
+    size_t eq = spec.find('=');
+    if (eq == std::string::npos) continue;
+    std::string token = spec.substr(0, eq);
+    // Alternatives separated by '|': any one satisfies the requirement.
+    std::vector<std::string> headers;
+    std::string rest = spec.substr(eq + 1);
+    size_t from = 0;
+    while (true) {
+      size_t bar = rest.find('|', from);
+      headers.push_back(rest.substr(from, bar - from));
+      if (bar == std::string::npos) break;
+      from = bar + 1;
+    }
+    bool satisfied = false;
+    for (const std::string& h : headers) {
+      for (const std::string& inc : unit.includes)
+        if (inc == h) satisfied = true;
+      if (unit.path == h) satisfied = true;  // the defining header itself
+    }
+    if (satisfied) continue;
+    for (const Token& t : unit.code) {
+      if (t.kind == TokenKind::kIdentifier && t.text == token) {
+        Emit(out, unit, t, "sc-direct-include",
+             "'" + token + "' requires a direct #include of " + headers[0] +
+                 " (transitive includes break when intermediates change)");
+        break;  // one finding per file per token
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleDef>& AllRules() {
+  static const std::vector<RuleDef> kRules = {
+      {"sc-banned-rand", Severity::kError,
+       "bans std::rand/srand/drand48-family ambient randomness",
+       CheckBannedRand},
+      {"sc-banned-time", Severity::kError,
+       "bans time(nullptr)-style wall-clock seeds", CheckBannedTime},
+      {"sc-random-device", Severity::kError,
+       "bans std::random_device outside the seed utilities",
+       CheckRandomDevice},
+      {"sc-unseeded-engine", Severity::kError,
+       "bans unseeded std engines and default_random_engine",
+       CheckUnseededEngine},
+      {"sc-wall-clock", Severity::kError,
+       "bans chrono ::now() outside the clock shim", CheckWallClock},
+      {"sc-real-sleep", Severity::kError,
+       "bans real sleeps; simulated time only", CheckRealSleep},
+      {"sc-discarded-status", Severity::kError,
+       "flags Status/Result return values dropped on the floor",
+       CheckDiscardedStatus},
+      {"sc-todo-owner", Severity::kWarning,
+       "requires TODO(owner)/FIXME(owner) attribution", CheckTodoOwner},
+      {"sc-include-guard", Severity::kError,
+       "headers need #pragma once or an include guard", CheckIncludeGuard},
+      {"sc-using-namespace-header", Severity::kError,
+       "bans using-directives in headers", CheckUsingNamespaceHeader},
+      {"sc-direct-include", Severity::kError,
+       "configured tokens must be backed by a direct include",
+       CheckDirectInclude},
+  };
+  return kRules;
+}
+
+FileUnit MakeFileUnit(std::string path, std::string content) {
+  FileUnit unit;
+  unit.path = std::move(path);
+  unit.content = std::move(content);
+  unit.tokens = Lex(unit.content);
+  for (const Token& t : unit.tokens)
+    if (IsCodeToken(t)) unit.code.push_back(t);
+  size_t dot = unit.path.rfind('.');
+  std::string ext = dot == std::string::npos ? "" : unit.path.substr(dot);
+  unit.is_header = ext == ".h" || ext == ".hpp" || ext == ".hh";
+  for (const Token& t : unit.tokens) {
+    if (t.kind != TokenKind::kDirective) continue;
+    if (DirectiveKeyword(t.text) != "include") continue;
+    std::string_view text = t.text;
+    size_t open = text.find_first_of("\"<");
+    if (open == std::string_view::npos) continue;
+    char close = text[open] == '"' ? '"' : '>';
+    size_t end = text.find(close, open + 1);
+    if (end == std::string_view::npos) continue;
+    unit.includes.emplace_back(text.substr(open + 1, end - open - 1));
+  }
+  return unit;
+}
+
+void HarvestStatusFunctions(const FileUnit& unit,
+                            std::set<std::string>* out) {
+  const std::vector<Token>& code = unit.code;
+  auto is_decl_context = [&](size_t type_idx) {
+    if (type_idx == 0) return true;
+    const Token& prev = code[type_idx - 1];
+    std::string_view p = prev.text;
+    if (p == ";" || p == "{" || p == "}" || p == ":" || p == "]" ||
+        p == ">" || p == "::")
+      return true;
+    if (prev.kind == TokenKind::kIdentifier) {
+      return p == "static" || p == "inline" || p == "virtual" ||
+             p == "explicit" || p == "constexpr" || p == "friend" ||
+             p == "extern" || p == "mutable" || p == "typename" ||
+             p == "public" || p == "private" || p == "protected";
+    }
+    return false;
+  };
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].kind != TokenKind::kIdentifier) continue;
+    std::string_view t = code[i].text;
+    if (t != "Status" && t != "Result") continue;
+    if (!is_decl_context(i)) continue;
+    size_t j = i + 1;
+    if (t == "Result") {
+      if (!At(code, j, "<")) continue;
+      int depth = 0;
+      size_t limit = std::min(code.size(), j + 96);
+      for (; j < limit; ++j) {
+        if (code[j].text == "<") ++depth;
+        if (code[j].text == ">" && --depth == 0) break;
+      }
+      if (j >= limit) continue;
+      ++j;  // past '>'
+    }
+    // Qualified declarator: name (:: name)* followed by '('.
+    if (!IsIdent(code, j)) continue;
+    size_t name_idx = j;
+    while (At(code, name_idx + 1, "::") && IsIdent(code, name_idx + 2))
+      name_idx += 2;
+    if (!At(code, name_idx + 1, "(")) continue;
+    out->insert(std::string(code[name_idx].text));
+  }
+}
+
+}  // namespace sclint

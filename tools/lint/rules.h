@@ -1,0 +1,78 @@
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/config.h"
+#include "lint/lexer.h"
+
+/// \file rules.h
+/// The sc_lint rule registry.
+///
+/// Each rule is data + a matcher over the token stream of one file. Rules
+/// enforce three families of project invariants (see
+/// docs/static-analysis.md):
+///   determinism  — no ambient randomness, wall clocks, or real sleeps;
+///   status       — no silently discarded Status/Result values, no
+///                  ownerless TODOs;
+///   hygiene      — include guards, no `using namespace` in headers,
+///                  direct includes for designated tokens.
+///
+/// Severity and per-path allowlists come from `.sclint.toml`; inline
+/// escapes are `// NOLINT(sc-<rule>)` and `// NOLINTNEXTLINE(sc-<rule>)`.
+
+namespace sclint {
+
+enum class Severity { kWarning, kError };
+
+struct Finding {
+  std::string path;
+  int line = 0;
+  int col = 0;
+  std::string rule;
+  std::string message;
+  Severity severity = Severity::kError;
+};
+
+/// One lexed translation unit plus derived facts rules need.
+struct FileUnit {
+  std::string path;     // normalized, forward slashes, relative to root
+  std::string content;  // owns the bytes the token views point into
+  std::vector<Token> tokens;  // full stream (comments, directives, ...)
+  std::vector<Token> code;    // identifiers/numbers/punctuation only
+  std::vector<std::string> includes;  // `#include` targets, as written
+  bool is_header = false;
+};
+
+/// Cross-file facts shared by all rules.
+struct RuleContext {
+  const Config* config = nullptr;
+  /// Names of functions whose declared return type is Status or
+  /// Result<...>, harvested from every scanned file (plus any extras from
+  /// `[rule.sc-discarded-status] functions`).
+  std::set<std::string> status_functions;
+};
+
+using RuleFn = std::function<void(const FileUnit&, const RuleContext&,
+                                  std::vector<Finding>*)>;
+
+struct RuleDef {
+  std::string name;  // "sc-banned-rand", ...
+  Severity default_severity;
+  std::string summary;  // one-liner for --list-rules and the docs
+  RuleFn check;
+};
+
+/// All built-in rules, in reporting order.
+const std::vector<RuleDef>& AllRules();
+
+/// Builds a FileUnit from file text (lexes, classifies, extracts includes).
+FileUnit MakeFileUnit(std::string path, std::string content);
+
+/// Scans one unit for Status/Result<...>-returning function declarations
+/// and adds their names to `out`.
+void HarvestStatusFunctions(const FileUnit& unit, std::set<std::string>* out);
+
+}  // namespace sclint

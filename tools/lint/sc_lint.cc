@@ -1,0 +1,65 @@
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/driver.h"
+
+/// \file sc_lint.cc
+/// CLI for the project linter. See docs/static-analysis.md.
+///
+///   sc_lint [--root=DIR] [--config=FILE] [--list-rules] [files...]
+///
+/// With no files, walks the roots from `.sclint.toml` ([lint] roots,
+/// default src/ tools/ bench/). Exit status: 0 clean (warnings allowed),
+/// 1 at least one error-severity finding, 2 operational failure.
+
+namespace {
+
+int Usage(std::ostream& out, int code) {
+  out << "usage: sc_lint [--root=DIR] [--config=FILE] [--list-rules]"
+         " [files...]\n"
+         "Project static analysis: enforces smartcrawl's determinism,\n"
+         "status-discipline and header-hygiene invariants.\n"
+         "Suppress one finding: // NOLINT(sc-<rule>)  or  "
+         "// NOLINTNEXTLINE(sc-<rule>)\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sclint::LintOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      options.root = arg.substr(7);
+    } else if (arg.rfind("--config=", 0) == 0) {
+      options.config_path = arg.substr(9);
+    } else if (arg == "--list-rules") {
+      for (const sclint::RuleDef& rule : sclint::AllRules())
+        std::cout << rule.name << ": " << rule.summary << '\n';
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(std::cout, 0);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "sc_lint: unknown flag: " << arg << '\n';
+      return Usage(std::cerr, 2);
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+
+  sclint::LintReport report;
+  std::string error;
+  if (!sclint::RunLint(options, &report, &error)) {
+    std::cerr << "sc_lint: " << error << '\n';
+    return 2;
+  }
+  for (const sclint::Finding& finding : report.findings)
+    std::cout << sclint::FormatFinding(finding) << '\n';
+  std::cerr << "sc_lint: " << report.files_scanned << " files, "
+            << report.errors << " error(s), " << report.warnings
+            << " warning(s)\n";
+  return report.errors > 0 ? 1 : 0;
+}

@@ -4,8 +4,8 @@
 /// through the configured keyword-search interface, and crawled under a
 /// budget; matched hidden columns are imported into the local table.
 ///
-///   smartcrawl_cli --local=local.csv --hidden=hidden.csv \
-///       --budget=500 --k=50 --policy=smart-b --theta=0.005 \
+///   smartcrawl_cli --local=local.csv --hidden=hidden.csv
+///       --budget=500 --k=50 --policy=smart-b --theta=0.005
 ///       --import=3:year --output=enriched.csv --curve=curve.csv
 
 #include <cstdint>
