@@ -37,7 +37,10 @@ struct CrawlStats {
   /// Lazy-priority-queue repairs performed ("t" in the paper's analysis:
   /// how often a stale top element had to be recomputed).
   size_t pq_recomputes = 0;
-  /// Sum over removed records of |F(d)| — the delta-update fan-out.
+  /// UNIQUE queries dirtied per crawl iteration, summed over iterations —
+  /// the delta-update fan-out as the priority queue actually sees it
+  /// (duplicates across a batch of removed records repair the same entry
+  /// only once, so they are deduplicated before MarkDirty).
   size_t fanout_updates = 0;
   /// Total records fetched across all pages.
   size_t records_fetched = 0;
@@ -50,6 +53,18 @@ struct CrawlStats {
   /// stop-words after the engine's tokenization); dropped, not counted
   /// against budget.
   size_t queries_rejected = 0;
+  /// Kernel mix of the crawler-side index construction (pool q(D) lists,
+  /// sample |q(Hs)| counts): how many pairwise intersections ran as
+  /// galloping search / linear merge / dense-bitmap AND. Identical every
+  /// session of the same crawler (construction happens once).
+  size_t kernel_galloping = 0;
+  size_t kernel_merge = 0;
+  size_t kernel_bitmap = 0;
+  /// |q(D) ∩~ q(Hs)| decrements applied by RemoveRecords THIS session via
+  /// the precomputed delta adjacency — each one replaces a ContainsAll
+  /// re-evaluation the pre-CSR implementation performed per
+  /// (record × forward-query × sample-match).
+  size_t delta_decrements = 0;
 };
 
 struct CrawlResult {

@@ -177,7 +177,19 @@ QueryPool GenerateQueryPool(const std::vector<text::Document>& local_docs,
     }
   }
 
-  // Materialize the pool.
+  // Materialize the pool. The kept posting lists are frozen into one flat
+  // CSR block — the crawl loop only ever reads them as spans.
+  size_t num_kept = 0;
+  for (size_t i = 0; i < term_sets.size(); ++i) {
+    if (keep[i]) ++num_kept;
+  }
+  index::CsrBuilder<index::DocIndex> posting_builder(num_kept);
+  size_t row = 0;
+  for (size_t i = 0; i < term_sets.size(); ++i) {
+    if (keep[i]) posting_builder.ReserveEntries(row++, postings[i].size());
+  }
+  posting_builder.StartFill();
+  row = 0;
   for (size_t i = 0; i < term_sets.size(); ++i) {
     if (!keep[i]) continue;
     Query q;
@@ -186,9 +198,12 @@ QueryPool GenerateQueryPool(const std::vector<text::Document>& local_docs,
     q.is_naive = is_naive[i] != 0;
     pool.local_frequency.push_back(
         static_cast<uint32_t>(postings[i].size()));
-    pool.local_postings.push_back(std::move(postings[i]));
+    for (index::DocIndex d : postings[i]) posting_builder.Push(row, d);
+    ++row;
     pool.queries.push_back(std::move(q));
   }
+  pool.local_postings = std::move(posting_builder).Build();
+  pool.kernel_stats = local_index.kernel_stats();
   return pool;
 }
 

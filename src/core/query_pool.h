@@ -4,7 +4,9 @@
 #include <string>
 #include <vector>
 
+#include "index/csr.h"
 #include "index/inverted_index.h"
+#include "index/set_kernels.h"
 #include "text/dictionary.h"
 #include "text/document.h"
 
@@ -62,10 +64,14 @@ struct QueryPool {
   std::vector<Query> queries;
   /// Initial |q(D)| per query, aligned with `queries`.
   std::vector<uint32_t> local_frequency;
-  /// Initial q(D) posting lists (sorted local record indices).
-  std::vector<std::vector<index::DocIndex>> local_postings;
+  /// Initial q(D) posting lists (sorted local record indices), one flat
+  /// CSR block aligned with `queries` — `local_postings[q]` is a span.
+  index::Csr<index::DocIndex> local_postings;
   /// True if itemset mining hit the max_mined_itemsets cap.
   bool mining_truncated = false;
+  /// Kernel mix of the |q(D)| posting-list construction (surfaced through
+  /// CrawlStats so the adaptive-kernel behavior is observable end to end).
+  index::KernelStats kernel_stats;
 
   [[nodiscard]] size_t size() const { return queries.size(); }
 };

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
+#include <utility>
 
+#include "index/csr.h"
 #include "index/inverted_index.h"
 #include "index/lazy_priority_queue.h"
 #include "match/similarity_join.h"
@@ -62,13 +65,21 @@ SmartCrawler::SmartCrawler(const table::Table* local,
   pool_ = GenerateQueryPool(local_docs_, dict_, options_.pool);
   freq_d_ = pool_.local_frequency;
 
-  // Forward index record -> queries (Figure 3(b)).
-  forward_ = index::ForwardIndex(local_->size());
-  for (QueryIdx q = 0; q < pool_.size(); ++q) {
-    for (index::DocIndex d : pool_.local_postings[q]) {
-      forward_.Add(d, q);
+  // Forward index record -> queries (Figure 3(b)), frozen flat: each row
+  // lists its queries in ascending q (fill order below), so the fan-out
+  // walk in RemoveRecords is one contiguous scan.
+  {
+    index::CsrBuilder<index::QueryIdx> fwd(local_->size());
+    for (QueryIdx q = 0; q < pool_.size(); ++q) {
+      for (index::DocIndex d : pool_.local_postings[q]) fwd.ReserveEntry(d);
     }
+    fwd.StartFill();
+    for (QueryIdx q = 0; q < pool_.size(); ++q) {
+      for (index::DocIndex d : pool_.local_postings[q]) fwd.Push(d, q);
+    }
+    forward_ = index::ForwardIndex(std::move(fwd).Build());
   }
+  build_kernel_stats_ = pool_.kernel_stats;
 
   removed_.assign(local_->size(), 0);
   covered_.assign(local_->size(), 0);
@@ -130,12 +141,13 @@ void SmartCrawler::InitSampleState() {
   // fuzzy intersection counts |q(D) ∩~ q(Hs)|. The record×sample matching
   // partitions the sample; per-chunk (local, s) pairs are concatenated in
   // chunk order, which preserves the sequential ascending-s order within
-  // each record_sample_matches_ row.
-  record_sample_matches_.assign(local_->size(), {});
+  // each record's match row. The pairs are collected flat and frozen into a
+  // CSR block afterwards (push order per row = append order here).
   using MatchPair = std::pair<table::RecordId, uint32_t>;
+  std::vector<MatchPair> match_pairs;
   auto append_pairs = [&](const std::vector<std::vector<MatchPair>>& chunks) {
     for (const auto& chunk : chunks) {
-      for (const auto& [d, s] : chunk) record_sample_matches_[d].push_back(s);
+      for (const auto& p : chunk) match_pairs.push_back(p);
     }
   };
   switch (options_.er.mode) {
@@ -180,26 +192,59 @@ void SmartCrawler::InitSampleState() {
                              options_.er.jaccard_threshold,
                              options_.num_threads);
       for (const auto& p : pairs) {
-        record_sample_matches_[p.left].push_back(p.right);
+        match_pairs.emplace_back(p.left, p.right);
       }
       break;
     }
   }
-  tp.ParallelFor(0, pool_.size(), kQueryGrain, [&](size_t q) {
-    uint32_t count = 0;
-    for (index::DocIndex d : pool_.local_postings[q]) {
-      for (uint32_t s : record_sample_matches_[d]) {
-        if (sample_docs_[s].ContainsAll(pool_.queries[q].terms)) ++count;
+
+  // Freeze record -> sample matches flat.
+  {
+    index::CsrBuilder<uint32_t> rsm(local_->size());
+    for (const auto& p : match_pairs) rsm.ReserveEntry(p.first);
+    rsm.StartFill();
+    for (const auto& p : match_pairs) rsm.Push(p.first, p.second);
+    record_sample_matches_ = std::move(rsm).Build();
+  }
+
+  // Precompute the estimator-delta adjacency: for every forward entry
+  // i = (record d, query q), the number of d's sample matches containing
+  // q's terms — exactly the inter_[q] contribution that disappears when d
+  // is removed. This is the ContainsAll work the old RemoveRecords redid
+  // per removal, hoisted to init and evaluated once. Writes are
+  // index-addressed, so the parallel loop is bit-identical to sequential.
+  constexpr size_t kRecordGrain = 512;
+  forward_dec_.assign(forward_.TotalEntries(), 0);
+  std::span<const index::QueryIdx> fwd = forward_.values();
+  tp.ParallelFor(0, local_->size(), kRecordGrain, [&](size_t d) {
+    std::span<const uint32_t> matches = record_sample_matches_[d];
+    if (matches.empty()) return;
+    auto [lo, hi] = forward_.RowBounds(d);
+    for (size_t i = lo; i < hi; ++i) {
+      const auto& terms = pool_.queries[fwd[i]].terms;
+      uint32_t dec = 0;
+      for (uint32_t s : matches) {
+        if (sample_docs_[s].ContainsAll(terms)) ++dec;
       }
+      forward_dec_[i] = dec;
     }
-    inter_[q] = count;
   });
+
+  // inter_[q] = sum of q's column of the adjacency (equal to the old
+  // per-query ContainsAll double loop — same pairs, same counts).
+  for (size_t i = 0; i < forward_dec_.size(); ++i) {
+    inter_[fwd[i]] += forward_dec_[i];
+  }
+
+  build_kernel_stats_ += sample_index.kernel_stats();
 }
 
 void SmartCrawler::InitIdealState() {
   assert(oracle_ != nullptr && "kIdeal requires oracle access");
   cover_count_.assign(pool_.size(), 0);
-  cover_forward_ = index::ForwardIndex(local_->size());
+  // Oracle covers are computed per query, then frozen into a flat forward
+  // CSR (record -> covering queries, ascending q per row — the fill order).
+  std::vector<std::vector<table::RecordId>> covered_per_q(pool_.size());
   for (QueryIdx q = 0; q < pool_.size(); ++q) {
     std::vector<table::RecordId> top =
         oracle_->OracleTopK(pool_.queries[q].keywords);
@@ -212,18 +257,24 @@ void SmartCrawler::InitIdealState() {
     covered.erase(std::unique(covered.begin(), covered.end()),
                   covered.end());
     cover_count_[q] = static_cast<uint32_t>(covered.size());
-    for (table::RecordId d : covered) cover_forward_.Add(d, q);
+    covered_per_q[q] = std::move(covered);
   }
+  index::CsrBuilder<index::QueryIdx> cf(local_->size());
+  for (QueryIdx q = 0; q < pool_.size(); ++q) {
+    for (table::RecordId d : covered_per_q[q]) cf.ReserveEntry(d);
+  }
+  cf.StartFill();
+  for (QueryIdx q = 0; q < pool_.size(); ++q) {
+    for (table::RecordId d : covered_per_q[q]) cf.Push(d, q);
+  }
+  cover_forward_ = index::ForwardIndex(std::move(cf).Build());
 }
 
 double SmartCrawler::PriorityOf(QueryIdx q) const {
-  // For the estimator policies, a query whose estimate is 0 but which still
-  // matches uncovered records is not *useless* — with a sparse sample most
-  // unbiased estimates are exactly 0 and the paper's SMARTCRAWL-U keeps
-  // issuing such (tied) queries. The epsilon keeps them above the
-  // stop-on-zero threshold without disturbing the ordering of real
-  // estimates; ties are then broken deterministically by query id.
-  constexpr double kActiveEpsilon = 1e-9;
+  // The liveness epsilon (see kLivenessEpsilon) keeps zero-estimate queries
+  // that still match uncovered records above the stop-on-zero threshold
+  // without disturbing the ordering of real estimates; ties are then broken
+  // deterministically by query id.
   switch (options_.policy) {
     case SelectionPolicy::kSimple:
     case SelectionPolicy::kBound:
@@ -233,11 +284,11 @@ double SmartCrawler::PriorityOf(QueryIdx q) const {
     case SelectionPolicy::kEstBiased:
       return EstimateBenefit(EstimatorKind::kBiased, freq_d_[q], freq_hs_[q],
                              inter_[q], ctx_) +
-             (freq_d_[q] > 0 ? kActiveEpsilon : 0.0);
+             (freq_d_[q] > 0 ? kLivenessEpsilon : 0.0);
     case SelectionPolicy::kEstUnbiased:
       return EstimateBenefit(EstimatorKind::kUnbiased, freq_d_[q],
                              freq_hs_[q], inter_[q], ctx_) +
-             (freq_d_[q] > 0 ? kActiveEpsilon : 0.0);
+             (freq_d_[q] > 0 ? kLivenessEpsilon : 0.0);
   }
   return 0.0;
 }
@@ -318,18 +369,26 @@ std::vector<table::RecordId> SmartCrawler::MatchPage(
 
 void SmartCrawler::RemoveRecords(const std::vector<table::RecordId>& ids,
                                  std::vector<QueryIdx>* dirtied) {
+  // Pure index-addressed arithmetic: the forward row gives the fan-out,
+  // the value-aligned forward_dec_ gives each inter_[q] delta precomputed
+  // at init — no ContainsAll re-evaluation per (record × query × match).
+  // The subtraction saturates like the old guarded decrement did; in
+  // practice forward_dec_[i] <= inter_[q] whenever d is still active
+  // (d's own contribution is part of the sum).
+  const bool have_dec = !forward_dec_.empty();
+  std::span<const index::QueryIdx> fwd = forward_.values();
   for (table::RecordId d : ids) {
     if (removed_[d]) continue;
     removed_[d] = 1;
     --num_active_;
-    for (index::QueryIdx q : forward_.Queries(d)) {
+    auto [lo, hi] = forward_.RowBounds(d);
+    for (size_t i = lo; i < hi; ++i) {
+      const index::QueryIdx q = fwd[i];
       --freq_d_[q];
-      if (!record_sample_matches_.empty()) {
-        for (uint32_t s : record_sample_matches_[d]) {
-          if (sample_docs_[s].ContainsAll(pool_.queries[q].terms)) {
-            if (inter_[q] > 0) --inter_[q];
-          }
-        }
+      if (have_dec) {
+        const uint32_t dec = std::min(forward_dec_[i], inter_[q]);
+        inter_[q] -= dec;
+        delta_decrements_total_ += dec;
       }
       dirtied->push_back(q);
     }
@@ -361,6 +420,7 @@ Result<CrawlResult> SmartCrawler::Crawl(hidden::KeywordSearchInterface* iface,
   index::LazyPriorityQueue& pq = *pq_;
 
   CrawlResult result;
+  const uint64_t decrements_at_start = delta_decrements_total_;
 
   size_t budget_left = budget;
   while (budget_left > 0 && num_active_ > 0) {
@@ -405,9 +465,10 @@ Result<CrawlResult> SmartCrawler::Crawl(hidden::KeywordSearchInterface* iface,
     log.query = pool_.queries[q].Display();
     log.page_size = static_cast<uint32_t>(page.size());
     // Strip the liveness epsilon so the log shows the raw estimate.
-    log.estimated_benefit = (est_policy && freq_d_[q] > 0 && priority >= 1e-9)
-                                ? priority - 1e-9
-                                : priority;
+    log.estimated_benefit =
+        (est_policy && freq_d_[q] > 0 && priority >= kLivenessEpsilon)
+            ? priority - kLivenessEpsilon
+            : priority;
     log.page_entities.reserve(page.size());
     for (const auto& rec : page) log.page_entities.push_back(rec.entity_id);
     result.iterations.push_back(std::move(log));
@@ -477,6 +538,11 @@ Result<CrawlResult> SmartCrawler::Crawl(hidden::KeywordSearchInterface* iface,
       }
     }
 
+    // A batch of removed records dirties the same query many times; the
+    // priority queue repairs each entry at most once, so deduplicate before
+    // marking (and count the fan-out as the queue actually sees it).
+    std::sort(dirtied.begin(), dirtied.end());
+    dirtied.erase(std::unique(dirtied.begin(), dirtied.end()), dirtied.end());
     result.stats.fanout_updates += dirtied.size();
     result.stats.records_fetched += page.size();
     for (QueryIdx dq : dirtied) pq.MarkDirty(dq);
@@ -488,6 +554,11 @@ Result<CrawlResult> SmartCrawler::Crawl(hidden::KeywordSearchInterface* iface,
   }
   result.stats.pool_size = pool_.size();
   result.stats.pq_recomputes = pq.num_recomputes();
+  result.stats.kernel_galloping = build_kernel_stats_.galloping;
+  result.stats.kernel_merge = build_kernel_stats_.merge;
+  result.stats.kernel_bitmap = build_kernel_stats_.bitmap;
+  result.stats.delta_decrements =
+      static_cast<size_t>(delta_decrements_total_ - decrements_at_start);
   return result;
 }
 

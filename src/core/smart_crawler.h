@@ -48,6 +48,13 @@
 
 namespace smartcrawl::core {
 
+/// Liveness epsilon for the estimator policies: a query whose estimate is
+/// exactly 0 but which still matches uncovered records stays selectable
+/// (the paper's SMARTCRAWL-U keeps issuing such tied queries under sparse
+/// samples). Added in PriorityOf, stripped again when logging the raw
+/// estimate — one constant so the two sides cannot drift.
+inline constexpr double kLivenessEpsilon = 1e-9;
+
 enum class SelectionPolicy {
   kSimple,
   kBound,
@@ -182,7 +189,20 @@ class SmartCrawler {
 
   // Sample-side state (kEst*).
   std::vector<text::Document> sample_docs_;
-  std::vector<std::vector<uint32_t>> record_sample_matches_;
+  /// record -> its sample matches, flat CSR (immutable after init).
+  index::Csr<uint32_t> record_sample_matches_;
+  /// Precomputed estimator-delta adjacency, index-aligned with
+  /// forward_.values(): entry i (the pair record d -> query q) holds
+  /// |{sample matches s of d : s contains q's terms}| — the amount
+  /// inter_[q] drops when d is removed. Computed once at InitSampleState,
+  /// so RemoveRecords is pure index-addressed arithmetic with zero
+  /// ContainsAll re-evaluation. Empty for non-estimator policies.
+  std::vector<uint32_t> forward_dec_;
+  /// Construction-time kernel mix (pool build + sample |q(Hs)| pass),
+  /// surfaced through CrawlStats.
+  index::KernelStats build_kernel_stats_;
+  /// Lifetime total of delta decrements applied (sessions report deltas).
+  uint64_t delta_decrements_total_ = 0;
 
   // Oracle state (kIdeal).
   index::ForwardIndex cover_forward_;

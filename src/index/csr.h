@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+/// \file csr.h
+/// Flat compressed-sparse-row (CSR) storage: one offsets array plus one
+/// contiguous values array, replacing vector<vector> on every crawl-loop
+/// hot path (postings, forward lists, sample-match adjacency).
+///
+/// Why: a vector<vector<T>> scatters each inner list through the heap, so
+/// walking the delta-update fan-out is a pointer chase with one cache miss
+/// per row. CSR packs all rows back to back — a row is a `std::span` into
+/// one allocation, rows adjacent in id are adjacent in memory, and side
+/// arrays can be kept index-aligned with `values()` (see
+/// `SmartCrawler::forward_dec_`). Built once after construction, immutable
+/// thereafter.
+
+namespace smartcrawl::index {
+
+/// Immutable CSR container. Construct via CsrBuilder (two-pass
+/// count-then-fill, no per-row reallocation) or leave default (0 rows).
+template <typename T>
+class Csr {
+ public:
+  Csr() = default;
+
+  [[nodiscard]] size_t num_rows() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  /// Total entries across all rows.
+  [[nodiscard]] size_t num_values() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return num_rows() == 0; }
+
+  /// The row as a view into the flat values array.
+  std::span<const T> operator[](size_t row) const {
+    return {values_.data() + offsets_[row],
+            offsets_[row + 1] - offsets_[row]};
+  }
+
+  [[nodiscard]] size_t row_size(size_t row) const {
+    return offsets_[row + 1] - offsets_[row];
+  }
+
+  /// Half-open [begin, end) positions of `row` inside values() — for
+  /// walking a row together with side arrays aligned to the flat storage.
+  [[nodiscard]] std::pair<size_t, size_t> row_bounds(size_t row) const {
+    return {offsets_[row], offsets_[row + 1]};
+  }
+
+  /// The whole flat values array (rows concatenated in row order).
+  std::span<const T> values() const { return values_; }
+
+ private:
+  template <typename U>
+  friend class CsrBuilder;
+
+  std::vector<size_t> offsets_;  // size num_rows + 1 (or empty)
+  std::vector<T> values_;
+};
+
+/// Two-pass CSR builder: declare every entry with ReserveEntry/
+/// ReserveEntries, call StartFill() once, then Push() each value. Values
+/// pushed into the same row keep their push order; rows may be filled in
+/// any interleaving. Build() moves the finished container out.
+template <typename T>
+class CsrBuilder {
+ public:
+  explicit CsrBuilder(size_t num_rows) : counts_(num_rows, 0) {}
+
+  void ReserveEntry(size_t row) { ++counts_[row]; }
+  void ReserveEntries(size_t row, size_t n) { counts_[row] += n; }
+
+  /// Freezes the layout and allocates the flat storage.
+  void StartFill() {
+    csr_.offsets_.assign(counts_.size() + 1, 0);
+    for (size_t r = 0; r < counts_.size(); ++r) {
+      csr_.offsets_[r + 1] = csr_.offsets_[r] + counts_[r];
+    }
+    csr_.values_.resize(csr_.offsets_.back());
+    cursor_.assign(csr_.offsets_.begin(), csr_.offsets_.end() - 1);
+  }
+
+  void Push(size_t row, T value) { csr_.values_[cursor_[row]++] = value; }
+
+  [[nodiscard]] Csr<T> Build() && { return std::move(csr_); }
+
+ private:
+  std::vector<size_t> counts_;
+  std::vector<size_t> cursor_;
+  Csr<T> csr_;
+};
+
+/// Convenience: CSR from materialized rows (used where rows are produced
+/// by parallel construction before being frozen flat).
+template <typename T>
+Csr<T> CsrFromRows(const std::vector<std::vector<T>>& rows) {
+  CsrBuilder<T> b(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    b.ReserveEntries(r, rows[r].size());
+  }
+  b.StartFill();
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (const T& v : rows[r]) b.Push(r, v);
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace smartcrawl::index

@@ -2,7 +2,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <span>
+#include <utility>
+
+#include "index/csr.h"
 
 /// \file forward_index.h
 /// Forward index: record -> the queries whose q(D) contains it
@@ -10,7 +13,10 @@
 ///
 /// When a local record is covered (removed from D), the forward list tells
 /// us exactly which queries' |q(D)| must be decremented — the input to the
-/// delta-update priority repair.
+/// delta-update priority repair. The lists live in one flat CSR block,
+/// built once via CsrBuilder and immutable thereafter, so the fan-out walk
+/// is a contiguous scan and side arrays (the crawler's precomputed
+/// estimator deltas) can be kept index-aligned with values().
 
 namespace smartcrawl::index {
 
@@ -19,23 +25,27 @@ using QueryIdx = uint32_t;
 class ForwardIndex {
  public:
   ForwardIndex() = default;
-  explicit ForwardIndex(size_t num_records) : lists_(num_records) {}
+  explicit ForwardIndex(Csr<QueryIdx> lists) : lists_(std::move(lists)) {}
 
-  size_t num_records() const { return lists_.size(); }
+  size_t num_records() const { return lists_.num_rows(); }
 
-  /// Registers that record `rec` satisfies query `q`.
-  void Add(size_t rec, QueryIdx q) { lists_[rec].push_back(q); }
+  /// The forward list F(rec), a view into the flat storage.
+  std::span<const QueryIdx> Queries(size_t rec) const { return lists_[rec]; }
 
-  /// The forward list F(rec).
-  const std::vector<QueryIdx>& Queries(size_t rec) const {
-    return lists_[rec];
+  /// [begin, end) positions of F(rec) inside values() — for walking a
+  /// record's fan-out together with value-aligned side arrays.
+  [[nodiscard]] std::pair<size_t, size_t> RowBounds(size_t rec) const {
+    return lists_.row_bounds(rec);
   }
 
+  /// All forward lists concatenated in record order.
+  std::span<const QueryIdx> values() const { return lists_.values(); }
+
   /// Total number of (record, query) pairs stored.
-  size_t TotalEntries() const;
+  size_t TotalEntries() const { return lists_.num_values(); }
 
  private:
-  std::vector<std::vector<QueryIdx>> lists_;
+  Csr<QueryIdx> lists_;
 };
 
 }  // namespace smartcrawl::index

@@ -1,8 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "index/csr.h"
+#include "index/set_kernels.h"
 #include "text/dictionary.h"
 #include "text/document.h"
 
@@ -13,10 +16,26 @@
 ///  * the hidden-database simulator's search engine (conjunctive retrieval),
 ///  * fast computation of |q(D)| over the local database (paper Sec. 6.3),
 ///  * fast computation of |q(Hs)| over the hidden-database sample.
+///
+/// Storage is flat CSR (one offsets array + one contiguous postings array,
+/// built once and immutable). Terms whose posting list is dense enough
+/// additionally carry a bitmap over the document space, so the hottest
+/// intersections run as word-wise AND/popcount instead of list walks. See
+/// docs/architecture.md §3 for the layout and the kernel-selection
+/// thresholds.
 
 namespace smartcrawl::index {
 
 using DocIndex = uint32_t;
+
+/// A term gets a dense bitmap when its document frequency reaches
+/// num_docs / kBitmapDensityInv (a bitmap costs num_docs/8 bytes vs 4
+/// bytes per posting, so above density 1/32 the bitmap is smaller AND
+/// answers membership in O(1))...
+inline constexpr size_t kBitmapDensityInv = 32;
+/// ...but only in corpora of at least this many documents — below that,
+/// lists fit in cache and the bitmap bookkeeping cannot pay off.
+inline constexpr size_t kBitmapMinDocs = 64;
 
 class InvertedIndex {
  public:
@@ -27,15 +46,20 @@ class InvertedIndex {
   InvertedIndex(const std::vector<text::Document>& docs, size_t num_terms);
 
   size_t num_docs() const { return num_docs_; }
-  size_t num_terms() const { return postings_.size(); }
+  size_t num_terms() const { return postings_.num_rows(); }
 
   /// Posting list (sorted doc indices) for `term`; empty for unseen terms.
-  const std::vector<DocIndex>& Postings(text::TermId term) const;
+  /// A view into the flat CSR storage — valid as long as the index lives.
+  std::span<const DocIndex> Postings(text::TermId term) const;
 
   /// Document frequency of `term`.
   size_t DocFrequency(text::TermId term) const {
     return Postings(term).size();
   }
+
+  /// True if `term` is dense enough to carry a bitmap (exposed for tests
+  /// and the kernel benchmarks).
+  bool HasBitmap(text::TermId term) const;
 
   /// All documents containing every term of `query_terms` (sorted term ids;
   /// duplicates allowed). An empty query matches nothing by convention —
@@ -43,19 +67,38 @@ class InvertedIndex {
   std::vector<DocIndex> IntersectPostings(
       const std::vector<text::TermId>& query_terms) const;
 
-  /// |IntersectPostings(query_terms)| without materializing, short-circuits
-  /// on empty intermediate results.
+  /// |IntersectPostings(query_terms)| WITHOUT materializing any
+  /// intermediate list: adaptive galloping / merge / bitmap probing over
+  /// the flat postings, short-circuiting on a provably empty result. Never
+  /// allocates for queries of up to kInlineLists terms.
   size_t IntersectionSize(const std::vector<text::TermId>& query_terms) const;
 
   /// All documents containing *at least one* term (disjunctive retrieval,
-  /// used by the relevance-ranked interface mode).
+  /// used by the relevance-ranked interface mode). K-way merge over the
+  /// posting cursors — no global sort+unique pass.
   std::vector<DocIndex> UnionPostings(
       const std::vector<text::TermId>& query_terms) const;
 
+  /// Count-only queries with at most this many terms run allocation-free.
+  static constexpr size_t kInlineLists = 16;
+
+  /// Snapshot of the kernel-mix tallies accumulated by this index
+  /// (galloping / merge / bitmap probes, materializing calls). Safe to
+  /// read concurrently with queries.
+  KernelStats kernel_stats() const { return counters_.Snapshot(); }
+
  private:
+  /// Bitmap words of `term`, or an empty span when the term has none.
+  std::span<const uint64_t> BitmapOf(text::TermId term) const;
+
+  static constexpr uint32_t kNoBitmap = 0xffffffffu;
+
   size_t num_docs_ = 0;
-  std::vector<std::vector<DocIndex>> postings_;
-  static const std::vector<DocIndex> kEmptyPostings;
+  size_t words_per_doc_set_ = 0;  // ceil(num_docs / 64)
+  Csr<DocIndex> postings_;
+  std::vector<uint32_t> bitmap_slot_;   // per term; kNoBitmap if absent
+  std::vector<uint64_t> bitmap_words_;  // slot-major, words_per_doc_set_ each
+  mutable KernelCounters counters_;
 };
 
 }  // namespace smartcrawl::index

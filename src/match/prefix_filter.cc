@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "index/set_kernels.h"
 #include "util/thread_pool.h"
 
 namespace smartcrawl::match {
@@ -105,7 +106,14 @@ std::vector<JoinPair> PrefixFilterJaccardJoin(
           double la = static_cast<double>(a.size());
           double lb = static_cast<double>(b.size());
           if (lb < threshold * la || la < threshold * lb) continue;
-          double sim = a.Jaccard(b);
+          // Adaptive count-only verification. The kernel returns the exact
+          // integer |a ∩ b|, so the similarity double is bit-identical to
+          // Document::Jaccard whatever kernel ran.
+          size_t inter = index::PairCount(a.terms(), b.terms(), nullptr);
+          size_t uni = a.size() + b.size() - inter;
+          double sim = uni == 0 ? 1.0
+                                : static_cast<double>(inter) /
+                                      static_cast<double>(uni);
           if (sim >= threshold) {
             out.push_back(JoinPair{i, static_cast<uint32_t>(j), sim});
           }

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -41,7 +42,8 @@ void ExpectPoolsEqual(const QueryPool& a, const QueryPool& b,
     EXPECT_EQ(a.queries[q].keywords, b.queries[q].keywords) << "query " << q;
     EXPECT_EQ(a.queries[q].is_naive, b.queries[q].is_naive) << "query " << q;
     EXPECT_EQ(a.local_frequency[q], b.local_frequency[q]) << "query " << q;
-    EXPECT_EQ(a.local_postings[q], b.local_postings[q]) << "query " << q;
+    EXPECT_TRUE(std::ranges::equal(a.local_postings[q], b.local_postings[q]))
+        << "query " << q;
   }
   EXPECT_EQ(a.mining_truncated, b.mining_truncated);
 }

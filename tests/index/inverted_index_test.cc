@@ -1,9 +1,12 @@
 #include "index/inverted_index.h"
 
 #include <algorithm>
+#include <span>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "index/csr.h"
 #include "index/forward_index.h"
 #include "util/random.h"
 
@@ -12,6 +15,12 @@ namespace {
 
 using text::Document;
 using text::TermId;
+
+/// Materializes a span for comparison (std::span has no operator==).
+template <typename T>
+std::vector<T> ToVec(std::span<const T> s) {
+  return {s.begin(), s.end()};
+}
 
 std::vector<Document> SmallCorpus() {
   // doc 0: {0,1,2}  doc 1: {1,2}  doc 2: {2,3}  doc 3: {0,3}
@@ -23,10 +32,10 @@ TEST(InvertedIndexTest, PostingsAreSortedAndComplete) {
   auto docs = SmallCorpus();
   InvertedIndex idx(docs, 4);
   EXPECT_EQ(idx.num_docs(), 4u);
-  EXPECT_EQ(idx.Postings(0), (std::vector<DocIndex>{0, 3}));
-  EXPECT_EQ(idx.Postings(1), (std::vector<DocIndex>{0, 1}));
-  EXPECT_EQ(idx.Postings(2), (std::vector<DocIndex>{0, 1, 2}));
-  EXPECT_EQ(idx.Postings(3), (std::vector<DocIndex>{2, 3}));
+  EXPECT_EQ(ToVec(idx.Postings(0)), (std::vector<DocIndex>{0, 3}));
+  EXPECT_EQ(ToVec(idx.Postings(1)), (std::vector<DocIndex>{0, 1}));
+  EXPECT_EQ(ToVec(idx.Postings(2)), (std::vector<DocIndex>{0, 1, 2}));
+  EXPECT_EQ(ToVec(idx.Postings(3)), (std::vector<DocIndex>{2, 3}));
   EXPECT_EQ(idx.DocFrequency(2), 3u);
 }
 
@@ -143,15 +152,21 @@ INSTANTIATE_TEST_SUITE_P(
                       ));
 
 TEST(ForwardIndexTest, StoresQueryMembership) {
-  ForwardIndex f(3);
-  f.Add(0, 7);
-  f.Add(0, 9);
-  f.Add(2, 7);
-  EXPECT_EQ(f.Queries(0), (std::vector<QueryIdx>{7, 9}));
+  CsrBuilder<QueryIdx> b(3);
+  b.ReserveEntries(0, 2);
+  b.ReserveEntry(2);
+  b.StartFill();
+  b.Push(0, 7);
+  b.Push(0, 9);
+  b.Push(2, 7);
+  ForwardIndex f(std::move(b).Build());
+  EXPECT_EQ(ToVec(f.Queries(0)), (std::vector<QueryIdx>{7, 9}));
   EXPECT_TRUE(f.Queries(1).empty());
-  EXPECT_EQ(f.Queries(2), (std::vector<QueryIdx>{7}));
+  EXPECT_EQ(ToVec(f.Queries(2)), (std::vector<QueryIdx>{7}));
   EXPECT_EQ(f.TotalEntries(), 3u);
   EXPECT_EQ(f.num_records(), 3u);
+  EXPECT_EQ(f.RowBounds(2), (std::pair<size_t, size_t>{2u, 3u}));
+  EXPECT_EQ(ToVec(f.values()), (std::vector<QueryIdx>{7, 9, 7}));
 }
 
 }  // namespace
