@@ -1,0 +1,514 @@
+/// Build-phase benchmarks (google-benchmark): parallel FP-growth projection
+/// mining, the flat first-child/next-sibling FP-tree against the hashmap
+/// child-edge tree it replaced, and the crawler setup stages that now share
+/// one thread pool.
+///
+///   * BM_MineFpGrowth/{1,2,4}     — the shipped miner (flat tree, scratch
+///                                   reuse, parallel projection mining) at
+///                                   1/2/4 worker threads.
+///   * BM_MineFpGrowth_LegacyHashTree — self-contained copy of the pre-flat
+///                                   miner: per-edge unordered_map children,
+///                                   fresh vectors per conditional pattern,
+///                                   sequential top-level loop. Reference
+///                                   for the sequential flat-vs-hashmap win.
+///   * BM_GenerateQueryPool/{1,2,4} — full pool generation (transactions,
+///                                   mining, postings, dominance pruning)
+///                                   on one shared pool.
+///   * BM_CrawlerInitEstimator/{1,2,4} — SmartCrawler::Create for the
+///                                   estimator policies: pool + indices +
+///                                   sample matching (InitSampleState).
+///   * BM_CrawlerInitIdeal/{1,2,4} — SmartCrawler::Create for QSEL-IDEAL:
+///                                   per-query oracle covers, now staged
+///                                   fetch/intern/match (InitIdealState).
+///
+/// Scaling: sizes honor SC_SCALE like the figure drivers (default 0.3);
+/// `--smoke` forces SC_SCALE=0.05 for CI schema validation. The committed
+/// bench/BENCH_pool.json is generated at SC_SCALE=1.0:
+///   SC_SCALE=1.0 bench_pool --benchmark_out=bench/BENCH_pool.json
+///       --benchmark_out_format=json   (one command line)
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/query_pool.h"
+#include "core/smart_crawler.h"
+#include "datagen/scenario.h"
+#include "fpm/itemset.h"
+#include "sample/sampler.h"
+#include "text/dictionary.h"
+#include "text/document.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace {
+
+using namespace smartcrawl;  // NOLINT
+
+double g_scale = 0.3;  // set in main: --smoke => 0.05, else SC_SCALE
+
+size_t ScaledN(size_t paper_value) {
+  double v = static_cast<double>(paper_value) * g_scale;
+  auto out = static_cast<size_t>(v + 0.5);
+  return out < 64 ? 64 : out;
+}
+
+// ---- Legacy miner: the pre-flat FP-tree, kept verbatim as reference -----
+//
+// Hashmap child edges keyed by (parent, item), a fresh vector per
+// conditional path, a fresh tree per projection — the allocation profile
+// the flat arena + PatternBase + MinerScratch replaced. Output is
+// identical to the shipped miner at num_threads=1, which the determinism
+// suite pins; this copy exists only so the layout comparison stays
+// runnable after the old code is gone.
+
+namespace legacy {
+
+constexpr uint32_t kNoNode = static_cast<uint32_t>(-1);
+constexpr uint32_t kNoItem = static_cast<uint32_t>(-1);
+
+struct Node {
+  uint32_t item = kNoItem;
+  uint32_t count = 0;
+  uint32_t parent = kNoNode;
+  uint32_t sibling = kNoNode;  // node-link to next node with the same item
+};
+
+class FpTree {
+ public:
+  explicit FpTree(uint32_t num_items)
+      : heads_(num_items, kNoNode), item_counts_(num_items, 0) {
+    nodes_.push_back(Node{});  // root at index 0
+  }
+
+  void Insert(const std::vector<uint32_t>& txn, uint32_t count) {
+    uint32_t cur = 0;
+    for (uint32_t item : txn) {
+      uint32_t child = FindChild(cur, item);
+      if (child == kNoNode) {
+        child = static_cast<uint32_t>(nodes_.size());
+        nodes_.push_back(Node{item, 0, cur, heads_[item]});
+        heads_[item] = child;
+        children_.emplace(Key(cur, item), child);
+      }
+      nodes_[child].count += count;
+      item_counts_[item] += count;
+      cur = child;
+    }
+  }
+
+  uint32_t ItemCount(uint32_t item) const { return item_counts_[item]; }
+  uint32_t num_items() const { return static_cast<uint32_t>(heads_.size()); }
+
+  bool IsSinglePath() const {
+    for (uint32_t i = 1; i < nodes_.size(); ++i) {
+      if (nodes_[i].parent != i - 1) return false;
+    }
+    return true;
+  }
+
+  std::vector<std::pair<uint32_t, uint32_t>> SinglePathItems() const {
+    std::vector<std::pair<uint32_t, uint32_t>> out;
+    for (size_t i = 1; i < nodes_.size(); ++i) {
+      out.emplace_back(nodes_[i].item, nodes_[i].count);
+    }
+    return out;
+  }
+
+  void ConditionalPatterns(
+      uint32_t item,
+      std::vector<std::pair<std::vector<uint32_t>, uint32_t>>* out) const {
+    out->clear();
+    for (uint32_t n = heads_[item]; n != kNoNode; n = nodes_[n].sibling) {
+      std::vector<uint32_t> path;
+      for (uint32_t p = nodes_[n].parent; p != 0; p = nodes_[p].parent) {
+        path.push_back(nodes_[p].item);
+      }
+      std::reverse(path.begin(), path.end());
+      out->emplace_back(std::move(path), nodes_[n].count);
+    }
+  }
+
+ private:
+  static uint64_t Key(uint32_t parent, uint32_t item) {
+    return (static_cast<uint64_t>(parent) << 32) | item;
+  }
+  uint32_t FindChild(uint32_t parent, uint32_t item) const {
+    auto it = children_.find(Key(parent, item));
+    return it == children_.end() ? kNoNode : it->second;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> heads_;
+  std::vector<uint32_t> item_counts_;
+  std::unordered_map<uint64_t, uint32_t> children_;
+};
+
+class Miner {
+ public:
+  Miner(const fpm::MiningOptions& options,
+        const std::vector<text::TermId>& terms)
+      : options_(options), rank_to_term_(terms) {}
+
+  bool Emit(const std::vector<uint32_t>& suffix_ranks, uint32_t support) {
+    if (options_.max_results != 0 &&
+        result_.itemsets.size() >= options_.max_results) {
+      result_.truncated = true;
+      return false;
+    }
+    fpm::FrequentItemset fis;
+    fis.support = support;
+    fis.items.reserve(suffix_ranks.size());
+    for (uint32_t r : suffix_ranks) fis.items.push_back(rank_to_term_[r]);
+    std::sort(fis.items.begin(), fis.items.end());
+    result_.itemsets.push_back(std::move(fis));
+    return true;
+  }
+
+  bool Mine(const FpTree& tree, std::vector<uint32_t>* suffix) {
+    if (options_.max_itemset_size != 0 &&
+        suffix->size() >= options_.max_itemset_size) {
+      return true;
+    }
+    if (tree.IsSinglePath()) {
+      return MineSinglePath(tree, suffix);
+    }
+    for (uint32_t item = tree.num_items(); item-- > 0;) {
+      uint32_t support = tree.ItemCount(item);
+      if (support < options_.min_support) continue;
+      suffix->push_back(item);
+      if (!Emit(*suffix, support)) {
+        suffix->pop_back();
+        return false;
+      }
+      if (options_.max_itemset_size == 0 ||
+          suffix->size() < options_.max_itemset_size) {
+        std::vector<std::pair<std::vector<uint32_t>, uint32_t>> patterns;
+        tree.ConditionalPatterns(item, &patterns);
+        std::vector<uint32_t> cond_counts(item, 0);
+        for (const auto& [path, count] : patterns) {
+          for (uint32_t i : path) cond_counts[i] += count;
+        }
+        bool any = false;
+        for (uint32_t c : cond_counts) {
+          if (c >= options_.min_support) {
+            any = true;
+            break;
+          }
+        }
+        if (any) {
+          FpTree cond_tree(item);
+          std::vector<uint32_t> filtered;
+          for (const auto& [path, count] : patterns) {
+            filtered.clear();
+            for (uint32_t i : path) {
+              if (cond_counts[i] >= options_.min_support) {
+                filtered.push_back(i);
+              }
+            }
+            if (!filtered.empty()) cond_tree.Insert(filtered, count);
+          }
+          if (!Mine(cond_tree, suffix)) {
+            suffix->pop_back();
+            return false;
+          }
+        }
+      }
+      suffix->pop_back();
+    }
+    return true;
+  }
+
+  bool MineSinglePath(const FpTree& tree, std::vector<uint32_t>* suffix) {
+    auto chain = tree.SinglePathItems();
+    std::vector<std::pair<uint32_t, uint32_t>> items;
+    for (auto& [item, count] : chain) {
+      if (count >= options_.min_support) items.emplace_back(item, count);
+    }
+    return EnumerateSubsets(items, 0, ~uint32_t{0}, suffix);
+  }
+
+  bool EnumerateSubsets(
+      const std::vector<std::pair<uint32_t, uint32_t>>& items, size_t pos,
+      uint32_t min_count, std::vector<uint32_t>* suffix) {
+    if (options_.max_itemset_size != 0 &&
+        suffix->size() >= options_.max_itemset_size) {
+      return true;
+    }
+    for (size_t i = pos; i < items.size(); ++i) {
+      uint32_t new_min = std::min(min_count, items[i].second);
+      suffix->push_back(items[i].first);
+      if (!Emit(*suffix, new_min)) {
+        suffix->pop_back();
+        return false;
+      }
+      if (!EnumerateSubsets(items, i + 1, new_min, suffix)) {
+        suffix->pop_back();
+        return false;
+      }
+      suffix->pop_back();
+    }
+    return true;
+  }
+
+  fpm::MiningResult Take() { return std::move(result_); }
+
+ private:
+  const fpm::MiningOptions& options_;
+  const std::vector<text::TermId>& rank_to_term_;
+  fpm::MiningResult result_;
+};
+
+fpm::MiningResult MineFrequentItemsets(
+    const std::vector<std::vector<text::TermId>>& transactions,
+    const fpm::MiningOptions& options) {
+  std::unordered_map<text::TermId, uint32_t> freq;
+  for (const auto& txn : transactions) {
+    for (text::TermId t : txn) ++freq[t];
+  }
+  std::vector<std::pair<text::TermId, uint32_t>> frequent;
+  for (const auto& [t, c] : freq) {
+    if (c >= options.min_support) frequent.emplace_back(t, c);
+  }
+  std::sort(frequent.begin(), frequent.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  std::vector<text::TermId> rank_to_term(frequent.size());
+  std::unordered_map<text::TermId, uint32_t> term_to_rank;
+  term_to_rank.reserve(frequent.size() * 2);
+  for (uint32_t r = 0; r < frequent.size(); ++r) {
+    rank_to_term[r] = frequent[r].first;
+    term_to_rank.emplace(frequent[r].first, r);
+  }
+  FpTree tree(static_cast<uint32_t>(rank_to_term.size()));
+  std::vector<uint32_t> ranked;
+  for (const auto& txn : transactions) {
+    ranked.clear();
+    for (text::TermId t : txn) {
+      auto it = term_to_rank.find(t);
+      if (it != term_to_rank.end()) ranked.push_back(it->second);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    ranked.erase(std::unique(ranked.begin(), ranked.end()), ranked.end());
+    if (!ranked.empty()) tree.Insert(ranked, 1);
+  }
+  Miner miner(options, rank_to_term);
+  std::vector<uint32_t> suffix;
+  miner.Mine(tree, &suffix);
+  return miner.Take();
+}
+
+}  // namespace legacy
+
+// ---- Mining fixture: Zipf-skewed transactions ---------------------------
+//
+// Heavy-head vocabulary so the global tree has long shared prefixes and
+// deep, uneven conditional trees — the workload shape of keyword itemset
+// mining over record titles (and the worst case for per-item balance,
+// which is what the chunked projection parallelism has to absorb).
+
+struct MiningFixture {
+  std::vector<std::vector<text::TermId>> txns;
+  fpm::MiningOptions options;
+};
+
+const MiningFixture& BuildMiningFixture() {
+  static MiningFixture* f = nullptr;
+  if (f != nullptr) return *f;
+  f = new MiningFixture();
+  const size_t num_txns = ScaledN(60000);
+  const size_t vocab = ScaledN(1500);
+  Rng rng(4242);
+  ZipfDistribution zipf(vocab, 1.1);
+  f->txns.reserve(num_txns);
+  for (size_t i = 0; i < num_txns; ++i) {
+    size_t len = 3 + rng.UniformIndex(8);
+    std::vector<text::TermId> t;
+    t.reserve(len);
+    for (size_t j = 0; j < len; ++j) {
+      t.push_back(static_cast<text::TermId>(zipf.Sample(rng)));
+    }
+    f->txns.push_back(std::move(t));
+  }
+  f->options.min_support = 3;
+  f->options.max_itemset_size = 4;
+  return *f;
+}
+
+/// The shipped miner: flat tree, scratch reuse, parallel projections.
+void BM_MineFpGrowth(benchmark::State& state) {
+  const MiningFixture& f = BuildMiningFixture();
+  fpm::MiningOptions opt = f.options;
+  opt.num_threads = static_cast<unsigned>(state.range(0));
+  size_t itemsets = 0;
+  for (auto _ : state) {
+    fpm::MiningResult r = fpm::MineFrequentItemsets(f.txns, opt);
+    itemsets = r.itemsets.size();
+    benchmark::DoNotOptimize(r.itemsets.data());
+  }
+  state.counters["itemsets"] = static_cast<double>(itemsets);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.txns.size()));
+}
+BENCHMARK(BM_MineFpGrowth)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// The pre-flat reference on the same corpus (sequential by construction).
+void BM_MineFpGrowth_LegacyHashTree(benchmark::State& state) {
+  const MiningFixture& f = BuildMiningFixture();
+  size_t itemsets = 0;
+  for (auto _ : state) {
+    fpm::MiningResult r = legacy::MineFrequentItemsets(f.txns, f.options);
+    itemsets = r.itemsets.size();
+    benchmark::DoNotOptimize(r.itemsets.data());
+  }
+  state.counters["itemsets"] = static_cast<double>(itemsets);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.txns.size()));
+}
+BENCHMARK(BM_MineFpGrowth_LegacyHashTree)->Unit(benchmark::kMillisecond);
+
+// ---- Pool generation ----------------------------------------------------
+
+struct PoolFixture {
+  text::TermDictionary dict;
+  std::vector<text::Document> docs;
+};
+
+const PoolFixture& BuildPoolFixture() {
+  static PoolFixture* f = nullptr;
+  if (f != nullptr) return *f;
+  f = new PoolFixture();
+  const size_t num_docs = ScaledN(20000);
+  const size_t vocab = ScaledN(3000);
+  Rng rng(515);
+  ZipfDistribution zipf(vocab, 1.05);
+  for (size_t i = 0; i < num_docs; ++i) {
+    size_t len = 2 + rng.UniformIndex(6);
+    std::string textv;
+    for (size_t j = 0; j < len; ++j) {
+      if (j != 0) textv += ' ';
+      textv += "w" + std::to_string(zipf.Sample(rng));
+    }
+    f->docs.push_back(text::Document::FromText(textv, f->dict));
+  }
+  return *f;
+}
+
+/// Full pool generation — transaction build, itemset mining, posting-list
+/// construction, dominance pruning — all on one shared pool.
+void BM_GenerateQueryPool(benchmark::State& state) {
+  const PoolFixture& f = BuildPoolFixture();
+  core::QueryPoolOptions opt;
+  opt.num_threads = static_cast<unsigned>(state.range(0));
+  size_t pool_size = 0;
+  for (auto _ : state) {
+    core::QueryPool pool = core::GenerateQueryPool(f.docs, f.dict, opt);
+    pool_size = pool.size();
+    benchmark::DoNotOptimize(pool.queries.data());
+  }
+  state.counters["pool_size"] = static_cast<double>(pool_size);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.docs.size()));
+}
+BENCHMARK(BM_GenerateQueryPool)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- Crawler construction -----------------------------------------------
+
+struct CrawlFixture {
+  datagen::Scenario scenario;
+  sample::HiddenSample sample;
+};
+
+const CrawlFixture* BuildCrawlFixture() {
+  static CrawlFixture* f = nullptr;
+  if (f != nullptr) return f;
+  datagen::DblpScenarioConfig cfg;
+  cfg.corpus.corpus_size = ScaledN(30000);
+  cfg.corpus.db_community_fraction = 0.5;
+  cfg.hidden_size = ScaledN(12000);
+  cfg.local_size = ScaledN(2000);
+  cfg.top_k = 50;
+  cfg.error_rate = 0.2;
+  cfg.seed = 77;
+  auto s = datagen::BuildDblpScenario(cfg);
+  if (!s.ok()) return nullptr;
+  f = new CrawlFixture{std::move(s).value(), {}};
+  f->sample = sample::BernoulliSample(*f->scenario.hidden, 0.02, 9);
+  return f;
+}
+
+/// Estimator-policy construction: pool + CSR indices + sample matching
+/// (InitSampleState) on the shared build pool.
+void BM_CrawlerInitEstimator(benchmark::State& state) {
+  const CrawlFixture* f = BuildCrawlFixture();
+  if (f == nullptr) {
+    state.SkipWithError("scenario build failed");
+    return;
+  }
+  core::SmartCrawlOptions opt;
+  opt.policy = core::SelectionPolicy::kEstBiased;
+  opt.local_text_fields = f->scenario.local_text_fields;
+  opt.num_threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    auto crawler = core::SmartCrawler::Create(&f->scenario.local, opt,
+                                              &f->sample);
+    benchmark::DoNotOptimize(crawler.ok());
+  }
+}
+BENCHMARK(BM_CrawlerInitEstimator)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// QSEL-IDEAL construction: per-query oracle covers via the staged
+/// fetch / intern / match InitIdealState on the shared build pool.
+void BM_CrawlerInitIdeal(benchmark::State& state) {
+  const CrawlFixture* f = BuildCrawlFixture();
+  if (f == nullptr) {
+    state.SkipWithError("scenario build failed");
+    return;
+  }
+  core::SmartCrawlOptions opt;
+  opt.policy = core::SelectionPolicy::kIdeal;
+  opt.local_text_fields = f->scenario.local_text_fields;
+  opt.num_threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    auto crawler = core::SmartCrawler::Create(
+        &f->scenario.local, opt, nullptr, f->scenario.hidden.get());
+    benchmark::DoNotOptimize(crawler.ok());
+  }
+}
+BENCHMARK(BM_CrawlerInitIdeal)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+/// Custom main: accepts `--smoke` (stripped before google-benchmark sees
+/// the args) to force the CI smoke scale regardless of SC_SCALE.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  auto smoke_end = std::remove_if(args.begin(), args.end(), [](char* a) {
+    return std::string_view(a) == "--smoke";
+  });
+  const bool smoke = smoke_end != args.end();
+  args.erase(smoke_end, args.end());
+  g_scale = smoke ? 0.05 : smartcrawl::benchx::Scale();
+
+  int pruned_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&pruned_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(pruned_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

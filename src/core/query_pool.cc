@@ -35,8 +35,16 @@ std::vector<std::string> TermsToKeywords(const std::vector<text::TermId>& terms,
 QueryPool GenerateQueryPool(const std::vector<text::Document>& local_docs,
                             const text::TermDictionary& dict,
                             const QueryPoolOptions& options) {
-  QueryPool pool;
   util::ThreadPool tp(options.num_threads);
+  return GenerateQueryPool(local_docs, dict, options, &tp);
+}
+
+QueryPool GenerateQueryPool(const std::vector<text::Document>& local_docs,
+                            const text::TermDictionary& dict,
+                            const QueryPoolOptions& options,
+                            util::ThreadPool* thread_pool) {
+  QueryPool pool;
+  util::ThreadPool& tp = *thread_pool;
   constexpr size_t kDocGrain = 1024;
   constexpr size_t kPostingGrain = 256;
 
@@ -71,8 +79,7 @@ QueryPool GenerateQueryPool(const std::vector<text::Document>& local_docs,
     mopt.min_support = options.min_support;
     mopt.max_itemset_size = options.max_itemset_size;
     mopt.max_results = options.max_mined_itemsets;
-    mopt.num_threads = options.num_threads;
-    fpm::MiningResult mined = fpm::MineFrequentItemsets(txns, mopt);
+    fpm::MiningResult mined = fpm::MineFrequentItemsets(txns, mopt, &tp);
     pool.mining_truncated = mined.truncated;
     for (auto& fis : mined.itemsets) {
       add_candidate(std::move(fis.items), /*naive=*/false);

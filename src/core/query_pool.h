@@ -10,6 +10,10 @@
 #include "text/dictionary.h"
 #include "text/document.h"
 
+namespace smartcrawl::util {
+class ThreadPool;
+}  // namespace smartcrawl::util
+
 /// \file query_pool.h
 /// Query-pool generation (paper Sec. 3.1).
 ///
@@ -81,5 +85,15 @@ struct QueryPool {
 [[nodiscard]] QueryPool GenerateQueryPool(
     const std::vector<text::Document>& local_docs,
     const text::TermDictionary& dict, const QueryPoolOptions& options);
+
+/// Same, but runs every parallel stage — transaction building, itemset
+/// mining, posting-list construction, dominance pruning — on `pool` (must
+/// be non-null) instead of spawning its own workers; `options.num_threads`
+/// is ignored. Used by the crawler so the whole build phase shares one
+/// pool. Output is identical to the owning-pool overload.
+[[nodiscard]] QueryPool GenerateQueryPool(
+    const std::vector<text::Document>& local_docs,
+    const text::TermDictionary& dict, const QueryPoolOptions& options,
+    util::ThreadPool* pool);
 
 }  // namespace smartcrawl::core

@@ -8,6 +8,7 @@
 #include "index/csr.h"
 #include "index/inverted_index.h"
 #include "index/lazy_priority_queue.h"
+#include "match/prefix_filter.h"
 #include "match/similarity_join.h"
 #include "util/hash.h"
 #include "util/logging.h"
@@ -60,9 +61,13 @@ SmartCrawler::SmartCrawler(const table::Table* local,
       sample_(sample),
       oracle_(oracle) {
   // The crawler-level thread knob governs all crawler-internal parallelism.
+  // One pool spans the whole build phase — query-pool generation (mining
+  // included) and the estimator / oracle init below — so construction
+  // spawns one set of workers, not one per stage.
   options_.pool.num_threads = options_.num_threads;
+  util::ThreadPool build_pool(options_.num_threads);
   local_docs_ = local_->BuildDocuments(dict_, options_.local_text_fields);
-  pool_ = GenerateQueryPool(local_docs_, dict_, options_.pool);
+  pool_ = GenerateQueryPool(local_docs_, dict_, options_.pool, &build_pool);
   freq_d_ = pool_.local_frequency;
 
   // Forward index record -> queries (Figure 3(b)), frozen flat: each row
@@ -98,14 +103,14 @@ SmartCrawler::SmartCrawler(const table::Table* local,
   inter_.assign(pool_.size(), 0);
   if (options_.policy == SelectionPolicy::kEstBiased ||
       options_.policy == SelectionPolicy::kEstUnbiased) {
-    InitSampleState();
+    InitSampleState(&build_pool);
   }
   if (options_.policy == SelectionPolicy::kIdeal) {
-    InitIdealState();
+    InitIdealState(&build_pool);
   }
 }
 
-void SmartCrawler::InitSampleState() {
+void SmartCrawler::InitSampleState(util::ThreadPool* thread_pool) {
   assert(sample_ != nullptr &&
          "estimator policies require a hidden-database sample");
   ctx_.k = 0;  // filled in Crawl() from the interface
@@ -123,7 +128,7 @@ void SmartCrawler::InitSampleState() {
     sample_docs_.push_back(text::Document::FromText(textv, dict_));
   }
 
-  util::ThreadPool tp(options_.num_threads);
+  util::ThreadPool& tp = *thread_pool;
   constexpr size_t kQueryGrain = 256;
   constexpr size_t kSampleGrain = 512;
 
@@ -187,10 +192,15 @@ void SmartCrawler::InitSampleState() {
       break;
     }
     case match::ErMode::kJaccard: {
+      // AutoJaccardJoin routes large D×Hs joins through the prefix-filter
+      // algorithm instead of the quadratic nested loop; the pair set (and
+      // its (left, right) order) is identical either way — the dispatch is
+      // pinned by AutoJoinUsesPrefixFilter tests in
+      // tests/match/prefix_filter_test.cc.
       auto pairs =
-          match::JaccardJoin(local_docs_, sample_docs_,
-                             options_.er.jaccard_threshold,
-                             options_.num_threads);
+          match::AutoJaccardJoin(local_docs_, sample_docs_,
+                                 options_.er.jaccard_threshold,
+                                 options_.num_threads);
       for (const auto& p : pairs) {
         match_pairs.emplace_back(p.left, p.right);
       }
@@ -239,25 +249,51 @@ void SmartCrawler::InitSampleState() {
   build_kernel_stats_ += sample_index.kernel_stats();
 }
 
-void SmartCrawler::InitIdealState() {
+void SmartCrawler::InitIdealState(util::ThreadPool* thread_pool) {
   assert(oracle_ != nullptr && "kIdeal requires oracle access");
+  util::ThreadPool& tp = *thread_pool;
   cover_count_.assign(pool_.size(), 0);
   // Oracle covers are computed per query, then frozen into a flat forward
   // CSR (record -> covering queries, ascending q per row — the fill order).
+  //
+  // The per-query work runs in three stages per block of queries: (1) the
+  // oracle top-k fetches, parallel — OracleTopK is read-only; (2) page
+  // document interning, sequential — it mutates dict_, and running it in
+  // ascending (q, record) order keeps the dictionary bit-identical to the
+  // old fully-sequential loop at any thread count; (3) page matching via
+  // the const MatchPreparedPage, parallel — all writes index-addressed.
+  // Blocks bound the resident page copies to kIdealBlock queries.
   std::vector<std::vector<table::RecordId>> covered_per_q(pool_.size());
-  for (QueryIdx q = 0; q < pool_.size(); ++q) {
-    std::vector<table::RecordId> top =
-        oracle_->OracleTopK(pool_.queries[q].keywords);
-    std::vector<table::Record> page;
-    page.reserve(top.size());
-    for (table::RecordId id : top) page.push_back(oracle_->OracleTable().record(id));
-    std::vector<table::RecordId> covered =
-        MatchPage(q, page, /*active_only=*/false);
-    std::sort(covered.begin(), covered.end());
-    covered.erase(std::unique(covered.begin(), covered.end()),
-                  covered.end());
-    cover_count_[q] = static_cast<uint32_t>(covered.size());
-    covered_per_q[q] = std::move(covered);
+  const bool need_docs = options_.er.mode != match::ErMode::kEntityOracle;
+  constexpr size_t kIdealBlock = 2048;
+  constexpr size_t kIdealGrain = 16;
+  for (size_t block = 0; block < pool_.size(); block += kIdealBlock) {
+    const size_t block_end = std::min(pool_.size(), block + kIdealBlock);
+    std::vector<std::vector<table::Record>> pages(block_end - block);
+    tp.ParallelFor(block, block_end, kIdealGrain, [&](size_t q) {
+      std::vector<table::RecordId> top =
+          oracle_->OracleTopK(pool_.queries[q].keywords);
+      std::vector<table::Record>& page = pages[q - block];
+      page.reserve(top.size());
+      for (table::RecordId id : top) {
+        page.push_back(oracle_->OracleTable().record(id));
+      }
+    });
+    std::vector<std::vector<text::Document>> page_docs(
+        need_docs ? pages.size() : 0);
+    if (need_docs) {
+      for (size_t i = 0; i < pages.size(); ++i) {
+        page_docs[i] = BuildPageDocuments(pages[i]);
+      }
+    }
+    tp.ParallelFor(block, block_end, kIdealGrain, [&](size_t q) {
+      std::vector<table::RecordId> covered = MatchPreparedPage(
+          static_cast<QueryIdx>(q), pages[q - block],
+          need_docs ? &page_docs[q - block] : nullptr,
+          /*active_only=*/false);
+      cover_count_[q] = static_cast<uint32_t>(covered.size());
+      covered_per_q[q] = std::move(covered);
+    });
   }
   index::CsrBuilder<index::QueryIdx> cf(local_->size());
   for (QueryIdx q = 0; q < pool_.size(); ++q) {
@@ -301,8 +337,35 @@ std::vector<table::RecordId> SmartCrawler::ActivePostings(QueryIdx q) const {
   return out;
 }
 
+std::vector<text::Document> SmartCrawler::BuildPageDocuments(
+    const std::vector<table::Record>& page) {
+  std::vector<text::Document> docs;
+  docs.reserve(page.size());
+  for (const auto& rec : page) {
+    std::string textv;
+    for (size_t i = 0; i < rec.fields.size(); ++i) {
+      if (i > 0) textv += ' ';
+      textv += rec.fields[i];
+    }
+    docs.push_back(text::Document::FromText(textv, dict_));
+  }
+  return docs;
+}
+
 std::vector<table::RecordId> SmartCrawler::MatchPage(
     QueryIdx q, const std::vector<table::Record>& page, bool active_only) {
+  // Intern first (mutates dict_, record order), then match read-only —
+  // the same FromText call order the fused loop performed, so the
+  // dictionary contents are unchanged by the split.
+  const bool need_docs = options_.er.mode != match::ErMode::kEntityOracle;
+  std::vector<text::Document> docs;
+  if (need_docs) docs = BuildPageDocuments(page);
+  return MatchPreparedPage(q, page, need_docs ? &docs : nullptr, active_only);
+}
+
+std::vector<table::RecordId> SmartCrawler::MatchPreparedPage(
+    QueryIdx q, const std::vector<table::Record>& page,
+    const std::vector<text::Document>* page_docs, bool active_only) const {
   std::vector<table::RecordId> matched;
   switch (options_.er.mode) {
     case match::ErMode::kEntityOracle: {
@@ -313,13 +376,7 @@ std::vector<table::RecordId> SmartCrawler::MatchPage(
       break;
     }
     case match::ErMode::kExact: {
-      for (const auto& rec : page) {
-        std::string textv;
-        for (size_t i = 0; i < rec.fields.size(); ++i) {
-          if (i > 0) textv += ' ';
-          textv += rec.fields[i];
-        }
-        text::Document doc = text::Document::FromText(textv, dict_);
+      for (const text::Document& doc : *page_docs) {
         auto it = doc_hash_to_local_.find(HashVector(doc.terms()));
         if (it == doc_hash_to_local_.end()) continue;
         for (table::RecordId d : it->second) {
@@ -338,18 +395,8 @@ std::vector<table::RecordId> SmartCrawler::MatchPage(
       std::vector<text::Document> left;
       left.reserve(candidates.size());
       for (table::RecordId d : candidates) left.push_back(local_docs_[d]);
-      std::vector<text::Document> right;
-      right.reserve(page.size());
-      for (const auto& rec : page) {
-        std::string textv;
-        for (size_t i = 0; i < rec.fields.size(); ++i) {
-          if (i > 0) textv += ' ';
-          textv += rec.fields[i];
-        }
-        right.push_back(text::Document::FromText(textv, dict_));
-      }
-      for (const auto& p :
-           match::JaccardJoin(left, right, options_.er.jaccard_threshold)) {
+      for (const auto& p : match::JaccardJoin(
+               left, *page_docs, options_.er.jaccard_threshold)) {
         matched.push_back(candidates[p.left]);
       }
       break;

@@ -150,15 +150,29 @@ class SmartCrawler {
                const sample::HiddenSample* sample,
                const hidden::HiddenDatabase* oracle);
 
-  void InitSampleState();
-  void InitIdealState();
+  void InitSampleState(util::ThreadPool* tp);
+  void InitIdealState(util::ThreadPool* tp);
 
   /// Matches a returned page against local records; returns the matched
   /// local record ids (restricted to records satisfying `q` for the
-  /// Jaccard mode, per Sec. 6.1).
+  /// Jaccard mode, per Sec. 6.1). Interns the page's keywords into the
+  /// crawler dictionary, so calls must stay sequential and ordered.
   std::vector<table::RecordId> MatchPage(
       QueryIdx q, const std::vector<table::Record>& page,
       bool active_only);
+
+  /// Interns one document per page record (field concatenation order),
+  /// mutating dict_ — the sequential half of page matching.
+  std::vector<text::Document> BuildPageDocuments(
+      const std::vector<table::Record>& page);
+
+  /// The read-only half of MatchPage: matches a page whose documents were
+  /// already interned (`page_docs` may be null for the entity-oracle mode,
+  /// which never looks at text). Const, so per-query cover computation can
+  /// run on worker threads (see InitIdealState).
+  std::vector<table::RecordId> MatchPreparedPage(
+      QueryIdx q, const std::vector<table::Record>& page,
+      const std::vector<text::Document>* page_docs, bool active_only) const;
 
   /// Removes records from D, updating frequencies / intersections / cover
   /// counts and dirtying affected queries in `dirty` (query -> needs PQ

@@ -1,6 +1,9 @@
 #include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "fpm/itemset.h"
@@ -12,6 +15,21 @@
 /// Items are re-mapped to dense "ranks" ordered by descending global
 /// frequency; the FP-tree stores transactions as shared prefix paths over
 /// ranks; mining proceeds bottom-up over conditional pattern bases.
+///
+/// Layout and parallelism (see docs/architecture.md §4):
+///  * The tree is flat: nodes live in one arena and children hang off
+///    first-child/next-sibling links — no per-edge hash map, and a
+///    conditional tree is rebuilt in place via Reset() without giving any
+///    allocation back.
+///  * Conditional pattern bases are flat too (one concatenated item buffer
+///    plus offsets), so extracting them allocates nothing once the
+///    per-depth scratch has warmed up.
+///  * After the global tree is built, each top-level item's projection is
+///    an independent mining problem. Projections are mined concurrently
+///    and their results concatenated in the canonical least-frequent-first
+///    item order — exactly the order the sequential recursion emits — so
+///    the merged itemset list, and the max_results truncation point applied
+///    after the merge, are bit-identical at any thread count.
 
 namespace smartcrawl::fpm {
 
@@ -22,32 +40,87 @@ constexpr uint32_t kNoItem = static_cast<uint32_t>(-1);
 
 /// One FP-tree node in the arena.
 struct Node {
-  uint32_t item = kNoItem;     // rank id (not TermId)
+  uint32_t item = kNoItem;        // rank id (not TermId)
   uint32_t count = 0;
-  uint32_t parent = kNoNode;   // arena index
-  uint32_t sibling = kNoNode;  // node-link to next node with the same item
+  uint32_t parent = kNoNode;      // arena index
+  uint32_t node_link = kNoNode;   // next node with the same item
+  uint32_t first_child = kNoNode;
+  uint32_t next_sibling = kNoNode;  // next child of the same parent
+};
+
+/// A conditional pattern base stored flat: all root paths concatenated in
+/// one item buffer with offsets, one count per path. Reused across every
+/// ConditionalPatterns call at a given recursion depth.
+struct PatternBase {
+  std::vector<uint32_t> items;   // concatenated path items (ranks, ascending)
+  std::vector<size_t> offsets;   // path p = items[offsets[p], offsets[p+1])
+  std::vector<uint32_t> counts;  // multiplicity per path
+
+  void Clear() {
+    items.clear();
+    offsets.assign(1, 0);
+    counts.clear();
+  }
+  size_t size() const { return counts.size(); }
+  std::span<const uint32_t> Path(size_t p) const {
+    return {items.data() + offsets[p], offsets[p + 1] - offsets[p]};
+  }
 };
 
 /// An FP-tree over ranked items, built from (transaction, count) pairs.
+/// Reset() re-initializes without releasing arena capacity, which is what
+/// makes rebuilding thousands of conditional trees allocation-free.
 class FpTree {
  public:
+  FpTree() = default;
+  explicit FpTree(uint32_t num_items) { Reset(num_items); }
+
   /// \param num_items number of distinct ranked items in this projection
-  explicit FpTree(uint32_t num_items)
-      : heads_(num_items, kNoNode), item_counts_(num_items, 0) {
+  void Reset(uint32_t num_items) {
+    nodes_.clear();
     nodes_.push_back(Node{});  // root at index 0
+    heads_.assign(num_items, kNoNode);
+    item_counts_.assign(num_items, 0);
+    root_child_.assign(num_items, kNoNode);
   }
 
   /// Inserts `txn` (rank ids sorted ascending by rank == descending global
   /// frequency) with multiplicity `count`.
-  void Insert(const std::vector<uint32_t>& txn, uint32_t count) {
+  ///
+  /// Child lookup is O(1) at the root (the root has at most one child per
+  /// item, so a direct-index array works) and a move-to-front sibling scan
+  /// below it: transactions are rank-skewed, so the child just matched is
+  /// very likely the next match, and MTF keeps hot children at the chain
+  /// head. Neither affects output — nothing iterates child chains; mining
+  /// walks node_link chains and parent pointers, which are untouched.
+  void Insert(std::span<const uint32_t> txn, uint32_t count) {
     uint32_t cur = 0;
     for (uint32_t item : txn) {
-      uint32_t child = FindChild(cur, item);
-      if (child == kNoNode) {
-        child = static_cast<uint32_t>(nodes_.size());
-        nodes_.push_back(Node{item, 0, cur, heads_[item]});
-        heads_[item] = child;
-        children_.emplace(Key(cur, item), child);
+      uint32_t child;
+      if (cur == 0) {
+        child = root_child_[item];
+        if (child == kNoNode) {
+          child = NewNode(item, cur);
+          root_child_[item] = child;
+        }
+      } else {
+        child = kNoNode;
+        uint32_t prev = kNoNode;
+        for (uint32_t c = nodes_[cur].first_child; c != kNoNode;
+             c = nodes_[c].next_sibling) {
+          if (nodes_[c].item == item) {
+            child = c;
+            break;
+          }
+          prev = c;
+        }
+        if (child == kNoNode) {
+          child = NewNode(item, cur);
+        } else if (prev != kNoNode) {
+          nodes_[prev].next_sibling = nodes_[child].next_sibling;
+          nodes_[child].next_sibling = nodes_[cur].first_child;
+          nodes_[cur].first_child = child;
+        }
       }
       nodes_[child].count += count;
       item_counts_[item] += count;
@@ -70,11 +143,9 @@ class FpTree {
   }
 
   /// Extracts the (item, count) chain of a single-path tree, root-to-leaf.
+  /// Single-path means the node arena (minus the root) *is* the chain in
+  /// insertion order.
   std::vector<std::pair<uint32_t, uint32_t>> SinglePathItems() const {
-    // Find the leaf: the node that is no one's parent. Walk from each head;
-    // cheaper: collect all nodes with count, order by depth via parent
-    // chain from the deepest item. Single-path means node arena (minus
-    // root) *is* the chain in insertion order.
     std::vector<std::pair<uint32_t, uint32_t>> out;
     for (size_t i = 1; i < nodes_.size(); ++i) {
       out.emplace_back(nodes_[i].item, nodes_[i].count);
@@ -82,43 +153,76 @@ class FpTree {
     return out;
   }
 
-  /// Builds the conditional pattern base of `item`: for each node of
-  /// `item`, its root path (as rank ids, ascending) with the node's count.
-  void ConditionalPatterns(
-      uint32_t item,
-      std::vector<std::pair<std::vector<uint32_t>, uint32_t>>* out) const {
-    out->clear();
-    for (uint32_t n = heads_[item]; n != kNoNode; n = nodes_[n].sibling) {
-      std::vector<uint32_t> path;
+  /// Builds the conditional pattern base of `item` into `out`: for each
+  /// node of `item`, its root path (as rank ids, ascending) with the
+  /// node's count. Nodes hanging directly off the root have an empty path
+  /// and are skipped — they contribute nothing to conditional counts or
+  /// the conditional tree.
+  void ConditionalPatterns(uint32_t item, PatternBase* out) const {
+    out->Clear();
+    for (uint32_t n = heads_[item]; n != kNoNode; n = nodes_[n].node_link) {
+      if (nodes_[n].parent == 0) continue;  // empty path
+      const size_t start = out->items.size();
       for (uint32_t p = nodes_[n].parent; p != 0; p = nodes_[p].parent) {
-        path.push_back(nodes_[p].item);
+        out->items.push_back(nodes_[p].item);
       }
-      if (!path.empty() || true) {
-        std::reverse(path.begin(), path.end());
-        out->emplace_back(std::move(path), nodes_[n].count);
-      }
+      std::reverse(out->items.begin() + static_cast<ptrdiff_t>(start),
+                   out->items.end());
+      out->offsets.push_back(out->items.size());
+      out->counts.push_back(nodes_[n].count);
     }
   }
 
  private:
-  static uint64_t Key(uint32_t parent, uint32_t item) {
-    return (static_cast<uint64_t>(parent) << 32) | item;
-  }
-  uint32_t FindChild(uint32_t parent, uint32_t item) const {
-    auto it = children_.find(Key(parent, item));
-    return it == children_.end() ? kNoNode : it->second;
+  uint32_t NewNode(uint32_t item, uint32_t parent) {
+    const auto idx = static_cast<uint32_t>(nodes_.size());
+    Node n;
+    n.item = item;
+    n.parent = parent;
+    n.node_link = heads_[item];
+    n.next_sibling = nodes_[parent].first_child;
+    nodes_.push_back(n);
+    nodes_[parent].first_child = idx;
+    heads_[item] = idx;
+    return idx;
   }
 
   std::vector<Node> nodes_;
   std::vector<uint32_t> heads_;        // node-link list head per item
   std::vector<uint32_t> item_counts_;  // total count per item
-  std::unordered_map<uint64_t, uint32_t> children_;
+  std::vector<uint32_t> root_child_;   // root's child per item (or kNoNode)
+};
+
+/// Reusable buffers for one recursion depth. All depths along one
+/// recursion chain are live at once, so each depth owns its own set; the
+/// buffers are reused across every sibling visited at that depth.
+struct DepthScratch {
+  FpTree tree;
+  PatternBase patterns;
+  std::vector<uint32_t> cond_counts;
+  std::vector<uint32_t> filtered;
+};
+
+/// Per-worker scratch arena: one DepthScratch per recursion depth, grown
+/// on demand and stable under growth (mining tasks never share one).
+class MinerScratch {
+ public:
+  DepthScratch& Depth(size_t d) {
+    while (levels_.size() <= d) {
+      levels_.push_back(std::make_unique<DepthScratch>());
+    }
+    return *levels_[d];
+  }
+
+ private:
+  std::vector<std::unique_ptr<DepthScratch>> levels_;
 };
 
 class Miner {
  public:
-  Miner(const MiningOptions& options, const std::vector<text::TermId>& terms)
-      : options_(options), rank_to_term_(terms) {}
+  Miner(const MiningOptions& options, const std::vector<text::TermId>& terms,
+        MinerScratch* scratch)
+      : options_(options), rank_to_term_(terms), scratch_(scratch) {}
 
   bool Emit(const std::vector<uint32_t>& suffix_ranks, uint32_t support) {
     if (options_.max_results != 0 &&
@@ -137,7 +241,7 @@ class Miner {
 
   /// Recursive FP-growth over `tree` with the current suffix itemset.
   /// Returns false when the result cap was hit (abort everything).
-  bool Mine(const FpTree& tree, std::vector<uint32_t>* suffix) {
+  bool Mine(const FpTree& tree, std::vector<uint32_t>* suffix, size_t depth) {
     if (options_.max_itemset_size != 0 &&
         suffix->size() >= options_.max_itemset_size) {
       return true;
@@ -156,41 +260,48 @@ class Miner {
       }
       if (options_.max_itemset_size == 0 ||
           suffix->size() < options_.max_itemset_size) {
-        std::vector<std::pair<std::vector<uint32_t>, uint32_t>> patterns;
-        tree.ConditionalPatterns(item, &patterns);
-        // Count conditional frequencies; keep frequent items only.
-        std::vector<uint32_t> cond_counts(item, 0);
-        for (const auto& [path, count] : patterns) {
-          for (uint32_t i : path) cond_counts[i] += count;
-        }
-        bool any = false;
-        for (uint32_t c : cond_counts) {
-          if (c >= options_.min_support) {
-            any = true;
-            break;
-          }
-        }
-        if (any) {
-          FpTree cond_tree(item);
-          std::vector<uint32_t> filtered;
-          for (const auto& [path, count] : patterns) {
-            filtered.clear();
-            for (uint32_t i : path) {
-              if (cond_counts[i] >= options_.min_support) {
-                filtered.push_back(i);
-              }
-            }
-            if (!filtered.empty()) cond_tree.Insert(filtered, count);
-          }
-          if (!Mine(cond_tree, suffix)) {
-            suffix->pop_back();
-            return false;
-          }
+        if (!MineConditional(tree, item, suffix, depth)) {
+          suffix->pop_back();
+          return false;
         }
       }
       suffix->pop_back();
     }
     return true;
+  }
+
+  /// One conditional-projection step: extract `item`'s pattern base from
+  /// `tree`, keep conditionally frequent items, rebuild the conditional
+  /// tree in this depth's scratch, and recurse one level deeper.
+  bool MineConditional(const FpTree& tree, uint32_t item,
+                       std::vector<uint32_t>* suffix, size_t depth) {
+    DepthScratch& s = scratch_->Depth(depth);
+    tree.ConditionalPatterns(item, &s.patterns);
+    // Count conditional frequencies; keep frequent items only.
+    s.cond_counts.assign(item, 0);
+    for (size_t p = 0; p < s.patterns.size(); ++p) {
+      const uint32_t count = s.patterns.counts[p];
+      for (uint32_t i : s.patterns.Path(p)) s.cond_counts[i] += count;
+    }
+    bool any = false;
+    for (uint32_t c : s.cond_counts) {
+      if (c >= options_.min_support) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return true;
+    s.tree.Reset(item);
+    for (size_t p = 0; p < s.patterns.size(); ++p) {
+      s.filtered.clear();
+      for (uint32_t i : s.patterns.Path(p)) {
+        if (s.cond_counts[i] >= options_.min_support) {
+          s.filtered.push_back(i);
+        }
+      }
+      if (!s.filtered.empty()) s.tree.Insert(s.filtered, s.patterns.counts[p]);
+    }
+    return Mine(s.tree, suffix, depth + 1);
   }
 
   /// Single-path shortcut: every subset of the path items (each with the
@@ -233,6 +344,7 @@ class Miner {
  private:
   const MiningOptions& options_;
   const std::vector<text::TermId>& rank_to_term_;
+  MinerScratch* scratch_;
   MiningResult result_;
 };
 
@@ -240,8 +352,8 @@ class Miner {
 
 MiningResult MineFrequentItemsets(
     const std::vector<std::vector<text::TermId>>& transactions,
-    const MiningOptions& options) {
-  util::ThreadPool tp(options.num_threads);
+    const MiningOptions& options, util::ThreadPool* pool) {
+  util::ThreadPool& tp = *pool;
   constexpr size_t kTxnGrain = 2048;
 
   // Pass 1: global item frequencies. Per-chunk maps are merged by summing,
@@ -293,15 +405,95 @@ MiningResult MineFrequentItemsets(
     std::sort(ranked.begin(), ranked.end());
     ranked.erase(std::unique(ranked.begin(), ranked.end()), ranked.end());
   });
-  FpTree tree(static_cast<uint32_t>(rank_to_term.size()));
+  const auto num_items = static_cast<uint32_t>(rank_to_term.size());
+  FpTree tree(num_items);
   for (const auto& ranked : ranked_txns) {
     if (!ranked.empty()) tree.Insert(ranked, 1);
   }
 
-  Miner miner(options, rank_to_term);
-  std::vector<uint32_t> suffix;
-  miner.Mine(tree, &suffix);
-  return miner.Take();
+  // A single-path global tree (including the empty tree) takes the subset
+  // shortcut, whose emission order is not the per-item order — run it
+  // sequentially, exactly as the recursive miner always has.
+  if (tree.IsSinglePath()) {
+    MinerScratch scratch;
+    Miner miner(options, rank_to_term, &scratch);
+    std::vector<uint32_t> suffix;
+    miner.Mine(tree, &suffix, 0);
+    return miner.Take();
+  }
+
+  // Parallel projection mining. Task index idx maps to item
+  // num_items-1-idx, so index order == the canonical least-frequent-first
+  // order the sequential loop processes items in; per-item results are
+  // index-addressed and merged in that order below, making the output
+  // independent of scheduling. Each task caps its own emission at
+  // max_results (no single item can contribute more to the merged prefix),
+  // and a chunk whose own output already reached the cap skips its
+  // remaining items: anything they would emit lies past the truncation
+  // point of the merged list.
+  const size_t cap = options.max_results;
+  std::vector<MiningResult> per_item(num_items);
+  const size_t workers = tp.num_threads();
+  const size_t grain =
+      workers <= 1 ? num_items
+                   : std::max<size_t>(1, num_items / (workers * 8));
+  auto chunk_truncated = tp.ParallelChunks(
+      0, num_items, grain, [&](size_t lo, size_t hi) -> uint8_t {
+        uint8_t truncated = 0;
+        MinerScratch scratch;
+        size_t emitted = 0;
+        for (size_t idx = lo; idx < hi; ++idx) {
+          const uint32_t item = num_items - 1 - static_cast<uint32_t>(idx);
+          const uint32_t support = tree.ItemCount(item);
+          if (support < options.min_support) continue;
+          if (cap != 0 && emitted >= cap) {
+            truncated = 1;  // a frequent item goes unmined: stream > cap
+            break;
+          }
+          Miner miner(options, rank_to_term, &scratch);
+          std::vector<uint32_t> suffix;
+          suffix.push_back(item);
+          if (miner.Emit(suffix, support) &&
+              (options.max_itemset_size == 0 ||
+               suffix.size() < options.max_itemset_size)) {
+            miner.MineConditional(tree, item, &suffix, 0);
+          }
+          MiningResult r = miner.Take();
+          emitted += r.itemsets.size();
+          if (r.truncated) truncated = 1;
+          per_item[idx] = std::move(r);
+        }
+        return truncated;
+      });
+
+  // Canonical merge: concatenate per-item results in index (= least-
+  // frequent-first) order, applying the max_results truncation on the
+  // merged stream — the same prefix the sequential miner kept when it
+  // aborted on the cap.
+  MiningResult out;
+  for (uint8_t t : chunk_truncated) {
+    if (t != 0) out.truncated = true;
+  }
+  size_t total = 0;
+  for (const MiningResult& r : per_item) total += r.itemsets.size();
+  out.itemsets.reserve(cap != 0 ? std::min(cap, total) : total);
+  for (MiningResult& r : per_item) {
+    for (FrequentItemset& fis : r.itemsets) {
+      if (cap != 0 && out.itemsets.size() >= cap) {
+        out.truncated = true;
+        return out;
+      }
+      out.itemsets.push_back(std::move(fis));
+    }
+  }
+  return out;
+}
+
+MiningResult MineFrequentItemsets(
+    const std::vector<std::vector<text::TermId>>& transactions,
+    const MiningOptions& options) {
+  util::ThreadPool tp(options.num_threads);
+  return MineFrequentItemsets(transactions, options, &tp);
 }
 
 void SortItemsets(std::vector<FrequentItemset>* itemsets) {

@@ -14,6 +14,10 @@
 /// record; the support of an itemset equals |q(D)| for the corresponding
 /// keyword query under conjunctive semantics.
 
+namespace smartcrawl::util {
+class ThreadPool;
+}  // namespace smartcrawl::util
+
 namespace smartcrawl::fpm {
 
 struct FrequentItemset {
@@ -39,9 +43,13 @@ struct MiningOptions {
   /// (higher-frequency branches) are kept.
   size_t max_results = 0;
   /// Worker threads for the scan passes (global frequency counting and
-  /// transaction ranking): 0 = hardware concurrency, 1 = sequential. The
-  /// mined result is bit-identical for any thread count; the tree build
-  /// and the recursive mining stay sequential.
+  /// transaction ranking) and for projection mining — after the global
+  /// FP-tree is built, each top-level item's conditional tree is mined
+  /// concurrently and the per-item results are merged in the canonical
+  /// least-frequent-first order. 0 = hardware concurrency, 1 = sequential.
+  /// The mined result (itemsets, their order, supports, `truncated`) is
+  /// bit-identical for any thread count; only the global tree build stays
+  /// sequential.
   unsigned num_threads = 1;
 };
 
@@ -55,6 +63,15 @@ struct MiningResult {
 MiningResult MineFrequentItemsets(
     const std::vector<std::vector<text::TermId>>& transactions,
     const MiningOptions& options);
+
+/// Same, but runs the scan passes and the projection mining on `pool`
+/// (must be non-null) instead of spawning its own workers — callers that
+/// already own a pool (query-pool generation, crawler init) avoid a second
+/// set of threads. `options.num_threads` is ignored; the pool's width
+/// decides. Output is identical to the owning-pool overload.
+MiningResult MineFrequentItemsets(
+    const std::vector<std::vector<text::TermId>>& transactions,
+    const MiningOptions& options, util::ThreadPool* pool);
 
 /// Reference Apriori implementation: identical output contract (up to
 /// ordering). Exponentially slower on dense data; used for differential

@@ -145,8 +145,7 @@ std::vector<JoinPair> AutoJaccardJoin(const std::vector<text::Document>& left,
                                       const std::vector<text::Document>& right,
                                       double threshold,
                                       unsigned num_threads) {
-  // The nested loop wins below ~10^6 candidate pairs (no ordering pass).
-  if (left.size() * right.size() <= 1'000'000) {
+  if (!AutoJoinUsesPrefixFilter(left.size(), right.size())) {
     return JaccardJoin(left, right, threshold, num_threads);
   }
   return PrefixFilterJaccardJoin(left, right, threshold, num_threads);

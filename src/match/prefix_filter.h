@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "match/similarity_join.h"
@@ -31,8 +32,22 @@ std::vector<JoinPair> PrefixFilterJaccardJoin(
     const std::vector<text::Document>& right, double threshold,
     unsigned num_threads = 1);
 
+/// Candidate-pair count at or below which AutoJaccardJoin keeps the
+/// nested-loop join: the quadratic scan wins below ~10^6 pairs because it
+/// skips the global frequency-ordering pass.
+inline constexpr size_t kAutoJoinNestedLoopMaxPairs = 1'000'000;
+
+/// True when AutoJaccardJoin would take the prefix-filtered path for the
+/// given side sizes. Exposed so callers that route joins through
+/// AutoJaccardJoin (estimator init, enrichment) can unit-test the dispatch.
+[[nodiscard]] inline bool AutoJoinUsesPrefixFilter(size_t left_size,
+                                                   size_t right_size) {
+  return left_size * right_size > kAutoJoinNestedLoopMaxPairs;
+}
+
 /// Chooses between the nested-loop join and the prefix-filtered join based
-/// on input sizes (|left| * |right| cutoff).
+/// on input sizes (see AutoJoinUsesPrefixFilter). Output — pair set, pair
+/// order, similarity values — is identical whichever path runs.
 std::vector<JoinPair> AutoJaccardJoin(const std::vector<text::Document>& left,
                                       const std::vector<text::Document>& right,
                                       double threshold,

@@ -1,0 +1,179 @@
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fpm/itemset.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+/// Determinism suite for the parallel FP-growth miner: the full
+/// MiningResult — itemsets, their emission order, supports, and the
+/// `truncated` flag — must be bit-identical across thread counts, equal to
+/// the Apriori reference up to canonical ordering, and truncation under
+/// max_results must keep exactly the first max_results itemsets of the
+/// untruncated emission stream (the contract the sequential miner always
+/// had, preserved by the canonical least-frequent-first merge).
+
+namespace smartcrawl::fpm {
+namespace {
+
+using Txns = std::vector<std::vector<text::TermId>>;
+
+/// Zipf-skewed random transactions: a few very common terms and a long
+/// tail, the shape FP-growth's shared prefixes exploit (and the shape that
+/// produces deep, uneven conditional trees — the interesting case for
+/// parallel projection mining).
+Txns MakeCorpus(size_t num_txns, size_t vocab, size_t max_len,
+                uint64_t seed) {
+  Rng rng(seed);
+  ZipfDistribution zipf(vocab, 1.0);
+  Txns txns;
+  txns.reserve(num_txns);
+  for (size_t i = 0; i < num_txns; ++i) {
+    size_t len = 1 + rng.UniformIndex(max_len);
+    std::vector<text::TermId> t;
+    t.reserve(len);
+    for (size_t j = 0; j < len; ++j) {
+      t.push_back(static_cast<text::TermId>(zipf.Sample(rng)));
+    }
+    txns.push_back(std::move(t));
+  }
+  return txns;
+}
+
+void ExpectBitIdentical(const MiningResult& a, const MiningResult& b,
+                        unsigned threads) {
+  EXPECT_EQ(a.truncated, b.truncated) << "num_threads=" << threads;
+  ASSERT_EQ(a.itemsets.size(), b.itemsets.size())
+      << "num_threads=" << threads;
+  for (size_t i = 0; i < a.itemsets.size(); ++i) {
+    ASSERT_EQ(a.itemsets[i], b.itemsets[i])
+        << "itemset " << i << " diverges at num_threads=" << threads;
+  }
+}
+
+struct DetParams {
+  size_t num_txns;
+  size_t vocab;
+  size_t max_len;
+  uint32_t min_support;
+  size_t max_size;
+  uint64_t seed;
+};
+
+class FpGrowthThreadSweepTest : public ::testing::TestWithParam<DetParams> {};
+
+/// Itemset list AND emission order are scheduling-independent.
+TEST_P(FpGrowthThreadSweepTest, BitIdenticalAcrossThreadCounts) {
+  const auto& p = GetParam();
+  Txns txns = MakeCorpus(p.num_txns, p.vocab, p.max_len, p.seed);
+  MiningOptions opt;
+  opt.min_support = p.min_support;
+  opt.max_itemset_size = p.max_size;
+  opt.num_threads = 1;
+  MiningResult seq = MineFrequentItemsets(txns, opt);
+  EXPECT_FALSE(seq.itemsets.empty());
+  for (unsigned threads : {2u, 4u}) {
+    opt.num_threads = threads;
+    ExpectBitIdentical(seq, MineFrequentItemsets(txns, opt), threads);
+  }
+}
+
+/// The parallel miner agrees with the Apriori reference at every thread
+/// count (canonical order — Apriori emits in a different order by design).
+TEST_P(FpGrowthThreadSweepTest, MatchesAprioriAtEveryThreadCount) {
+  const auto& p = GetParam();
+  Txns txns = MakeCorpus(p.num_txns, p.vocab, p.max_len, p.seed);
+  MiningOptions opt;
+  opt.min_support = p.min_support;
+  opt.max_itemset_size = p.max_size;
+  MiningResult ap = MineFrequentItemsetsApriori(txns, opt);
+  SortItemsets(&ap.itemsets);
+  for (unsigned threads : {1u, 2u, 4u}) {
+    opt.num_threads = threads;
+    MiningResult fp = MineFrequentItemsets(txns, opt);
+    SortItemsets(&fp.itemsets);
+    EXPECT_EQ(fp.itemsets, ap.itemsets) << "num_threads=" << threads;
+  }
+}
+
+/// max_results keeps exactly the first max_results itemsets of the
+/// untruncated emission stream, and sets `truncated` iff the stream is
+/// longer — at every thread count, for caps across the whole range.
+TEST_P(FpGrowthThreadSweepTest, TruncationIsAPrefixOfTheFullStream) {
+  const auto& p = GetParam();
+  Txns txns = MakeCorpus(p.num_txns, p.vocab, p.max_len, p.seed);
+  MiningOptions opt;
+  opt.min_support = p.min_support;
+  opt.max_itemset_size = p.max_size;
+  opt.num_threads = 1;
+  MiningResult full = MineFrequentItemsets(txns, opt);
+  ASSERT_FALSE(full.truncated);
+  const size_t n = full.itemsets.size();
+  ASSERT_GT(n, 2u);
+  for (size_t cap : {size_t{1}, size_t{2}, n / 2, n - 1, n, n + 10}) {
+    opt.max_results = cap;
+    for (unsigned threads : {1u, 2u, 4u}) {
+      opt.num_threads = threads;
+      MiningResult capped = MineFrequentItemsets(txns, opt);
+      ASSERT_EQ(capped.itemsets.size(), std::min(cap, n))
+          << "cap=" << cap << " num_threads=" << threads;
+      EXPECT_EQ(capped.truncated, cap < n)
+          << "cap=" << cap << " num_threads=" << threads;
+      for (size_t i = 0; i < capped.itemsets.size(); ++i) {
+        ASSERT_EQ(capped.itemsets[i], full.itemsets[i])
+            << "cap=" << cap << " num_threads=" << threads << " i=" << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomCorpora, FpGrowthThreadSweepTest,
+    ::testing::Values(DetParams{200, 30, 8, 2, 4, 11},
+                      DetParams{500, 60, 10, 3, 4, 12},
+                      DetParams{800, 25, 6, 5, 0, 13},
+                      DetParams{300, 100, 12, 2, 3, 14},
+                      DetParams{1000, 40, 8, 8, 5, 15}));
+
+/// A corpus whose global FP-tree is one chain exercises the sequential
+/// single-path shortcut; it must stay thread-count-invariant too.
+TEST(FpGrowthDeterminismTest, SinglePathGlobalTreeIsThreadInvariant) {
+  Txns txns = {{1, 2, 3, 4}, {1, 2, 3}, {1, 2}, {1}};
+  MiningOptions opt;
+  opt.min_support = 1;
+  opt.num_threads = 1;
+  MiningResult seq = MineFrequentItemsets(txns, opt);
+  EXPECT_EQ(seq.itemsets.size(), 15u);  // all subsets of {1,2,3,4}
+  for (unsigned threads : {2u, 4u}) {
+    opt.num_threads = threads;
+    ExpectBitIdentical(seq, MineFrequentItemsets(txns, opt), threads);
+  }
+}
+
+/// Truncation inside a single top-level item's projection (a cap smaller
+/// than one item's own output) must still produce the sequential prefix.
+TEST(FpGrowthDeterminismTest, CapSmallerThanOneProjection) {
+  // Two distinct prefixes so the global tree is not single-path.
+  Txns txns = {{1, 2, 3, 4, 5}, {1, 2, 3, 4, 5}, {6, 7}, {6, 7}};
+  MiningOptions opt;
+  opt.min_support = 2;
+  opt.num_threads = 1;
+  MiningResult full = MineFrequentItemsets(txns, opt);
+  ASSERT_GT(full.itemsets.size(), 4u);
+  opt.max_results = 3;  // cuts inside the least-frequent item's projection
+  MiningResult seq = MineFrequentItemsets(txns, opt);
+  EXPECT_TRUE(seq.truncated);
+  ASSERT_EQ(seq.itemsets.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(seq.itemsets[i], full.itemsets[i]);
+  }
+  for (unsigned threads : {2u, 4u}) {
+    opt.num_threads = threads;
+    ExpectBitIdentical(seq, MineFrequentItemsets(txns, opt), threads);
+  }
+}
+
+}  // namespace
+}  // namespace smartcrawl::fpm

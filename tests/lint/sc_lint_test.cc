@@ -218,7 +218,12 @@ TEST(ScLintRegistry, HarvestsStatusAndResultDeclarations) {
       "static Result<int> WithTemplate();\n"
       "Result<std::vector<int>> Nested();\n"
       "Status Klass::Member() { return {}; }\n"
-      "int NotStatus();\n");
+      "int NotStatus();\n"
+      // Struct-typed template arguments, as mining helpers would look if
+      // they grew Result<> signatures (e.g. Result<MiningResult>).
+      "Result<MiningResult> MineChecked();\n"
+      "Result<fpm::MiningResult> MineQualified();\n"
+      "MiningResult NotResultBearing();\n");
   std::set<std::string> names;
   HarvestStatusFunctions(unit, &names);
   EXPECT_TRUE(names.count("Plain"));
@@ -226,6 +231,9 @@ TEST(ScLintRegistry, HarvestsStatusAndResultDeclarations) {
   EXPECT_TRUE(names.count("Nested"));
   EXPECT_TRUE(names.count("Member"));
   EXPECT_FALSE(names.count("NotStatus"));
+  EXPECT_TRUE(names.count("MineChecked"));
+  EXPECT_TRUE(names.count("MineQualified"));
+  EXPECT_FALSE(names.count("NotResultBearing"));
 }
 
 }  // namespace
