@@ -1,0 +1,95 @@
+/// Multi-tenant crawl service: the paper's amortize-across-users
+/// deployment (one hidden database serving many enrichment users), end to
+/// end. Builds ONE immutable CrawlPlan for a shared local table, hands
+/// cheap CrawlSessions to N tenants with different budgets and per-tenant
+/// daily quotas, and drives them concurrently through a CrawlService
+/// behind one shared query cache — so a query answered for an early
+/// tenant is a metered-free cache hit for everyone after it.
+///
+/// Usage: multi_tenant_service [tenants] [budget] [hidden_size]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/crawl_plan.h"
+#include "core/crawl_service.h"
+#include "datagen/scenario.h"
+#include "sample/sampler.h"
+#include "util/timer.h"
+
+using namespace smartcrawl;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  size_t tenants = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 16;
+  size_t budget = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 100;
+  size_t hidden_size = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 5000;
+
+  datagen::DblpScenarioConfig cfg;
+  cfg.corpus.corpus_size = hidden_size * 3;
+  cfg.hidden_size = hidden_size;
+  cfg.local_size = hidden_size / 10;
+  cfg.top_k = 50;
+  cfg.seed = 1;
+  auto scenario_or = datagen::BuildDblpScenario(cfg);
+  if (!scenario_or.ok()) {
+    std::printf("scenario: %s\n", scenario_or.status().ToString().c_str());
+    return 1;
+  }
+  datagen::Scenario s = std::move(scenario_or).value();
+  auto sample = sample::BernoulliSample(*s.hidden, 0.005, 7);
+
+  // The shared build: once per dataset, not once per tenant.
+  core::SmartCrawlOptions opt;
+  opt.policy = core::SelectionPolicy::kEstBiased;
+  opt.local_text_fields = s.local_text_fields;
+  StopWatch sw;
+  auto plan_or = core::CrawlPlan::Build(&s.local, std::move(opt), &sample);
+  if (!plan_or.ok()) {
+    std::printf("plan: %s\n", plan_or.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<const core::CrawlPlan> plan = std::move(plan_or).value();
+  std::printf("plan built in %.1f ms: |D|=%zu |H|=%zu pool=%zu\n",
+              sw.ElapsedMillis(), s.local.size(), s.hidden->OracleSize(),
+              plan->pool().queries.size());
+
+  // N tenants sharing the plan, each with its own budget and daily quota.
+  std::vector<core::SessionSpec> specs(tenants);
+  for (size_t i = 0; i < tenants; ++i) {
+    specs[i].plan = plan;
+    specs[i].budget = budget / 2 + i * budget / (2 * tenants);
+    specs[i].transport.daily_quota = budget;
+  }
+
+  core::CrawlServiceOptions sopt;
+  sopt.num_threads = 0;  // all cores; results identical to sequential
+  core::CrawlService service(s.hidden.get(), sopt);
+  sw.Restart();
+  Status st = service.Drive(
+      specs, [&](size_t i, core::SessionOutcome out) {
+        if (!out.status.ok()) {
+          std::printf("tenant %2zu: %s\n", i, out.status.ToString().c_str());
+          return;
+        }
+        std::printf(
+            "tenant %2zu: budget=%3zu covered=%4zu queries=%3zu "
+            "quota_paid=%3zu\n",
+            i, specs[i].budget, out.result.covered_local_ids.size(),
+            static_cast<size_t>(out.result.queries_issued),
+            out.quota_used_today);
+      });
+  if (!st.ok()) {
+    std::printf("service: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const net::CacheStats* cache = service.shared_cache_stats();
+  std::printf(
+      "fleet done in %.1f ms: shared cache %zu hits / %zu misses "
+      "(%.1f%% of tenant queries never reached the provider)\n",
+      sw.ElapsedMillis(), cache->hits, cache->misses,
+      100.0 * cache->hit_rate());
+  return 0;
+}

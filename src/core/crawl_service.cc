@@ -1,0 +1,120 @@
+#include "core/crawl_service.h"
+
+#include <utility>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace smartcrawl::core {
+
+CrawlService::CrawlService(hidden::KeywordSearchInterface* origin,
+                           CrawlServiceOptions options)
+    : origin_(origin), options_(options) {
+  if (options_.shared_cache_capacity > 0) {
+    shared_cache_ = std::make_unique<net::CachingInterface>(
+        origin_, options_.shared_cache_capacity);
+  }
+}
+
+const net::CacheStats* CrawlService::shared_cache_stats() const {
+  return shared_cache_ ? &shared_cache_->stats() : nullptr;
+}
+
+Status CrawlService::Drive(const std::vector<SessionSpec>& specs,
+                           const FinishCallback& on_finish) {
+  if (!on_finish) {
+    return Status::InvalidArgument("Drive() requires a finish callback");
+  }
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].plan == nullptr) {
+      return Status::InvalidArgument("session spec " + std::to_string(i) +
+                                     " has no plan");
+    }
+  }
+
+  // Every tenant stack bottoms out in the shared cache (when enabled), so
+  // one tenant's answered query is a hit for all the others.
+  hidden::KeywordSearchInterface* shared_origin =
+      shared_cache_ ? static_cast<hidden::KeywordSearchInterface*>(
+                          shared_cache_.get())
+                    : origin_;
+
+  const size_t n = specs.size();
+  std::vector<std::unique_ptr<CrawlSession>> sessions(n);
+  // Plain byte flags: Phase B's workers clear `pending` index-addressed.
+  std::vector<uint8_t> done(n, 0);
+  std::vector<uint8_t> pending(n, 0);
+  size_t running = n;
+
+  auto finish = [&](size_t i, SessionOutcome outcome) {
+    done[i] = 1;
+    --running;
+    on_finish(i, std::move(outcome));
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    sessions[i] = std::make_unique<CrawlSession>(*specs[i].plan);
+    sessions[i]->AttachTransport(shared_origin, specs[i].transport);
+    Status begun = sessions[i]->Begin(
+        sessions[i]->transport()->top()->top_k(), specs[i].budget);
+    if (!begun.ok()) {
+      SessionOutcome outcome;
+      outcome.status = std::move(begun);
+      finish(i, std::move(outcome));
+    }
+  }
+
+  util::ThreadPool workers(options_.num_threads);
+  while (running > 0) {
+    // Phase A — transport: each live session issues at most one accepted
+    // query, in session-index order on this thread. All Search calls (and
+    // thus all shared-cache mutation) are serialized here; the fixed walk
+    // order also keeps per-tenant quota delta-accounting exact over the
+    // shared inner chain and makes cross-tenant cache warming
+    // deterministic: a query session j answers in this round is already a
+    // hit for session i > j in the SAME round.
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      Result<bool> have_page = sessions[i]->IssueNext();
+      if (!have_page.ok()) {
+        SessionOutcome outcome;
+        outcome.status = have_page.status();
+        finish(i, std::move(outcome));
+        continue;
+      }
+      if (have_page.value()) {
+        pending[i] = 1;
+        continue;
+      }
+      SessionOutcome outcome;
+      outcome.result = sessions[i]->TakeResult();
+      outcome.transport = sessions[i]->transport()->Stats();
+      if (const auto* quota = sessions[i]->transport()->quota()) {
+        outcome.quota_used_today = quota->used_today();
+      }
+      finish(i, std::move(outcome));
+    }
+    // Phase B — compute: match/remove/repair the fetched pages on the
+    // worker pool. Sessions are isolated (own state + const plans), writes
+    // are index-addressed per session, so any thread count produces the
+    // same per-session results bit for bit.
+    workers.ParallelFor(0, n, /*grain=*/1, [&](size_t i) {
+      if (pending[i]) {
+        sessions[i]->ProcessPendingPage();
+        pending[i] = 0;
+      }
+    });
+  }
+  return Status::OK();
+}
+
+Result<std::vector<SessionOutcome>> CrawlService::RunAll(
+    const std::vector<SessionSpec>& specs) {
+  std::vector<SessionOutcome> outcomes(specs.size());
+  SC_RETURN_NOT_OK(Drive(specs, [&outcomes](size_t i, SessionOutcome out) {
+    outcomes[i] = std::move(out);
+  }));
+  return outcomes;
+}
+
+}  // namespace smartcrawl::core

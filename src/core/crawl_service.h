@@ -1,0 +1,122 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/crawl_plan.h"
+#include "core/crawl_result.h"
+#include "core/crawl_session.h"
+#include "hidden/search_interface.h"
+#include "net/caching_interface.h"
+#include "net/transport_stack.h"
+#include "util/result.h"
+
+/// \file crawl_service.h
+/// Multi-tenant crawl driver: N CrawlSessions over shared CrawlPlans,
+/// advanced in lock step behind one shared query cache.
+///
+/// The north-star deployment is one hidden database serving many
+/// enrichment users. Two things make that affordable:
+///
+///  * plan sharing — tenants with the same local table reuse one
+///    CrawlPlan, paying only the O(plan size) session copy; and
+///  * answer sharing — every tenant's stack bottoms out in one shared
+///    net::CachingInterface, so a query answered for tenant A is a cache
+///    hit for tenant B. Under per-tenant hidden::DailyQuotaInterface
+///    metering (which charges by the delta of queries the layers BELOW it
+///    actually accepted) such hits are metered-free.
+///
+/// Determinism: the driver advances sessions in rounds. Phase A walks
+/// sessions in index order on the calling thread and lets each issue at
+/// most one accepted query (all transport and shared-cache mutation is
+/// serialized here — the sequential walk is also what keeps per-tenant
+/// quota delta-accounting exact over the shared inner chain). Phase B
+/// processes the returned pages on the worker pool; each session touches
+/// only its own state plus const plans, and no result crosses sessions.
+/// The schedule therefore never depends on worker timing, and every
+/// per-session CrawlResult is bit-identical at any thread count — the
+/// same simulated-clock discipline the rest of the codebase follows
+/// (pinned by tests/core/crawl_service_test.cc).
+///
+/// RunAll() is the batch surface (all outcomes at once, spec order);
+/// Drive() is the streaming surface (a callback fires the moment a
+/// session finishes) — mirroring the batch-vs-stream run API of the
+/// AsyncWebCrawler exemplar in SNIPPETS.md.
+
+namespace smartcrawl::core {
+
+struct CrawlServiceOptions {
+  /// Worker threads for the page-processing phase: 0 = hardware
+  /// concurrency, 1 = sequential. Results are bit-identical either way.
+  unsigned num_threads = 1;
+
+  /// Capacity of the shared cross-tenant LRU query cache sitting between
+  /// every tenant's stack and the origin; 0 disables sharing.
+  size_t shared_cache_capacity = 4096;
+};
+
+/// One tenant: which plan to crawl with, how many queries it may issue,
+/// and the transport layers stacked over the shared cache for it.
+struct SessionSpec {
+  /// The (shared) build product for this tenant's local table.
+  std::shared_ptr<const CrawlPlan> plan;
+
+  /// Crawl budget (queries this session may have answered).
+  size_t budget = 0;
+
+  /// Per-tenant transport layered over the shared cache: faults, lifetime
+  /// budget, daily quota, retries, private cache. Leave `budget` 0 here
+  /// unless the tenant's own meter should also charge shared-cache hits —
+  /// the session budget above is enforced engine-side either way.
+  net::TransportOptions transport;
+};
+
+/// What one finished session hands back.
+struct SessionOutcome {
+  /// Per-session failure (sibling sessions keep running). When not OK,
+  /// `result`/`transport` are default-constructed.
+  Status status = Status::OK();
+  CrawlResult result;
+  /// Counters of this tenant's own stack (retries, faults, private cache).
+  net::TransportStats transport;
+  /// This tenant's daily-quota consumption, when its stack had a quota
+  /// layer (queries charged by the provider; shared-cache hits are free).
+  size_t quota_used_today = 0;
+};
+
+class CrawlService {
+ public:
+  /// `origin` is the hidden database endpoint every tenant ultimately
+  /// queries (must outlive the service).
+  CrawlService(hidden::KeywordSearchInterface* origin,
+               CrawlServiceOptions options);
+
+  CrawlService(const CrawlService&) = delete;
+  CrawlService& operator=(const CrawlService&) = delete;
+
+  /// Batch entry point: runs every session to completion and returns the
+  /// outcomes in spec order.
+  Result<std::vector<SessionOutcome>> RunAll(
+      const std::vector<SessionSpec>& specs);
+
+  /// Streaming entry point: like RunAll, but `on_finish(index, outcome)`
+  /// fires as soon as session `index` finishes — earlier-finishing
+  /// tenants get their results while the rest keep crawling. Callback
+  /// order is deterministic (round order, then session index).
+  using FinishCallback = std::function<void(size_t, SessionOutcome)>;
+  Status Drive(const std::vector<SessionSpec>& specs,
+               const FinishCallback& on_finish);
+
+  /// Cumulative counters of the shared cross-tenant cache (null when
+  /// shared_cache_capacity was 0).
+  const net::CacheStats* shared_cache_stats() const;
+
+ private:
+  hidden::KeywordSearchInterface* origin_;
+  CrawlServiceOptions options_;
+  /// The shared cross-tenant cache; every tenant stack's origin.
+  std::unique_ptr<net::CachingInterface> shared_cache_;
+};
+
+}  // namespace smartcrawl::core

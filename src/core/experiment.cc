@@ -78,30 +78,36 @@ Result<ArmOutcome> RunArm(Arm arm, const datagen::Scenario& scenario,
   CrawlResult crawl;
   switch (arm) {
     case Arm::kSmartCrawlOnline: {
-      OnlineCrawlOptions oopt;
-      oopt.smart = config.smart;
-      oopt.smart.policy = SelectionPolicy::kEstBiased;
-      oopt.smart.local_text_fields = scenario.local_text_fields;
-      oopt.seed = config.seed ^ 0x0e11ULL;
-      SC_ASSIGN_OR_RETURN(
-          crawl, OnlineSampleCrawl(scenario.local, &iface, config.budget,
-                                   oopt));
+      BaselineRunSpec spec;
+      spec.policy = BaselinePolicy::kOnlineSample;
+      spec.budget = config.budget;
+      spec.online.smart = config.smart;
+      spec.online.smart.policy = SelectionPolicy::kEstBiased;
+      spec.online.smart.local_text_fields = scenario.local_text_fields;
+      spec.online.seed = config.seed ^ 0x0e11ULL;
+      SC_ASSIGN_OR_RETURN(crawl,
+                          RunBaseline(spec, &iface, &scenario.local));
       break;
     }
     case Arm::kNaiveCrawl: {
-      NaiveCrawlOptions opt;
-      opt.query_fields = scenario.local_text_fields;
-      opt.seed = config.seed ^ 0xabcdULL;
-      SC_ASSIGN_OR_RETURN(
-          crawl, NaiveCrawl(scenario.local, &iface, config.budget, opt));
+      BaselineRunSpec spec;
+      spec.policy = BaselinePolicy::kNaive;
+      spec.budget = config.budget;
+      spec.naive.query_fields = scenario.local_text_fields;
+      spec.naive.seed = config.seed ^ 0xabcdULL;
+      SC_ASSIGN_OR_RETURN(crawl,
+                          RunBaseline(spec, &iface, &scenario.local));
       break;
     }
     case Arm::kFullCrawl: {
       if (full_sample == nullptr) {
         return Status::InvalidArgument("FullCrawl arm needs a sample");
       }
+      BaselineRunSpec spec;
+      spec.policy = BaselinePolicy::kFull;
+      spec.budget = config.budget;
       SC_ASSIGN_OR_RETURN(
-          crawl, FullCrawl(*full_sample, &iface, config.budget, {}));
+          crawl, RunBaseline(spec, &iface, /*local=*/nullptr, full_sample));
       break;
     }
     default: {

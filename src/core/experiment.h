@@ -56,7 +56,9 @@ struct ExperimentConfig {
   /// 0 = hardware concurrency, 1 = sequential (today's behavior). Arms are
   /// independent — each gets its own budgeted interface and seeded RNG —
   /// so outcomes are bit-identical for any thread count. Crawler-internal
-  /// parallelism is configured separately via `smart.num_threads`.
+  /// parallelism is configured separately via `smart.num_threads` — the one
+  /// authoritative crawler thread knob (`smart.pool.num_threads` is only a
+  /// checked alias; conflicting values fail CrawlPlan::Build()).
   unsigned num_threads = 1;
 
   std::vector<Arm> arms = {Arm::kIdealCrawl, Arm::kSmartCrawlB,

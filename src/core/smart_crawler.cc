@@ -1,612 +1,19 @@
 #include "core/smart_crawler.h"
 
-#include <algorithm>
-#include <cassert>
-#include <span>
 #include <utility>
 
-#include "index/csr.h"
-#include "index/inverted_index.h"
-#include "index/lazy_priority_queue.h"
-#include "match/prefix_filter.h"
-#include "match/similarity_join.h"
-#include "util/hash.h"
-#include "util/logging.h"
-#include "util/thread_pool.h"
+#include "util/result.h"
 
 namespace smartcrawl::core {
-
-std::string PolicyName(SelectionPolicy policy) {
-  switch (policy) {
-    case SelectionPolicy::kSimple:
-      return "QSel-Simple";
-    case SelectionPolicy::kBound:
-      return "QSel-Bound";
-    case SelectionPolicy::kEstBiased:
-      return "SmartCrawl-B";
-    case SelectionPolicy::kEstUnbiased:
-      return "SmartCrawl-U";
-    case SelectionPolicy::kIdeal:
-      return "IdealCrawl";
-  }
-  return "?";
-}
 
 Result<std::unique_ptr<SmartCrawler>> SmartCrawler::Create(
     const table::Table* local, SmartCrawlOptions options,
     const sample::HiddenSample* sample,
     const hidden::HiddenDatabase* oracle) {
-  if (local == nullptr) {
-    return Status::InvalidArgument("SmartCrawler requires a local table");
-  }
-  if ((options.policy == SelectionPolicy::kEstBiased ||
-       options.policy == SelectionPolicy::kEstUnbiased) &&
-      sample == nullptr) {
-    return Status::InvalidArgument(
-        "estimator policies require a hidden-database sample");
-  }
-  if (options.policy == SelectionPolicy::kIdeal && oracle == nullptr) {
-    return Status::InvalidArgument("kIdeal requires oracle access");
-  }
-  return std::unique_ptr<SmartCrawler>(
-      new SmartCrawler(local, std::move(options), sample, oracle));
-}
-
-SmartCrawler::SmartCrawler(const table::Table* local,
-                           SmartCrawlOptions options,
-                           const sample::HiddenSample* sample,
-                           const hidden::HiddenDatabase* oracle)
-    : local_(local),
-      options_(std::move(options)),
-      sample_(sample),
-      oracle_(oracle) {
-  // The crawler-level thread knob governs all crawler-internal parallelism.
-  // One pool spans the whole build phase — query-pool generation (mining
-  // included) and the estimator / oracle init below — so construction
-  // spawns one set of workers, not one per stage.
-  options_.pool.num_threads = options_.num_threads;
-  util::ThreadPool build_pool(options_.num_threads);
-  local_docs_ = local_->BuildDocuments(dict_, options_.local_text_fields);
-  pool_ = GenerateQueryPool(local_docs_, dict_, options_.pool, &build_pool);
-  freq_d_ = pool_.local_frequency;
-
-  // Forward index record -> queries (Figure 3(b)), frozen flat: each row
-  // lists its queries in ascending q (fill order below), so the fan-out
-  // walk in RemoveRecords is one contiguous scan.
-  {
-    index::CsrBuilder<index::QueryIdx> fwd(local_->size());
-    for (QueryIdx q = 0; q < pool_.size(); ++q) {
-      for (index::DocIndex d : pool_.local_postings[q]) fwd.ReserveEntry(d);
-    }
-    fwd.StartFill();
-    for (QueryIdx q = 0; q < pool_.size(); ++q) {
-      for (index::DocIndex d : pool_.local_postings[q]) fwd.Push(d, q);
-    }
-    forward_ = index::ForwardIndex(std::move(fwd).Build());
-  }
-  build_kernel_stats_ = pool_.kernel_stats;
-
-  removed_.assign(local_->size(), 0);
-  covered_.assign(local_->size(), 0);
-  num_active_ = local_->size();
-
-  // ER helper maps.
-  for (const auto& rec : local_->records()) {
-    if (rec.entity_id != table::kUnknownEntity) {
-      entity_to_local_.emplace(rec.entity_id, rec.id);
-    }
-    doc_hash_to_local_[HashVector(local_docs_[rec.id].terms())].push_back(
-        rec.id);
-  }
-
-  freq_hs_.assign(pool_.size(), 0);
-  inter_.assign(pool_.size(), 0);
-  if (options_.policy == SelectionPolicy::kEstBiased ||
-      options_.policy == SelectionPolicy::kEstUnbiased) {
-    InitSampleState(&build_pool);
-  }
-  if (options_.policy == SelectionPolicy::kIdeal) {
-    InitIdealState(&build_pool);
-  }
-}
-
-void SmartCrawler::InitSampleState(util::ThreadPool* thread_pool) {
-  assert(sample_ != nullptr &&
-         "estimator policies require a hidden-database sample");
-  ctx_.k = 0;  // filled in Crawl() from the interface
-  ctx_.theta = sample_->theta;
-  ctx_.alpha =
-      ComputeAlpha(sample_->theta, local_->size(), sample_->records.size());
-  ctx_.alpha_fallback = options_.alpha_fallback;
-  ctx_.omega = options_.omega;
-
-  // Sample documents, interned into the crawler dictionary so containment
-  // checks against pool queries work directly.
-  sample_docs_.reserve(sample_->records.size());
-  for (const auto& rec : sample_->records.records()) {
-    std::string textv = sample_->records.ConcatenatedText(rec.id);
-    sample_docs_.push_back(text::Document::FromText(textv, dict_));
-  }
-
-  util::ThreadPool& tp = *thread_pool;
-  constexpr size_t kQueryGrain = 256;
-  constexpr size_t kSampleGrain = 512;
-
-  // |q(Hs)| for every pool query via an inverted index over the sample.
-  // Reads are shared, writes are index-addressed, so the parallel loop is
-  // bit-identical to the sequential one.
-  index::InvertedIndex sample_index(sample_docs_, dict_.size());
-  tp.ParallelFor(0, pool_.size(), kQueryGrain, [&](size_t q) {
-    freq_hs_[q] =
-        static_cast<uint32_t>(sample_index.IntersectionSize(
-            pool_.queries[q].terms));
-  });
-
-  // Match D against Hs once (the crawler legitimately owns both) to get the
-  // fuzzy intersection counts |q(D) ∩~ q(Hs)|. The record×sample matching
-  // partitions the sample; per-chunk (local, s) pairs are concatenated in
-  // chunk order, which preserves the sequential ascending-s order within
-  // each record's match row. The pairs are collected flat and frozen into a
-  // CSR block afterwards (push order per row = append order here).
-  using MatchPair = std::pair<table::RecordId, uint32_t>;
-  std::vector<MatchPair> match_pairs;
-  auto append_pairs = [&](const std::vector<std::vector<MatchPair>>& chunks) {
-    for (const auto& chunk : chunks) {
-      for (const auto& p : chunk) match_pairs.push_back(p);
-    }
-  };
-  switch (options_.er.mode) {
-    case match::ErMode::kEntityOracle: {
-      append_pairs(tp.ParallelChunks(
-          0, sample_->records.size(), kSampleGrain,
-          [&](size_t lo, size_t hi) {
-            std::vector<MatchPair> out;
-            for (size_t s = lo; s < hi; ++s) {
-              const auto& rec = sample_->records.record(s);
-              auto it = entity_to_local_.find(rec.entity_id);
-              if (it != entity_to_local_.end()) {
-                out.emplace_back(it->second, static_cast<uint32_t>(s));
-              }
-            }
-            return out;
-          }));
-      break;
-    }
-    case match::ErMode::kExact: {
-      append_pairs(tp.ParallelChunks(
-          0, sample_->records.size(), kSampleGrain,
-          [&](size_t lo, size_t hi) {
-            std::vector<MatchPair> out;
-            for (size_t s = lo; s < hi; ++s) {
-              auto it = doc_hash_to_local_.find(
-                  HashVector(sample_docs_[s].terms()));
-              if (it == doc_hash_to_local_.end()) continue;
-              for (table::RecordId d : it->second) {
-                if (local_docs_[d] == sample_docs_[s]) {
-                  out.emplace_back(d, static_cast<uint32_t>(s));
-                }
-              }
-            }
-            return out;
-          }));
-      break;
-    }
-    case match::ErMode::kJaccard: {
-      // AutoJaccardJoin routes large D×Hs joins through the prefix-filter
-      // algorithm instead of the quadratic nested loop; the pair set (and
-      // its (left, right) order) is identical either way — the dispatch is
-      // pinned by AutoJoinUsesPrefixFilter tests in
-      // tests/match/prefix_filter_test.cc.
-      auto pairs =
-          match::AutoJaccardJoin(local_docs_, sample_docs_,
-                                 options_.er.jaccard_threshold,
-                                 options_.num_threads);
-      for (const auto& p : pairs) {
-        match_pairs.emplace_back(p.left, p.right);
-      }
-      break;
-    }
-  }
-
-  // Freeze record -> sample matches flat.
-  {
-    index::CsrBuilder<uint32_t> rsm(local_->size());
-    for (const auto& p : match_pairs) rsm.ReserveEntry(p.first);
-    rsm.StartFill();
-    for (const auto& p : match_pairs) rsm.Push(p.first, p.second);
-    record_sample_matches_ = std::move(rsm).Build();
-  }
-
-  // Precompute the estimator-delta adjacency: for every forward entry
-  // i = (record d, query q), the number of d's sample matches containing
-  // q's terms — exactly the inter_[q] contribution that disappears when d
-  // is removed. This is the ContainsAll work the old RemoveRecords redid
-  // per removal, hoisted to init and evaluated once. Writes are
-  // index-addressed, so the parallel loop is bit-identical to sequential.
-  constexpr size_t kRecordGrain = 512;
-  forward_dec_.assign(forward_.TotalEntries(), 0);
-  std::span<const index::QueryIdx> fwd = forward_.values();
-  tp.ParallelFor(0, local_->size(), kRecordGrain, [&](size_t d) {
-    std::span<const uint32_t> matches = record_sample_matches_[d];
-    if (matches.empty()) return;
-    auto [lo, hi] = forward_.RowBounds(d);
-    for (size_t i = lo; i < hi; ++i) {
-      const auto& terms = pool_.queries[fwd[i]].terms;
-      uint32_t dec = 0;
-      for (uint32_t s : matches) {
-        if (sample_docs_[s].ContainsAll(terms)) ++dec;
-      }
-      forward_dec_[i] = dec;
-    }
-  });
-
-  // inter_[q] = sum of q's column of the adjacency (equal to the old
-  // per-query ContainsAll double loop — same pairs, same counts).
-  for (size_t i = 0; i < forward_dec_.size(); ++i) {
-    inter_[fwd[i]] += forward_dec_[i];
-  }
-
-  build_kernel_stats_ += sample_index.kernel_stats();
-}
-
-void SmartCrawler::InitIdealState(util::ThreadPool* thread_pool) {
-  assert(oracle_ != nullptr && "kIdeal requires oracle access");
-  util::ThreadPool& tp = *thread_pool;
-  cover_count_.assign(pool_.size(), 0);
-  // Oracle covers are computed per query, then frozen into a flat forward
-  // CSR (record -> covering queries, ascending q per row — the fill order).
-  //
-  // The per-query work runs in three stages per block of queries: (1) the
-  // oracle top-k fetches, parallel — OracleTopK is read-only; (2) page
-  // document interning, sequential — it mutates dict_, and running it in
-  // ascending (q, record) order keeps the dictionary bit-identical to the
-  // old fully-sequential loop at any thread count; (3) page matching via
-  // the const MatchPreparedPage, parallel — all writes index-addressed.
-  // Blocks bound the resident page copies to kIdealBlock queries.
-  std::vector<std::vector<table::RecordId>> covered_per_q(pool_.size());
-  const bool need_docs = options_.er.mode != match::ErMode::kEntityOracle;
-  constexpr size_t kIdealBlock = 2048;
-  constexpr size_t kIdealGrain = 16;
-  for (size_t block = 0; block < pool_.size(); block += kIdealBlock) {
-    const size_t block_end = std::min(pool_.size(), block + kIdealBlock);
-    std::vector<std::vector<table::Record>> pages(block_end - block);
-    tp.ParallelFor(block, block_end, kIdealGrain, [&](size_t q) {
-      std::vector<table::RecordId> top =
-          oracle_->OracleTopK(pool_.queries[q].keywords);
-      std::vector<table::Record>& page = pages[q - block];
-      page.reserve(top.size());
-      for (table::RecordId id : top) {
-        page.push_back(oracle_->OracleTable().record(id));
-      }
-    });
-    std::vector<std::vector<text::Document>> page_docs(
-        need_docs ? pages.size() : 0);
-    if (need_docs) {
-      for (size_t i = 0; i < pages.size(); ++i) {
-        page_docs[i] = BuildPageDocuments(pages[i]);
-      }
-    }
-    tp.ParallelFor(block, block_end, kIdealGrain, [&](size_t q) {
-      std::vector<table::RecordId> covered = MatchPreparedPage(
-          static_cast<QueryIdx>(q), pages[q - block],
-          need_docs ? &page_docs[q - block] : nullptr,
-          /*active_only=*/false);
-      cover_count_[q] = static_cast<uint32_t>(covered.size());
-      covered_per_q[q] = std::move(covered);
-    });
-  }
-  index::CsrBuilder<index::QueryIdx> cf(local_->size());
-  for (QueryIdx q = 0; q < pool_.size(); ++q) {
-    for (table::RecordId d : covered_per_q[q]) cf.ReserveEntry(d);
-  }
-  cf.StartFill();
-  for (QueryIdx q = 0; q < pool_.size(); ++q) {
-    for (table::RecordId d : covered_per_q[q]) cf.Push(d, q);
-  }
-  cover_forward_ = index::ForwardIndex(std::move(cf).Build());
-}
-
-double SmartCrawler::PriorityOf(QueryIdx q) const {
-  // The liveness epsilon (see kLivenessEpsilon) keeps zero-estimate queries
-  // that still match uncovered records above the stop-on-zero threshold
-  // without disturbing the ordering of real estimates; ties are then broken
-  // deterministically by query id.
-  switch (options_.policy) {
-    case SelectionPolicy::kSimple:
-    case SelectionPolicy::kBound:
-      return static_cast<double>(freq_d_[q]);
-    case SelectionPolicy::kIdeal:
-      return static_cast<double>(cover_count_[q]);
-    case SelectionPolicy::kEstBiased:
-      return EstimateBenefit(EstimatorKind::kBiased, freq_d_[q], freq_hs_[q],
-                             inter_[q], ctx_) +
-             (freq_d_[q] > 0 ? kLivenessEpsilon : 0.0);
-    case SelectionPolicy::kEstUnbiased:
-      return EstimateBenefit(EstimatorKind::kUnbiased, freq_d_[q],
-                             freq_hs_[q], inter_[q], ctx_) +
-             (freq_d_[q] > 0 ? kLivenessEpsilon : 0.0);
-  }
-  return 0.0;
-}
-
-std::vector<table::RecordId> SmartCrawler::ActivePostings(QueryIdx q) const {
-  std::vector<table::RecordId> out;
-  for (index::DocIndex d : pool_.local_postings[q]) {
-    if (!removed_[d]) out.push_back(d);
-  }
-  return out;
-}
-
-std::vector<text::Document> SmartCrawler::BuildPageDocuments(
-    const std::vector<table::Record>& page) {
-  std::vector<text::Document> docs;
-  docs.reserve(page.size());
-  for (const auto& rec : page) {
-    std::string textv;
-    for (size_t i = 0; i < rec.fields.size(); ++i) {
-      if (i > 0) textv += ' ';
-      textv += rec.fields[i];
-    }
-    docs.push_back(text::Document::FromText(textv, dict_));
-  }
-  return docs;
-}
-
-std::vector<table::RecordId> SmartCrawler::MatchPage(
-    QueryIdx q, const std::vector<table::Record>& page, bool active_only) {
-  // Intern first (mutates dict_, record order), then match read-only —
-  // the same FromText call order the fused loop performed, so the
-  // dictionary contents are unchanged by the split.
-  const bool need_docs = options_.er.mode != match::ErMode::kEntityOracle;
-  std::vector<text::Document> docs;
-  if (need_docs) docs = BuildPageDocuments(page);
-  return MatchPreparedPage(q, page, need_docs ? &docs : nullptr, active_only);
-}
-
-std::vector<table::RecordId> SmartCrawler::MatchPreparedPage(
-    QueryIdx q, const std::vector<table::Record>& page,
-    const std::vector<text::Document>* page_docs, bool active_only) const {
-  std::vector<table::RecordId> matched;
-  switch (options_.er.mode) {
-    case match::ErMode::kEntityOracle: {
-      for (const auto& rec : page) {
-        auto it = entity_to_local_.find(rec.entity_id);
-        if (it != entity_to_local_.end()) matched.push_back(it->second);
-      }
-      break;
-    }
-    case match::ErMode::kExact: {
-      for (const text::Document& doc : *page_docs) {
-        auto it = doc_hash_to_local_.find(HashVector(doc.terms()));
-        if (it == doc_hash_to_local_.end()) continue;
-        for (table::RecordId d : it->second) {
-          if (local_docs_[d] == doc) matched.push_back(d);
-        }
-      }
-      break;
-    }
-    case match::ErMode::kJaccard: {
-      // Sec. 6.1: similarity join between q(D) and the returned page.
-      std::vector<table::RecordId> candidates = ActivePostings(q);
-      if (!active_only) {
-        candidates.assign(pool_.local_postings[q].begin(),
-                          pool_.local_postings[q].end());
-      }
-      std::vector<text::Document> left;
-      left.reserve(candidates.size());
-      for (table::RecordId d : candidates) left.push_back(local_docs_[d]);
-      for (const auto& p : match::JaccardJoin(
-               left, *page_docs, options_.er.jaccard_threshold)) {
-        matched.push_back(candidates[p.left]);
-      }
-      break;
-    }
-  }
-  if (active_only) {
-    matched.erase(std::remove_if(matched.begin(), matched.end(),
-                                 [this](table::RecordId d) {
-                                   return removed_[d] != 0;
-                                 }),
-                  matched.end());
-  }
-  std::sort(matched.begin(), matched.end());
-  matched.erase(std::unique(matched.begin(), matched.end()), matched.end());
-  return matched;
-}
-
-void SmartCrawler::RemoveRecords(const std::vector<table::RecordId>& ids,
-                                 std::vector<QueryIdx>* dirtied) {
-  // Pure index-addressed arithmetic: the forward row gives the fan-out,
-  // the value-aligned forward_dec_ gives each inter_[q] delta precomputed
-  // at init — no ContainsAll re-evaluation per (record × query × match).
-  // The subtraction saturates like the old guarded decrement did; in
-  // practice forward_dec_[i] <= inter_[q] whenever d is still active
-  // (d's own contribution is part of the sum).
-  const bool have_dec = !forward_dec_.empty();
-  std::span<const index::QueryIdx> fwd = forward_.values();
-  for (table::RecordId d : ids) {
-    if (removed_[d]) continue;
-    removed_[d] = 1;
-    --num_active_;
-    auto [lo, hi] = forward_.RowBounds(d);
-    for (size_t i = lo; i < hi; ++i) {
-      const index::QueryIdx q = fwd[i];
-      --freq_d_[q];
-      if (have_dec) {
-        const uint32_t dec = std::min(forward_dec_[i], inter_[q]);
-        inter_[q] -= dec;
-        delta_decrements_total_ += dec;
-      }
-      dirtied->push_back(q);
-    }
-    if (!cover_count_.empty()) {
-      for (index::QueryIdx q : cover_forward_.Queries(d)) {
-        if (cover_count_[q] > 0) --cover_count_[q];
-        dirtied->push_back(q);
-      }
-    }
-  }
-}
-
-Result<CrawlResult> SmartCrawler::Crawl(hidden::KeywordSearchInterface* iface,
-                                        size_t budget) {
-  if (pq_ == nullptr) {
-    // First session: fix k and seed the selection state.
-    ctx_.k = iface->top_k();
-    pq_ = std::make_unique<index::LazyPriorityQueue>(
-        [this](uint32_t q) { return PriorityOf(q); });
-    for (QueryIdx q = 0; q < pool_.size(); ++q) {
-      pq_->Push(q, PriorityOf(q));
-    }
-  } else if (ctx_.k != iface->top_k()) {
-    return Status::InvalidArgument(
-        "resumed Crawl() must use an interface with the same top-k (" +
-        std::to_string(ctx_.k) + " vs " + std::to_string(iface->top_k()) +
-        ")");
-  }
-  index::LazyPriorityQueue& pq = *pq_;
-
-  CrawlResult result;
-  const uint64_t decrements_at_start = delta_decrements_total_;
-
-  size_t budget_left = budget;
-  while (budget_left > 0 && num_active_ > 0) {
-    uint32_t q = 0;
-    double priority = 0.0;
-    if (!pq.PopMax(&q, &priority)) {
-      result.stopped_early = true;
-      break;
-    }
-    if (priority <= 0.0 && options_.stop_on_zero_benefit) {
-      result.stopped_early = true;
-      break;
-    }
-
-    auto page_or = iface->Search(pool_.queries[q].keywords);
-    if (!page_or.ok()) {
-      if (page_or.status().IsBudgetExhausted()) {
-        // Out of quota mid-session: keep the selected query for the next
-        // session (resumability) and stop.
-        pq.Push(q, priority);
-        break;
-      }
-      if (page_or.status().IsUnavailable()) {
-        // Transport failure that survived the resilient layers: skip this
-        // query and keep crawling. The query is retired rather than
-        // re-pushed — re-pushing at the same priority would re-select it
-        // immediately and spin against a dead endpoint.
-        ++result.stats.queries_unavailable;
-        continue;
-      }
-      // Query rejected by the interface (not counted): drop it and go on.
-      ++result.stats.queries_rejected;
-      continue;
-    }
-    const std::vector<table::Record>& page = page_or.value();
-    --budget_left;
-    ++result.queries_issued;
-
-    const bool est_policy = options_.policy == SelectionPolicy::kEstBiased ||
-                            options_.policy == SelectionPolicy::kEstUnbiased;
-    IterationLog log;
-    log.query = pool_.queries[q].Display();
-    log.page_size = static_cast<uint32_t>(page.size());
-    // Strip the liveness epsilon so the log shows the raw estimate.
-    log.estimated_benefit =
-        (est_policy && freq_d_[q] > 0 && priority >= kLivenessEpsilon)
-            ? priority - kLivenessEpsilon
-            : priority;
-    log.page_entities.reserve(page.size());
-    for (const auto& rec : page) log.page_entities.push_back(rec.entity_id);
-    result.iterations.push_back(std::move(log));
-
-    if (options_.keep_crawled_records) {
-      for (const auto& rec : page) {
-        uint64_t key = rec.entity_id != table::kUnknownEntity
-                           ? rec.entity_id
-                           : static_cast<uint64_t>(rec.id);
-        // Dedup across resumed sessions; this session's result only gets
-        // records first crawled now.
-        if (crawled_keys_.emplace(key, crawled_records_.size()).second) {
-          crawled_records_.push_back(rec);
-          result.crawled_records.push_back(rec);
-        }
-      }
-    }
-
-    std::vector<table::RecordId> covered_now =
-        MatchPage(q, page, /*active_only=*/true);
-    for (table::RecordId d : covered_now) covered_[d] = 1;
-
-    std::vector<QueryIdx> dirtied;
-    const bool page_solid = page.size() < iface->top_k();
-
-    switch (options_.policy) {
-      case SelectionPolicy::kBound: {
-        // Algorithm 3: unmatched active records of q(D) are q(ΔD).
-        std::vector<table::RecordId> active = ActivePostings(q);
-        std::vector<table::RecordId> unmatched;
-        for (table::RecordId d : active) {
-          if (!std::binary_search(covered_now.begin(), covered_now.end(),
-                                  d)) {
-            unmatched.push_back(d);
-          }
-        }
-        if (unmatched.empty()) {
-          RemoveRecords(covered_now, &dirtied);
-          // Query retired (not re-pushed).
-        } else {
-          RemoveRecords(unmatched, &dirtied);
-          // Covered records stay in D; the query stays in the pool.
-          pq.Push(q, PriorityOf(q));
-        }
-        break;
-      }
-      case SelectionPolicy::kEstBiased:
-      case SelectionPolicy::kEstUnbiased: {
-        std::vector<table::RecordId> to_remove = covered_now;
-        if (page_solid && options_.remove_unmatched_solid) {
-          // Sec. 4.2: for a solid query, q(H) was fully returned; any
-          // unmatched record of q(D) provably has no match in H.
-          for (table::RecordId d : ActivePostings(q)) {
-            if (!std::binary_search(covered_now.begin(), covered_now.end(),
-                                    d)) {
-              to_remove.push_back(d);
-            }
-          }
-        }
-        RemoveRecords(to_remove, &dirtied);
-        break;
-      }
-      case SelectionPolicy::kSimple:
-      case SelectionPolicy::kIdeal: {
-        RemoveRecords(covered_now, &dirtied);
-        break;
-      }
-    }
-
-    // A batch of removed records dirties the same query many times; the
-    // priority queue repairs each entry at most once, so deduplicate before
-    // marking (and count the fan-out as the queue actually sees it).
-    std::sort(dirtied.begin(), dirtied.end());
-    dirtied.erase(std::unique(dirtied.begin(), dirtied.end()), dirtied.end());
-    result.stats.fanout_updates += dirtied.size();
-    result.stats.records_fetched += page.size();
-    for (QueryIdx dq : dirtied) pq.MarkDirty(dq);
-  }
-  if (num_active_ == 0) result.stopped_early = true;
-
-  for (table::RecordId d = 0; d < covered_.size(); ++d) {
-    if (covered_[d]) result.covered_local_ids.push_back(d);
-  }
-  result.stats.pool_size = pool_.size();
-  result.stats.pq_recomputes = pq.num_recomputes();
-  result.stats.kernel_galloping = build_kernel_stats_.galloping;
-  result.stats.kernel_merge = build_kernel_stats_.merge;
-  result.stats.kernel_bitmap = build_kernel_stats_.bitmap;
-  result.stats.delta_decrements =
-      static_cast<size_t>(delta_decrements_total_ - decrements_at_start);
-  return result;
+  SC_ASSIGN_OR_RETURN(
+      std::unique_ptr<CrawlPlan> plan,
+      CrawlPlan::Build(local, std::move(options), sample, oracle));
+  return std::unique_ptr<SmartCrawler>(new SmartCrawler(std::move(plan)));
 }
 
 }  // namespace smartcrawl::core

@@ -1,24 +1,14 @@
 #pragma once
 
 #include <memory>
-#include <optional>
-#include <string>
-#include <unordered_map>
-#include <vector>
 
+#include "core/crawl_plan.h"
 #include "core/crawl_result.h"
-#include "core/estimator.h"
-#include "core/query_pool.h"
+#include "core/crawl_session.h"
 #include "hidden/hidden_database.h"
 #include "hidden/search_interface.h"
-#include "index/forward_index.h"
-#include "index/lazy_priority_queue.h"
-#include "match/er_config.h"
-#include "match/matcher.h"
 #include "sample/sampler.h"
 #include "table/table.h"
-#include "text/dictionary.h"
-#include "text/document.h"
 #include "util/result.h"
 
 /// \file smart_crawler.h
@@ -45,70 +35,21 @@
 /// Sec. 4.2: when an issued query's page proves solid (page size < k),
 /// every record of q(D) left unmatched provably has no match in H and is
 /// removed from D.
+///
+/// The engine itself is split in two (see docs/architecture.md):
+/// core::CrawlPlan holds everything built once per dataset (immutable,
+/// shareable across tenants) and core::CrawlSession holds everything one
+/// crawl mutates. SmartCrawler is the classic single-tenant facade over
+/// one plan + one session; multi-tenant callers use core::CrawlService or
+/// construct sessions from a shared plan directly.
 
 namespace smartcrawl::core {
-
-/// Liveness epsilon for the estimator policies: a query whose estimate is
-/// exactly 0 but which still matches uncovered records stays selectable
-/// (the paper's SMARTCRAWL-U keeps issuing such tied queries under sparse
-/// samples). Added in PriorityOf, stripped again when logging the raw
-/// estimate — one constant so the two sides cannot drift.
-inline constexpr double kLivenessEpsilon = 1e-9;
-
-enum class SelectionPolicy {
-  kSimple,
-  kBound,
-  kEstBiased,
-  kEstUnbiased,
-  kIdeal,
-};
-
-/// Short stable display name ("QSel-Simple", "SmartCrawl-B", ...).
-std::string PolicyName(SelectionPolicy policy);
-
-struct SmartCrawlOptions {
-  SelectionPolicy policy = SelectionPolicy::kEstBiased;
-  QueryPoolOptions pool;
-
-  /// Fields of the local table used to build crawler-side documents and
-  /// queries (empty = all fields).
-  std::vector<std::string> local_text_fields;
-
-  /// How returned/sampled hidden records are matched to local records (the
-  /// entity-resolution black box of Sec. 2). Shared with core::EnrichTable
-  /// so crawling and enrichment agree on what "the same entity" means.
-  /// Defaults to the paper's evaluation setting (perfect ER via
-  /// ground-truth ids).
-  match::ErConfig er;
-
-  /// Worker threads for crawler-side precomputation (pool generation and
-  /// the sample-matching init): 0 = hardware concurrency, 1 = sequential.
-  /// Parallel runs are bit-identical to sequential ones. This knob also
-  /// governs `pool.num_threads`.
-  unsigned num_threads = 1;
-
-  /// Sec. 4.2 ΔD mitigation (only sound under conjunctive search).
-  bool remove_unmatched_solid = true;
-
-  /// Sec. 6.2 α fallback for queries absent from the sample.
-  bool alpha_fallback = true;
-
-  /// Sec. 5.3 odds ratio ω (1.0 = the paper's random-sample assumption;
-  /// see EstimatorContext::omega).
-  double omega = 1.0;
-
-  /// Stop as soon as the best estimated benefit reaches 0 (no remaining
-  /// query matches any uncovered record).
-  bool stop_on_zero_benefit = true;
-
-  /// Retain the crawled hidden records in the result (for enrichment).
-  bool keep_crawled_records = false;
-};
 
 class SmartCrawler {
  public:
   /// Builds a crawler: validates the configuration, then runs the heavy
-  /// construction work (documents, query pool, indices, sample matching).
+  /// construction work (documents, query pool, indices, sample matching)
+  /// via CrawlPlan::Build and seeds one session over the fresh plan.
   /// Configuration errors — a missing sample for the kEst* policies, a
   /// missing oracle for kIdeal — surface here, at the call site, before
   /// any heavy work happens.
@@ -133,109 +74,43 @@ class SmartCrawler {
   /// calls must use interfaces with the same top-k; each call returns the
   /// logs of its own session only.
   Result<CrawlResult> Crawl(hidden::KeywordSearchInterface* iface,
-                            size_t budget);
+                            size_t budget) {
+    return session_->Crawl(iface, budget);
+  }
 
   /// The generated query pool (valid after construction).
-  const QueryPool& pool() const { return pool_; }
+  const QueryPool& pool() const { return plan_->pool(); }
+
+  /// The immutable build product. Shareable: additional CrawlSessions
+  /// (for other tenants) can be constructed from it while this crawler is
+  /// live, and it outlives them all via shared ownership.
+  const CrawlPlan& plan() const { return *plan_; }
+  std::shared_ptr<const CrawlPlan> shared_plan() const { return plan_; }
+
+  /// The facade's own session (the one Crawl drives).
+  CrawlSession& session() { return *session_; }
+  const CrawlSession& session() const { return *session_; }
 
   /// Local records the crawler still considers part of D.
-  size_t NumActive() const { return num_active_; }
+  [[deprecated("session state moved: use session().NumActive()")]]
+  size_t NumActive() const {
+    return session_->NumActive();
+  }
 
   /// Estimated benefit the engine would currently assign to pool query
   /// `q` (exposed for tests and the estimator examples).
-  double PriorityOf(QueryIdx q) const;
+  [[deprecated("session state moved: use session().PriorityOf(q)")]]
+  double PriorityOf(QueryIdx q) const {
+    return session_->PriorityOf(q);
+  }
 
  private:
-  SmartCrawler(const table::Table* local, SmartCrawlOptions options,
-               const sample::HiddenSample* sample,
-               const hidden::HiddenDatabase* oracle);
+  explicit SmartCrawler(std::shared_ptr<const CrawlPlan> plan)
+      : plan_(std::move(plan)),
+        session_(std::make_unique<CrawlSession>(*plan_)) {}
 
-  void InitSampleState(util::ThreadPool* tp);
-  void InitIdealState(util::ThreadPool* tp);
-
-  /// Matches a returned page against local records; returns the matched
-  /// local record ids (restricted to records satisfying `q` for the
-  /// Jaccard mode, per Sec. 6.1). Interns the page's keywords into the
-  /// crawler dictionary, so calls must stay sequential and ordered.
-  std::vector<table::RecordId> MatchPage(
-      QueryIdx q, const std::vector<table::Record>& page,
-      bool active_only);
-
-  /// Interns one document per page record (field concatenation order),
-  /// mutating dict_ — the sequential half of page matching.
-  std::vector<text::Document> BuildPageDocuments(
-      const std::vector<table::Record>& page);
-
-  /// The read-only half of MatchPage: matches a page whose documents were
-  /// already interned (`page_docs` may be null for the entity-oracle mode,
-  /// which never looks at text). Const, so per-query cover computation can
-  /// run on worker threads (see InitIdealState).
-  std::vector<table::RecordId> MatchPreparedPage(
-      QueryIdx q, const std::vector<table::Record>& page,
-      const std::vector<text::Document>* page_docs, bool active_only) const;
-
-  /// Removes records from D, updating frequencies / intersections / cover
-  /// counts and dirtying affected queries in `dirty` (query -> needs PQ
-  /// repair).
-  void RemoveRecords(const std::vector<table::RecordId>& ids,
-                     std::vector<QueryIdx>* dirtied);
-
-  /// Current q(D): the still-active subset of the query's posting list.
-  std::vector<table::RecordId> ActivePostings(QueryIdx q) const;
-
-  // Construction inputs.
-  const table::Table* local_;
-  SmartCrawlOptions options_;
-  const sample::HiddenSample* sample_;
-  const hidden::HiddenDatabase* oracle_;
-
-  // Crawler-side text state.
-  text::TermDictionary dict_;
-  std::vector<text::Document> local_docs_;
-
-  // Pool and maintained statistics.
-  QueryPool pool_;
-  index::ForwardIndex forward_;    // record -> queries with d ∈ q(D)
-  std::vector<uint32_t> freq_d_;   // current |q(D)|
-  std::vector<uint32_t> freq_hs_;  // static |q(Hs)|
-  std::vector<uint32_t> inter_;    // current |q(D) ∩~ q(Hs)|
-  EstimatorContext ctx_;
-
-  // Sample-side state (kEst*).
-  std::vector<text::Document> sample_docs_;
-  /// record -> its sample matches, flat CSR (immutable after init).
-  index::Csr<uint32_t> record_sample_matches_;
-  /// Precomputed estimator-delta adjacency, index-aligned with
-  /// forward_.values(): entry i (the pair record d -> query q) holds
-  /// |{sample matches s of d : s contains q's terms}| — the amount
-  /// inter_[q] drops when d is removed. Computed once at InitSampleState,
-  /// so RemoveRecords is pure index-addressed arithmetic with zero
-  /// ContainsAll re-evaluation. Empty for non-estimator policies.
-  std::vector<uint32_t> forward_dec_;
-  /// Construction-time kernel mix (pool build + sample |q(Hs)| pass),
-  /// surfaced through CrawlStats.
-  index::KernelStats build_kernel_stats_;
-  /// Lifetime total of delta decrements applied (sessions report deltas).
-  uint64_t delta_decrements_total_ = 0;
-
-  // Oracle state (kIdeal).
-  index::ForwardIndex cover_forward_;
-  std::vector<uint32_t> cover_count_;
-
-  // Coverage state.
-  std::vector<uint8_t> removed_;  // no longer in D
-  std::vector<uint8_t> covered_;  // believed covered (reporting)
-  size_t num_active_ = 0;
-
-  // Entity-resolution helpers.
-  std::unordered_map<table::EntityId, table::RecordId> entity_to_local_;
-  std::unordered_map<size_t, std::vector<table::RecordId>> doc_hash_to_local_;
-
-  /// Selection state shared across Crawl() sessions (resumability).
-  std::unique_ptr<index::LazyPriorityQueue> pq_;
-  /// Crawled-record dedup across sessions (keep_crawled_records).
-  std::unordered_map<uint64_t, size_t> crawled_keys_;
-  std::vector<table::Record> crawled_records_;
+  std::shared_ptr<const CrawlPlan> plan_;
+  std::unique_ptr<CrawlSession> session_;
 };
 
 }  // namespace smartcrawl::core

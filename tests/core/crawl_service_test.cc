@@ -1,0 +1,220 @@
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/crawl_service.h"
+#include "core/smart_crawler.h"
+#include "datagen/scenario.h"
+#include "hidden/budget.h"
+#include "sample/sampler.h"
+#include "util/hash.h"
+
+/// CrawlService contract tests.
+///
+/// Three claims the service makes are pinned here:
+///
+///  1. Golden equivalence — driving ONE session through the service is
+///     bit-identical to the SmartCrawler facade for every policy × ER
+///     combo (and the facade itself is pinned to the pre-refactor golden
+///     table by golden_crawl_test.cc, so the service transitively
+///     reproduces the golden crawls).
+///  2. Determinism — N concurrent sessions produce bit-identical
+///     per-session results at any worker thread count, including the
+///     shared-cache warming order.
+///  3. Shared-cache semantics — a query answered for tenant A is a cache
+///     hit for tenant B, and under per-tenant daily-quota metering such
+///     hits are metered-free.
+namespace smartcrawl::core {
+namespace {
+
+constexpr size_t kBudget = 30;
+
+constexpr SelectionPolicy kAllPolicies[] = {
+    SelectionPolicy::kSimple, SelectionPolicy::kBound,
+    SelectionPolicy::kEstBiased, SelectionPolicy::kEstUnbiased,
+    SelectionPolicy::kIdeal};
+constexpr match::ErMode kAllErModes[] = {match::ErMode::kEntityOracle,
+                                         match::ErMode::kExact,
+                                         match::ErMode::kJaccard};
+
+/// Same scenario as golden_crawl_test.cc so the equivalence below pins
+/// the service to the exact crawls the golden table freezes.
+Result<datagen::Scenario> BuildGoldenScenario() {
+  datagen::DblpScenarioConfig cfg;
+  cfg.corpus.corpus_size = 4000;
+  cfg.corpus.db_community_fraction = 0.5;
+  cfg.hidden_size = 1500;
+  cfg.local_size = 250;
+  cfg.top_k = 50;
+  cfg.error_rate = 0.2;
+  cfg.seed = 71;
+  return datagen::BuildDblpScenario(cfg);
+}
+
+SmartCrawlOptions GoldenOptions(const datagen::Scenario& s,
+                                SelectionPolicy policy, match::ErMode er) {
+  SmartCrawlOptions opt;
+  opt.policy = policy;
+  opt.local_text_fields = s.local_text_fields;
+  opt.num_threads = 1;
+  opt.er.mode = er;
+  opt.er.jaccard_threshold = 0.6;
+  return opt;
+}
+
+/// Order-sensitive digest of everything user-visible about a crawl (same
+/// shape as golden_crawl_test.cc's).
+uint64_t Fingerprint(const CrawlResult& r) {
+  size_t h = 0x5c5c5c5cULL;
+  for (const auto& it : r.iterations) {
+    HashCombine(h, Fnv1a(it.query));
+    HashCombine(h, it.page_size);
+    HashCombine(h, std::bit_cast<uint64_t>(it.estimated_benefit));
+    for (table::EntityId e : it.page_entities) HashCombine(h, e);
+  }
+  for (table::RecordId d : r.covered_local_ids) HashCombine(h, d);
+  return h;
+}
+
+TEST(CrawlServiceTest, OneSessionReproducesFacadeForEveryCombo) {
+  for (SelectionPolicy policy : kAllPolicies) {
+    for (match::ErMode er : kAllErModes) {
+      SCOPED_TRACE(PolicyName(policy) + " er=" +
+                   std::to_string(static_cast<int>(er)));
+      auto s = BuildGoldenScenario();
+      ASSERT_TRUE(s.ok()) << s.status().ToString();
+      auto sample = sample::BernoulliSample(*s->hidden, 0.025, 13);
+      const hidden::HiddenDatabase* oracle =
+          policy == SelectionPolicy::kIdeal ? s->hidden.get() : nullptr;
+
+      // Facade run — exactly what golden_crawl_test.cc pins.
+      auto crawler = SmartCrawler::Create(
+          &s->local, GoldenOptions(*s, policy, er), &sample, oracle);
+      ASSERT_TRUE(crawler.ok()) << crawler.status().ToString();
+      hidden::BudgetedInterface iface(s->hidden.get(), kBudget);
+      auto facade = (*crawler)->Crawl(&iface, kBudget);
+      ASSERT_TRUE(facade.ok()) << facade.status().ToString();
+
+      // Service run over the SAME plan (the facade's session already used
+      // it — immutability means a fresh session must see pristine state).
+      CrawlServiceOptions sopt;
+      sopt.num_threads = 1;
+      sopt.shared_cache_capacity = 0;  // match the facade transport exactly
+      CrawlService service(s->hidden.get(), sopt);
+      SessionSpec spec;
+      spec.plan = (*crawler)->shared_plan();
+      spec.budget = kBudget;
+      auto outcomes = service.RunAll({spec});
+      ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+      ASSERT_EQ(outcomes->size(), 1u);
+      const SessionOutcome& out = (*outcomes)[0];
+      ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+
+      EXPECT_EQ(out.result.queries_issued, facade->queries_issued);
+      EXPECT_EQ(out.result.covered_local_ids.size(),
+                facade->covered_local_ids.size());
+      EXPECT_EQ(out.result.stats.pq_recomputes,
+                facade->stats.pq_recomputes);
+      EXPECT_EQ(out.result.stopped_early, facade->stopped_early);
+      EXPECT_EQ(Fingerprint(out.result), Fingerprint(*facade));
+    }
+  }
+}
+
+TEST(CrawlServiceTest, EightSessionsAreBitIdenticalAcrossThreadCounts) {
+  auto s = BuildGoldenScenario();
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  auto sample = sample::BernoulliSample(*s->hidden, 0.025, 13);
+  auto plan_or =
+      CrawlPlan::Build(&s->local,
+                       GoldenOptions(*s, SelectionPolicy::kEstBiased,
+                                     match::ErMode::kJaccard),
+                       &sample);
+  ASSERT_TRUE(plan_or.ok()) << plan_or.status().ToString();
+  std::shared_ptr<const CrawlPlan> plan = std::move(plan_or).value();
+
+  // Varying budgets make sessions finish in different rounds, exercising
+  // the streaming finish path mid-drive.
+  const size_t budgets[] = {5, 30, 12, 7, 30, 18, 25, 3};
+  std::vector<SessionSpec> specs;
+  for (size_t b : budgets) {
+    SessionSpec spec;
+    spec.plan = plan;
+    spec.budget = b;
+    specs.push_back(std::move(spec));
+  }
+
+  auto run = [&](unsigned threads) {
+    CrawlServiceOptions sopt;
+    sopt.num_threads = threads;  // shared cache on (default capacity)
+    CrawlService service(s->hidden.get(), sopt);
+    std::vector<size_t> finish_order;
+    std::vector<SessionOutcome> outcomes(specs.size());
+    Status st = service.Drive(specs, [&](size_t i, SessionOutcome out) {
+      finish_order.push_back(i);
+      outcomes[i] = std::move(out);
+    });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    EXPECT_GT(service.shared_cache_stats()->hits, 0u);
+    return std::make_pair(std::move(outcomes), std::move(finish_order));
+  };
+
+  auto [seq, seq_order] = run(1);
+  auto [par, par_order] = run(4);
+  EXPECT_EQ(seq_order, par_order);
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    SCOPED_TRACE("session " + std::to_string(i));
+    ASSERT_TRUE(seq[i].status.ok()) << seq[i].status.ToString();
+    ASSERT_TRUE(par[i].status.ok()) << par[i].status.ToString();
+    EXPECT_EQ(seq[i].result.queries_issued, par[i].result.queries_issued);
+    EXPECT_EQ(Fingerprint(seq[i].result), Fingerprint(par[i].result));
+  }
+}
+
+TEST(CrawlServiceTest, SharedCacheHitsAreMeteredFreeUnderDailyQuota) {
+  auto s = BuildGoldenScenario();
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  auto plan_or = CrawlPlan::Build(
+      &s->local,
+      GoldenOptions(*s, SelectionPolicy::kSimple, match::ErMode::kJaccard));
+  ASSERT_TRUE(plan_or.ok()) << plan_or.status().ToString();
+  std::shared_ptr<const CrawlPlan> plan = std::move(plan_or).value();
+
+  CrawlService service(s->hidden.get(), CrawlServiceOptions{});
+  // Two tenants with identical plans and budgets, each behind its own
+  // daily-quota meter. Phase A walks tenant 0 first each round, so tenant
+  // 0 populates the shared cache and tenant 1 rides it for free.
+  std::vector<SessionSpec> specs(2);
+  for (SessionSpec& spec : specs) {
+    spec.plan = plan;
+    spec.budget = 20;
+    spec.transport.daily_quota = 100;  // large enough to never reject
+  }
+  auto outcomes = service.RunAll(specs);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  ASSERT_EQ(outcomes->size(), 2u);
+  const SessionOutcome& a = (*outcomes)[0];
+  const SessionOutcome& b = (*outcomes)[1];
+  ASSERT_TRUE(a.status.ok()) << a.status.ToString();
+  ASSERT_TRUE(b.status.ok()) << b.status.ToString();
+
+  // Both tenants got full crawls...
+  EXPECT_EQ(a.result.queries_issued, 20u);
+  EXPECT_EQ(b.result.queries_issued, 20u);
+  EXPECT_EQ(Fingerprint(a.result), Fingerprint(b.result));
+  // ...but only tenant 0 paid the provider: every one of tenant 1's
+  // queries was answered by the shared cache, below which its quota layer
+  // saw no origin traffic.
+  EXPECT_EQ(a.quota_used_today, 20u);
+  EXPECT_EQ(b.quota_used_today, 0u);
+  ASSERT_NE(service.shared_cache_stats(), nullptr);
+  EXPECT_GE(service.shared_cache_stats()->hits, 20u);
+}
+
+}  // namespace
+}  // namespace smartcrawl::core

@@ -1,0 +1,23 @@
+// Fixture: sc-plan-mutation rejects mutating surface on CrawlPlan —
+// non-const member functions and const_cast escapes. Const accessors,
+// static members, constructors, deleted members, friends and data
+// members are all allowed.
+class CrawlPlan {
+ public:
+  static CrawlPlan Build();
+  CrawlPlan(const CrawlPlan&) = delete;
+  CrawlPlan& operator=(const CrawlPlan&) = delete;
+  int size() const { return size_; }
+  void SetSize(int s);                    // finding: line 11
+  int* mutable_data() { return &size_; }  // finding: line 12
+
+ private:
+  CrawlPlan() = default;
+  friend class CrawlPlanBuilder;
+  int size_ = 0;
+};
+
+int Escape(const CrawlPlan& plan) {
+  CrawlPlan& writable = const_cast<CrawlPlan&>(plan);  // finding: line 21
+  return writable.size();
+}

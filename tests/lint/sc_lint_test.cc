@@ -112,6 +112,13 @@ TEST(ScLintRules, DirectIncludeRequirement) {
             (Expected{{"sc-direct-include", 5}}));
 }
 
+TEST(ScLintRules, PlanMutationFlagsNonConstMembersAndConstCast) {
+  EXPECT_EQ(RuleLines(LintFixture("plan_mutation.cc")),
+            (Expected{{"sc-plan-mutation", 11},
+                      {"sc-plan-mutation", 12},
+                      {"sc-plan-mutation", 21}}));
+}
+
 TEST(ScLintSuppression, NolintFormsSuppressOnlyNamedRules) {
   // Lines 4 (same-line), 6 (NEXTLINE) and 7 (bare NOLINT) are suppressed;
   // line 8 names a different rule and must still fire.
@@ -130,10 +137,10 @@ TEST(ScLintDriver, WalkModeCoversTheWholeCorpus) {
   std::string error;
   ASSERT_TRUE(RunLint(options, &report, &error)) << error;
   // Every fixture (plus the two clean ones) is picked up by the walk.
-  EXPECT_GE(report.files_scanned, 14u);
+  EXPECT_GE(report.files_scanned, 15u);
   // The per-file expectations above sum to the corpus totals, so a rule
   // silently not firing in walk mode shows up here.
-  EXPECT_EQ(report.errors, 20u);
+  EXPECT_EQ(report.errors, 23u);
   EXPECT_EQ(report.warnings, 2u);
 }
 

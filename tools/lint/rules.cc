@@ -406,6 +406,120 @@ void CheckDirectInclude(const FileUnit& unit, const RuleContext& ctx,
   }
 }
 
+// ---------------------------------------------------------------------------
+// API-contract rules
+// ---------------------------------------------------------------------------
+
+/// CrawlPlan is the immutable half of the plan/session split: after
+/// Build() nothing may mutate it (core/crawl_plan.h). Two escapes are
+/// rejected: (a) a non-const, non-static member function creeping into a
+/// `class CrawlPlan { ... }` body (constructors, deleted/defaulted
+/// members, friends and data members are fine — the private builder is
+/// the one sanctioned writer), and (b) a const_cast whose target type
+/// names CrawlPlan, anywhere.
+void CheckPlanMutation(const FileUnit& unit, const RuleContext&,
+                       std::vector<Finding>* out) {
+  const std::vector<Token>& code = unit.code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    // (b) const_cast<... CrawlPlan ...>
+    if (TextIs(code[i], "const_cast") && At(code, i + 1, "<")) {
+      int depth = 0;
+      for (size_t j = i + 1; j < code.size(); ++j) {
+        if (code[j].text == "<") ++depth;
+        if (code[j].text == ">" && --depth == 0) break;
+        if (TextIs(code[j], "CrawlPlan")) {
+          Emit(out, unit, code[i], "sc-plan-mutation",
+               "const_cast to a CrawlPlan type: the plan is frozen after "
+               "Build() — keep mutable crawl state on the CrawlSession");
+          break;
+        }
+      }
+      continue;
+    }
+    // (a) class CrawlPlan { ...members... }
+    if (!TextIs(code[i], "class") || !At(code, i + 1, "CrawlPlan")) continue;
+    size_t open = i + 2;
+    while (open < code.size() && !TextIs(code[open], "{") &&
+           !TextIs(code[open], ";"))
+      ++open;
+    if (open >= code.size() || TextIs(code[open], ";")) continue;
+    size_t close = MatchForward(code, open);
+    size_t j = open + 1;
+    while (j < close) {
+      std::string_view s = code[j].text;
+      if ((s == "public" || s == "private" || s == "protected") &&
+          At(code, j + 1, ":")) {
+        j += 2;
+        continue;
+      }
+      // One member declaration: find its declarator '(' (if any), skipping
+      // declarations that cannot be mutating member functions.
+      size_t k = j;
+      size_t paren = close;
+      bool exempt = false;   // static/friend/using/typedef/template
+      bool init_eq = false;  // '=' before any '(' -> data-member initializer
+      while (k < close) {
+        std::string_view t = code[k].text;
+        if (t == "static" || t == "friend" || t == "using" ||
+            t == "typedef" || t == "template")
+          exempt = true;
+        if (t == "=" && (k == j || !TextIs(code[k - 1], "operator")))
+          init_eq = true;
+        if (t == "(") {
+          paren = k;
+          break;
+        }
+        if (t == ";" || t == "{") break;
+        ++k;
+      }
+      if (paren == close || init_eq) {
+        // Data member, friend or alias: skip to the end of the declaration.
+        while (k < close && !TextIs(code[k], ";")) {
+          if (TextIs(code[k], "{")) k = MatchForward(code, k);
+          ++k;
+        }
+        j = k + 1;
+        continue;
+      }
+      size_t close_paren = MatchForward(code, paren);
+      bool is_const = false, is_defaulted = false;
+      size_t term = close_paren + 1;
+      while (term < close && !TextIs(code[term], ";") &&
+             !TextIs(code[term], "{")) {
+        if (TextIs(code[term], "const")) is_const = true;
+        if (TextIs(code[term], "delete") || TextIs(code[term], "default"))
+          is_defaulted = true;
+        ++term;
+      }
+      const Token* name = nullptr;
+      bool is_ctor = false;
+      if (paren > 0 && code[paren - 1].kind == TokenKind::kIdentifier) {
+        name = &code[paren - 1];
+        is_ctor = TextIs(code[paren - 1], "CrawlPlan") ||
+                  (paren >= 2 && TextIs(code[paren - 2], "~"));
+      } else {
+        for (size_t b = j; b < paren; ++b) {
+          if (TextIs(code[b], "operator")) {
+            name = &code[b];
+            break;
+          }
+        }
+      }
+      if (name != nullptr && !exempt && !is_ctor && !is_const &&
+          !is_defaulted) {
+        Emit(out, unit, *name, "sc-plan-mutation",
+             "non-const member '" + std::string(name->text) +
+                 "' on CrawlPlan: the plan is frozen after Build() — make "
+                 "it const or move the state to CrawlSession");
+      }
+      j = term;
+      if (j < close && TextIs(code[j], "{")) j = MatchForward(code, j);
+      ++j;
+    }
+    i = close;
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleDef>& AllRules() {
@@ -437,6 +551,9 @@ const std::vector<RuleDef>& AllRules() {
       {"sc-direct-include", Severity::kError,
        "configured tokens must be backed by a direct include",
        CheckDirectInclude},
+      {"sc-plan-mutation", Severity::kError,
+       "CrawlPlan is immutable: no non-const members, no const_cast",
+       CheckPlanMutation},
   };
   return kRules;
 }

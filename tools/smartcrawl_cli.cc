@@ -164,11 +164,12 @@ int Run(const CliConfig& cfg) {
   hidden::KeywordSearchInterface& iface = *stack.top();
   core::CrawlResult crawl;
   if (cfg.policy == "naive") {
-    core::NaiveCrawlOptions nopt;
-    nopt.seed = static_cast<uint64_t>(cfg.seed);
-    nopt.keep_crawled_records = true;
-    auto r = core::NaiveCrawl(local, &iface,
-                              static_cast<size_t>(cfg.budget), nopt);
+    core::BaselineRunSpec spec;
+    spec.policy = core::BaselinePolicy::kNaive;
+    spec.budget = static_cast<size_t>(cfg.budget);
+    spec.naive.seed = static_cast<uint64_t>(cfg.seed);
+    spec.naive.keep_crawled_records = true;
+    auto r = core::RunBaseline(spec, &iface, &local);
     if (!r.ok()) {
       std::fprintf(stderr, "crawl: %s\n", r.status().ToString().c_str());
       return 1;
@@ -191,11 +192,12 @@ int Run(const CliConfig& cfg) {
         opt.policy == core::SelectionPolicy::kEstBiased ||
         opt.policy == core::SelectionPolicy::kEstUnbiased;
     if (needs_sample && cfg.online_sample) {
-      core::OnlineCrawlOptions oopt;
-      oopt.smart = std::move(opt);
-      oopt.seed = static_cast<uint64_t>(cfg.seed);
-      auto r = core::OnlineSampleCrawl(local, &iface,
-                                       static_cast<size_t>(cfg.budget), oopt);
+      core::BaselineRunSpec spec;
+      spec.policy = core::BaselinePolicy::kOnlineSample;
+      spec.budget = static_cast<size_t>(cfg.budget);
+      spec.online.smart = std::move(opt);
+      spec.online.seed = static_cast<uint64_t>(cfg.seed);
+      auto r = core::RunBaseline(spec, &iface, &local);
       if (!r.ok()) {
         std::fprintf(stderr, "crawl: %s\n", r.status().ToString().c_str());
         return 1;
@@ -342,8 +344,10 @@ int main(int argc, char** argv) {
   flags.AddString("sample-out", &cfg.sample_out,
                   "persist the sample for reuse (writes CSV + .meta)");
   flags.AddInt("threads", &cfg.threads,
-               "worker threads for crawl-side precomputation "
-               "(0 = all hardware threads; result is identical either way)");
+               "worker threads for crawl-side precomputation — the single "
+               "crawler thread knob, forwarded to SmartCrawlOptions::"
+               "num_threads (0 = all hardware threads; result is identical "
+               "either way)");
   flags.AddDouble("jaccard", &cfg.jaccard,
                   "Jaccard threshold for entity resolution");
   flags.AddInt("seed", &cfg.seed, "seed for sampling/shuffling");
