@@ -1,0 +1,300 @@
+/// Snapshot subsystem benchmarks (google-benchmark): the build-once /
+/// load-many cost split the snapshot format is built around.
+///
+///   * BM_PlanBuild        — CrawlPlan::Build from scratch: the cost a
+///                           snapshot load replaces.
+///   * BM_SnapshotSave     — CrawlPlan::Serialize to disk. Counter
+///                           `snapshot_bytes` records the file size.
+///   * BM_SnapshotLoad     — CrawlPlan::LoadSnapshot (mmap + materialize).
+///                           The `build_over_load` counter is the measured
+///                           Build()/Load() ratio — the subsystem's
+///                           contract is that it stays >= 10x.
+///   * BM_SessionFromSnapshot — CrawlSession over a snapshot-loaded plan:
+///                           per-tenant cost is unchanged by loading.
+///   * BM_ScaleTier        — the big-data tier: a scenario sized so that
+///                           SC_SCALE=10 yields |H| >= 1,000,000 hidden
+///                           records. One iteration, explicit counters
+///                           (hidden_records, build_seconds, load_seconds,
+///                           build_over_load, snapshot_bytes).
+///
+/// Scaling: sizes honor SC_SCALE like the figure drivers (default 0.3);
+/// `--smoke` forces SC_SCALE=0.05 for CI schema validation. The committed
+/// bench/BENCH_snapshot.json is generated at SC_SCALE=10 so the standard
+/// benchmarks run above paper scale AND the tier hits the 1M-row
+/// datapoint:
+///   SC_SCALE=10 bench_snapshot --benchmark_out=bench/BENCH_snapshot.json
+///       --benchmark_out_format=json   (one command line)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/crawl_plan.h"
+#include "core/crawl_session.h"
+#include "datagen/scenario.h"
+#include "match/er_config.h"
+#include "sample/sampler.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace smartcrawl;  // NOLINT
+
+double g_scale = 0.3;  // set in main: --smoke => 0.05, else SC_SCALE
+
+size_t ScaledN(size_t paper_value) {
+  double v = static_cast<double>(paper_value) * g_scale;
+  auto out = static_cast<size_t>(v + 0.5);
+  return out < 64 ? 64 : out;
+}
+
+struct World {
+  datagen::Scenario scenario;
+  sample::HiddenSample sample;
+};
+
+World* BuildWorld(const datagen::DblpScenarioConfig& cfg) {
+  auto s = datagen::BuildDblpScenario(cfg);
+  if (!s.ok()) {
+    std::fprintf(stderr, "scenario: %s\n", s.status().ToString().c_str());
+    std::abort();
+  }
+  auto* w = new World{std::move(s).value(), {}};
+  w->sample = sample::BernoulliSample(*w->scenario.hidden, 0.025, 13);
+  return w;
+}
+
+/// The standard scenario shared by every benchmark except the scale tier
+/// (same shape as bench_service, built on first use).
+World& TheWorld() {
+  static World* world = [] {
+    datagen::DblpScenarioConfig cfg;
+    cfg.corpus.corpus_size = ScaledN(4000);
+    cfg.corpus.db_community_fraction = 0.5;
+    cfg.hidden_size = ScaledN(1500);
+    cfg.local_size = ScaledN(250);
+    cfg.top_k = 50;
+    cfg.error_rate = 0.2;
+    cfg.seed = 71;
+    return BuildWorld(cfg);
+  }();
+  return *world;
+}
+
+core::SmartCrawlOptions PlanOptions(const World& w) {
+  core::SmartCrawlOptions opt;
+  opt.policy = core::SelectionPolicy::kEstBiased;
+  opt.local_text_fields = w.scenario.local_text_fields;
+  opt.num_threads = 1;
+  opt.er.mode = match::ErMode::kJaccard;
+  opt.er.jaccard_threshold = 0.6;
+  return opt;
+}
+
+std::unique_ptr<core::CrawlPlan> BuildPlan(const World& w) {
+  auto plan = core::CrawlPlan::Build(&w.scenario.local, PlanOptions(w),
+                                     &w.sample);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "plan: %s\n", plan.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(plan).value();
+}
+
+std::string TempSnapshotPath(const char* tag) {
+  return std::string("bench_snapshot_") + tag + ".tmp.snap";
+}
+
+size_t FileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::fseek(f, 0, SEEK_END);
+  long n = std::ftell(f);
+  std::fclose(f);
+  return n < 0 ? 0 : static_cast<size_t>(n);
+}
+
+void BM_PlanBuild(benchmark::State& state) {
+  World& w = TheWorld();
+  for (auto _ : state) {
+    auto plan = BuildPlan(w);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_PlanBuild)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotSave(benchmark::State& state) {
+  World& w = TheWorld();
+  auto plan = BuildPlan(w);
+  const std::string path = TempSnapshotPath("save");
+  for (auto _ : state) {
+    Status st = plan->Serialize(path);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      break;
+    }
+  }
+  state.counters["snapshot_bytes"] =
+      static_cast<double>(FileBytes(path));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotSave)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  World& w = TheWorld();
+  const std::string path = TempSnapshotPath("load");
+  {
+    auto plan = BuildPlan(w);
+    Status st = plan->Serialize(path);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  for (auto _ : state) {
+    auto loaded = core::CrawlPlan::LoadSnapshot(path);
+    if (!loaded.ok()) {
+      state.SkipWithError(loaded.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(loaded);
+  }
+  // One explicit side-by-side measurement so the committed JSON records
+  // the subsystem's headline ratio (a load must be >= 10x cheaper than a
+  // full build) rather than leaving it to cross-benchmark arithmetic.
+  StopWatch sw;
+  auto fresh = BuildPlan(w);
+  const double build_seconds = sw.ElapsedSeconds();
+  constexpr int kReps = 16;
+  sw.Restart();
+  for (int i = 0; i < kReps; ++i) {
+    auto loaded = core::CrawlPlan::LoadSnapshot(path);
+    if (!loaded.ok()) {
+      state.SkipWithError(loaded.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(loaded);
+  }
+  const double load_seconds = sw.ElapsedSeconds() / kReps;
+  state.counters["build_over_load"] =
+      load_seconds > 0 ? build_seconds / load_seconds : 0.0;
+  state.counters["snapshot_bytes"] =
+      static_cast<double>(FileBytes(path));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotLoad)->Unit(benchmark::kMillisecond);
+
+void BM_SessionFromSnapshot(benchmark::State& state) {
+  World& w = TheWorld();
+  const std::string path = TempSnapshotPath("session");
+  {
+    auto plan = BuildPlan(w);
+    Status st = plan->Serialize(path);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  auto loaded = core::CrawlPlan::LoadSnapshot(path);
+  if (!loaded.ok()) {
+    state.SkipWithError(loaded.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    core::CrawlSession session(**loaded);
+    benchmark::DoNotOptimize(&session);
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SessionFromSnapshot)->Unit(benchmark::kMicrosecond);
+
+/// The big-data tier: sized so SC_SCALE=10 gives |H| = 1,000,000 (and a
+/// 20,000-record local table). One measured iteration with explicit
+/// StopWatch counters — at this size iteration count matters less than
+/// having the datapoint at all.
+void BM_ScaleTier(benchmark::State& state) {
+  static World* tier = [] {
+    datagen::DblpScenarioConfig cfg;
+    cfg.corpus.corpus_size = ScaledN(140000);
+    cfg.corpus.db_community_fraction = 0.5;
+    cfg.hidden_size = ScaledN(100000);
+    cfg.local_size = ScaledN(2000);
+    cfg.top_k = 50;
+    cfg.error_rate = 0.2;
+    cfg.seed = 71;
+    return BuildWorld(cfg);
+  }();
+  World& w = *tier;
+  const std::string path = TempSnapshotPath("tier");
+  double build_seconds = 0;
+  double load_seconds = 0;
+  for (auto _ : state) {
+    StopWatch sw;
+    auto plan = BuildPlan(w);
+    build_seconds = sw.ElapsedSeconds();
+    Status st = plan->Serialize(path);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      break;
+    }
+    constexpr int kReps = 4;
+    sw.Restart();
+    for (int i = 0; i < kReps; ++i) {
+      auto loaded = core::CrawlPlan::LoadSnapshot(path);
+      if (!loaded.ok()) {
+        state.SkipWithError(loaded.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(loaded);
+    }
+    load_seconds = sw.ElapsedSeconds() / kReps;
+  }
+  state.counters["hidden_records"] =
+      static_cast<double>(w.scenario.hidden->OracleSize());
+  state.counters["local_records"] =
+      static_cast<double>(w.scenario.local.size());
+  state.counters["build_seconds"] = build_seconds;
+  state.counters["load_seconds"] = load_seconds;
+  state.counters["build_over_load"] =
+      load_seconds > 0 ? build_seconds / load_seconds : 0.0;
+  state.counters["snapshot_bytes"] =
+      static_cast<double>(FileBytes(path));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_ScaleTier)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+/// Custom main: accepts `--smoke` (stripped before google-benchmark sees
+/// the args) to force the CI smoke scale regardless of SC_SCALE.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  auto smoke_end = std::remove_if(args.begin(), args.end(), [](char* a) {
+    return std::string_view(a) == "--smoke";
+  });
+  const bool smoke = smoke_end != args.end();
+  args.erase(smoke_end, args.end());
+  if (smoke) {
+    g_scale = 0.05;
+  } else {
+    const char* s = std::getenv("SC_SCALE");
+    double v = s == nullptr ? 0.0 : std::atof(s);
+    g_scale = v > 0 ? v : 0.3;
+  }
+
+  int pruned_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&pruned_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(pruned_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

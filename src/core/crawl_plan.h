@@ -16,6 +16,7 @@
 #include "table/table.h"
 #include "text/dictionary.h"
 #include "text/document.h"
+#include "util/mmap_file.h"
 #include "util/result.h"
 
 /// \file crawl_plan.h
@@ -122,6 +123,38 @@ class CrawlPlan {
       const sample::HiddenSample* sample = nullptr,
       const hidden::HiddenDatabase* oracle = nullptr);
 
+  /// Writes every built artifact into one versioned snapshot file (see
+  /// docs/architecture.md §7 and src/snapshot/format.h for the format
+  /// contract). A later LoadSnapshot serves the flat hot-path artifacts
+  /// straight from the mmap'ed file — build once, load many.
+  [[nodiscard]] Status Serialize(const std::string& path) const;
+
+  /// Loads a plan from a snapshot written by Serialize. Flat artifacts
+  /// (CSR indexes, freq/inter/delta arrays) become zero-copy borrowed
+  /// views into the mapping; object state (dictionary, documents, query
+  /// keywords, the local table, ER maps) is materialized from the
+  /// snapshot's string/term arenas. The loaded plan owns its local table
+  /// copy and keeps the mapping alive; crawls over it are bit-identical
+  /// to crawls over the freshly built plan (pinned by the golden suite).
+  /// Corrupted, truncated or version-mismatched files are rejected with a
+  /// descriptive Status — never UB.
+  static Result<std::unique_ptr<CrawlPlan>> LoadSnapshot(
+      const std::string& path);
+
+  /// Same, but additionally rejects (FailedPrecondition) a snapshot whose
+  /// recorded build fingerprint does not match BuildFingerprint(
+  /// *expected_local, expected_options) — the guard callers use when they
+  /// know which dataset/config the snapshot must have been built from.
+  static Result<std::unique_ptr<CrawlPlan>> LoadSnapshot(
+      const std::string& path, const table::Table* expected_local,
+      const SmartCrawlOptions& expected_options);
+
+  /// Stable content fingerprint of a (dataset, options) build input pair,
+  /// recorded in the snapshot header. Thread-count knobs are excluded:
+  /// built artifacts are bit-identical at any thread count by contract.
+  static uint64_t BuildFingerprint(const table::Table& local,
+                                   const SmartCrawlOptions& options);
+
   CrawlPlan(const CrawlPlan&) = delete;
   CrawlPlan& operator=(const CrawlPlan&) = delete;
 
@@ -145,7 +178,7 @@ class CrawlPlan {
   const index::ForwardIndex& forward() const { return forward_; }
 
   /// Static |q(Hs)| per query (zeros for non-estimator policies).
-  std::span<const uint32_t> freq_hs() const { return freq_hs_; }
+  std::span<const uint32_t> freq_hs() const { return freq_hs_.span(); }
 
   /// Initial |q(D)| per query — the session's freq_d_ starting point.
   std::span<const uint32_t> initial_freq_d() const {
@@ -153,13 +186,15 @@ class CrawlPlan {
   }
 
   /// Initial |q(D) ∩~ q(Hs)| per query (zeros for non-estimator policies).
-  std::span<const uint32_t> initial_inter() const { return inter_; }
+  std::span<const uint32_t> initial_inter() const { return inter_.span(); }
 
   /// Estimator-delta adjacency, index-aligned with forward().values():
   /// entry i (the pair record d -> query q) holds |{sample matches s of d :
   /// s contains q's terms}| — the amount inter[q] drops when d is removed.
   /// Empty for non-estimator policies.
-  std::span<const uint32_t> forward_dec() const { return forward_dec_; }
+  std::span<const uint32_t> forward_dec() const {
+    return forward_dec_.span();
+  }
 
   /// record -> its sample matches, flat CSR.
   const index::Csr<uint32_t>& record_sample_matches() const {
@@ -170,7 +205,7 @@ class CrawlPlan {
   /// per-query true cover counts. Empty for other policies.
   const index::ForwardIndex& cover_forward() const { return cover_forward_; }
   std::span<const uint32_t> initial_cover_count() const {
-    return cover_count_;
+    return cover_count_.span();
   }
 
   /// Construction-time kernel mix (pool build + sample |q(Hs)| pass).
@@ -213,6 +248,10 @@ class CrawlPlan {
  private:
   CrawlPlan() = default;
   friend class CrawlPlanBuilder;
+  /// The snapshot loader (crawl_plan_snapshot.cc) — the second sanctioned
+  /// writer: it hydrates a fresh plan from a snapshot file instead of
+  /// running the build.
+  friend class CrawlPlanSnapshotIo;
 
   // Construction inputs.
   const table::Table* local_ = nullptr;
@@ -222,25 +261,33 @@ class CrawlPlan {
   text::TermDictionary dict_;
   std::vector<text::Document> local_docs_;
 
-  // Pool and static statistics.
+  // Pool and static statistics. The flat u32 arrays are FlatArrays so the
+  // snapshot loader can install zero-copy borrowed views where the
+  // builder fills owned storage (index/csr.h).
   QueryPool pool_;
-  index::ForwardIndex forward_;    // record -> queries with d ∈ q(D)
-  std::vector<uint32_t> freq_hs_;  // static |q(Hs)|
-  std::vector<uint32_t> inter_;    // initial |q(D) ∩~ q(Hs)|
-  EstimatorContext ctx_;           // k = 0 template
+  index::ForwardIndex forward_;  // record -> queries with d ∈ q(D)
+  index::FlatArray<uint32_t> freq_hs_;  // static |q(Hs)|
+  index::FlatArray<uint32_t> inter_;    // initial |q(D) ∩~ q(Hs)|
+  EstimatorContext ctx_;                // k = 0 template
 
   // Sample-side state (kEst*).
   index::Csr<uint32_t> record_sample_matches_;
-  std::vector<uint32_t> forward_dec_;
+  index::FlatArray<uint32_t> forward_dec_;
   index::KernelStats build_kernel_stats_;
 
   // Oracle state (kIdeal).
   index::ForwardIndex cover_forward_;
-  std::vector<uint32_t> cover_count_;
+  index::FlatArray<uint32_t> cover_count_;
 
   // Entity-resolution helpers.
   std::unordered_map<table::EntityId, table::RecordId> entity_to_local_;
   std::unordered_map<size_t, std::vector<table::RecordId>> doc_hash_to_local_;
+
+  // Snapshot-loaded plans own their reconstructed local table (local_
+  // points at it) and keep the mapped file region alive for the borrowed
+  // views above. Both stay null on the Build() path.
+  std::unique_ptr<table::Table> owned_local_;
+  std::shared_ptr<util::MmapFile> snapshot_region_;
 };
 
 }  // namespace smartcrawl::core

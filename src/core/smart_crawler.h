@@ -63,6 +63,17 @@ class SmartCrawler {
       const sample::HiddenSample* sample = nullptr,
       const hidden::HiddenDatabase* oracle = nullptr);
 
+  /// Wraps an already-built (or snapshot-loaded, see
+  /// CrawlPlan::LoadSnapshot) plan in the single-tenant facade, seeding
+  /// one fresh session over it. No build work happens here.
+  static Result<std::unique_ptr<SmartCrawler>> Adopt(
+      std::shared_ptr<const CrawlPlan> plan) {
+    if (plan == nullptr) {
+      return Status::InvalidArgument("SmartCrawler::Adopt requires a plan");
+    }
+    return std::unique_ptr<SmartCrawler>(new SmartCrawler(std::move(plan)));
+  }
+
   SmartCrawler(const SmartCrawler&) = delete;
   SmartCrawler& operator=(const SmartCrawler&) = delete;
 
@@ -87,22 +98,11 @@ class SmartCrawler {
   const CrawlPlan& plan() const { return *plan_; }
   std::shared_ptr<const CrawlPlan> shared_plan() const { return plan_; }
 
-  /// The facade's own session (the one Crawl drives).
+  /// The facade's own session (the one Crawl drives). Session state that
+  /// used to be mirrored here — NumActive(), PriorityOf(q) — is read off
+  /// the session directly: session().NumActive(), session().PriorityOf(q).
   CrawlSession& session() { return *session_; }
   const CrawlSession& session() const { return *session_; }
-
-  /// Local records the crawler still considers part of D.
-  [[deprecated("session state moved: use session().NumActive()")]]
-  size_t NumActive() const {
-    return session_->NumActive();
-  }
-
-  /// Estimated benefit the engine would currently assign to pool query
-  /// `q` (exposed for tests and the estimator examples).
-  [[deprecated("session state moved: use session().PriorityOf(q)")]]
-  double PriorityOf(QueryIdx q) const {
-    return session_->PriorityOf(q);
-  }
 
  private:
   explicit SmartCrawler(std::shared_ptr<const CrawlPlan> plan)

@@ -44,6 +44,10 @@ class ForwardIndex {
   /// Total number of (record, query) pairs stored.
   size_t TotalEntries() const { return lists_.num_values(); }
 
+  /// The underlying flat storage — both halves (offsets + values), for
+  /// serializers that persist the index without copying it.
+  const Csr<QueryIdx>& csr() const { return lists_; }
+
  private:
   Csr<QueryIdx> lists_;
 };

@@ -1,0 +1,101 @@
+#include "snapshot/reader.h"
+
+#include <cstddef>
+#include <cstring>
+#include <set>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/result.h"
+
+namespace smartcrawl::snapshot {
+
+namespace {
+
+Status Malformed(const std::string& path, const std::string& why) {
+  return Status::FailedPrecondition("snapshot '" + path + "': " + why);
+}
+
+}  // namespace
+
+Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
+  SC_ASSIGN_OR_RETURN(util::MmapFile file, util::MmapFile::Open(path));
+  std::span<const std::byte> bytes = file.bytes();
+
+  if (bytes.size() < sizeof(SnapshotHeader)) {
+    return Malformed(path, "shorter than the header");
+  }
+  SnapshotHeader header;
+  std::memcpy(&header, bytes.data(), sizeof header);
+  if (header.magic != kMagic) {
+    return Malformed(path, "bad magic (not a snapshot file)");
+  }
+  if (header.endian_tag != kEndianTag) {
+    return Malformed(path, "endianness mismatch (written on a host with "
+                           "different byte order)");
+  }
+  if (header.version != kFormatVersion) {
+    return Malformed(path, "format version " +
+                               std::to_string(header.version) +
+                               " (this build reads version " +
+                               std::to_string(kFormatVersion) + ")");
+  }
+  if (header.header_bytes != sizeof(SnapshotHeader)) {
+    return Malformed(path, "unexpected header size");
+  }
+  const uint64_t expected_header_checksum =
+      HashBytes64(bytes.data(), offsetof(SnapshotHeader, header_checksum),
+                  kChecksumSeed);
+  if (header.header_checksum != expected_header_checksum) {
+    return Malformed(path, "header checksum mismatch");
+  }
+  if (header.file_size != bytes.size()) {
+    return Malformed(path, "file size " + std::to_string(bytes.size()) +
+                               " != recorded " +
+                               std::to_string(header.file_size) +
+                               " (truncated or padded copy)");
+  }
+  if (header.section_table_offset != sizeof(SnapshotHeader)) {
+    return Malformed(path, "unexpected section table offset");
+  }
+  const uint64_t table_end =
+      header.section_table_offset +
+      uint64_t{header.section_count} * sizeof(SectionEntry);
+  if (table_end > bytes.size()) {
+    return Malformed(path, "section table overruns the file");
+  }
+
+  SnapshotReader reader;
+  reader.entries_.resize(header.section_count);
+  std::set<uint32_t> ids;
+  for (uint32_t i = 0; i < header.section_count; ++i) {
+    SectionEntry& e = reader.entries_[i];
+    std::memcpy(&e,
+                bytes.data() + header.section_table_offset +
+                    uint64_t{i} * sizeof(SectionEntry),
+                sizeof e);
+    if (!ids.insert(e.id).second) {
+      return Malformed(path, "duplicate section id " + std::to_string(e.id));
+    }
+    if (e.offset % kSectionAlign != 0) {
+      return Malformed(path, "section " + std::to_string(e.id) +
+                                 " offset not 64-byte aligned");
+    }
+    if (e.size > bytes.size() || e.offset > bytes.size() - e.size) {
+      return Malformed(path, "section " + std::to_string(e.id) +
+                                 " overruns the file");
+    }
+    const uint64_t checksum =
+        HashBytes64(bytes.data() + e.offset, e.size, kChecksumSeed ^ e.id);
+    if (checksum != e.checksum) {
+      return Malformed(path, "section " + std::to_string(e.id) +
+                                 " checksum mismatch (corrupted payload)");
+    }
+  }
+
+  reader.region_ = std::make_shared<util::MmapFile>(std::move(file));
+  reader.fingerprint_ = header.build_fingerprint;
+  return reader;
+}
+
+}  // namespace smartcrawl::snapshot

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "snapshot/format.h"
+#include "util/mmap_file.h"
+#include "util/result.h"
+
+/// \file reader.h
+/// Snapshot file reader: mmaps a snapshot, validates the whole format
+/// contract up front (magic, version, endianness, bounds, alignment,
+/// checksums — see format.h), then serves sections as views into the
+/// mapping. After a successful Open, every accessor is cheap and cannot
+/// hit malformed data.
+///
+/// This file is the ONE sanctioned home of `reinterpret_cast` in the
+/// codebase (lint rule sc-raw-reinterpret): `Typed<T>` reinterprets
+/// validated, alignment-checked mapped bytes as a `const T*` so borrowed
+/// `Csr`/`FlatArray` views can serve them with zero per-element work.
+/// Everything else (header, section table, blobs) crosses the byte
+/// boundary via memcpy.
+
+namespace smartcrawl::snapshot {
+
+class SnapshotReader {
+ public:
+  /// Maps `path` and validates header, section table and every section
+  /// checksum. Any violation yields a descriptive Status (IOError for
+  /// filesystem faults, FailedPrecondition for format violations) — a
+  /// corrupted or version-mismatched file never reaches typed access.
+  static Result<SnapshotReader> Open(const std::string& path);
+
+  /// The build-config fingerprint recorded at write time.
+  [[nodiscard]] uint64_t build_fingerprint() const { return fingerprint_; }
+
+  [[nodiscard]] bool Has(uint32_t id) const {
+    return Find(id) != nullptr;
+  }
+
+  /// The raw payload of section `id`; NotFound if absent.
+  Result<std::span<const std::byte>> SectionBytes(uint32_t id) const {
+    const SectionEntry* e = Find(id);
+    if (e == nullptr) {
+      return Status::NotFound("snapshot: missing section " +
+                              std::to_string(id));
+    }
+    return std::span<const std::byte>(
+        region_->bytes().subspan(e->offset, e->size));
+  }
+
+  /// Section `id` viewed as an array of T — the zero-copy path. Checks
+  /// that the payload is a whole number of elements and naturally aligned
+  /// for T (guaranteed by the 64-byte section alignment for any T with
+  /// alignof(T) <= 64, but verified anyway). The returned span aliases
+  /// the mapping: callers must keep `region()` alive alongside it.
+  template <typename T>
+  Result<std::span<const T>> Typed(uint32_t id) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(alignof(T) <= kSectionAlign);
+    SC_ASSIGN_OR_RETURN(std::span<const std::byte> bytes, SectionBytes(id));
+    if (bytes.size() % sizeof(T) != 0) {
+      return Status::FailedPrecondition(
+          "snapshot: section " + std::to_string(id) + " size " +
+          std::to_string(bytes.size()) + " is not a multiple of " +
+          std::to_string(sizeof(T)));
+    }
+    if (std::bit_cast<uintptr_t>(bytes.data()) % alignof(T) != 0) {
+      return Status::FailedPrecondition(
+          "snapshot: section " + std::to_string(id) + " misaligned for T");
+    }
+    // The audited punning point (see file comment): bytes were written by
+    // std::as_bytes over a T array on a same-endianness host, the span is
+    // in-bounds, checksummed and aligned.
+    const T* data = reinterpret_cast<const T*>(bytes.data());
+    return std::span<const T>(data, bytes.size() / sizeof(T));
+  }
+
+  /// The mapping every view returned by this reader aliases. Loaders keep
+  /// a copy of this shared_ptr next to the borrowed structures.
+  [[nodiscard]] const std::shared_ptr<util::MmapFile>& region() const {
+    return region_;
+  }
+
+ private:
+  SnapshotReader() = default;
+
+  [[nodiscard]] const SectionEntry* Find(uint32_t id) const {
+    for (const SectionEntry& e : entries_) {
+      if (e.id == id) return &e;
+    }
+    return nullptr;
+  }
+
+  std::shared_ptr<util::MmapFile> region_;
+  std::vector<SectionEntry> entries_;
+  uint64_t fingerprint_ = 0;
+};
+
+}  // namespace smartcrawl::snapshot

@@ -1,0 +1,90 @@
+#include "snapshot/writer.h"
+
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+#include "snapshot/format.h"
+#include "util/hash.h"
+
+namespace smartcrawl::snapshot {
+
+namespace {
+
+size_t AlignUp(size_t n) {
+  return (n + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+}
+
+/// fwrite wrapper; fwrite takes const void*, so std::byte buffers go
+/// through without pointer casts.
+bool WriteAll(std::FILE* f, const void* data, size_t len) {
+  return len == 0 || std::fwrite(data, 1, len, f) == len;
+}
+
+}  // namespace
+
+Status SnapshotWriter::WriteFile(const std::string& path,
+                                 uint64_t build_fingerprint) const {
+  std::set<uint32_t> ids;
+  for (const Pending& s : sections_) {
+    if (!ids.insert(s.id).second) {
+      return Status::InvalidArgument("snapshot: duplicate section id " +
+                                     std::to_string(s.id));
+    }
+  }
+
+  // Lay out: header, section table, then aligned payloads.
+  const size_t table_offset = sizeof(SnapshotHeader);
+  const size_t table_bytes = sections_.size() * sizeof(SectionEntry);
+  std::vector<SectionEntry> entries(sections_.size());
+  size_t cursor = AlignUp(table_offset + table_bytes);
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    entries[i].id = sections_[i].id;
+    entries[i].offset = cursor;
+    entries[i].size = sections_[i].bytes.size();
+    entries[i].checksum =
+        HashBytes64(sections_[i].bytes.data(), sections_[i].bytes.size(),
+                    kChecksumSeed ^ sections_[i].id);
+    cursor = AlignUp(cursor + sections_[i].bytes.size());
+  }
+
+  SnapshotHeader header;
+  header.file_size = cursor;
+  header.build_fingerprint = build_fingerprint;
+  header.section_count = static_cast<uint32_t>(sections_.size());
+  header.section_table_offset = table_offset;
+  header.header_checksum =
+      HashBytes64(&header, offsetof(SnapshotHeader, header_checksum),
+                  kChecksumSeed);
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("snapshot: cannot open '" + path +
+                           "' for writing");
+  }
+  static constexpr char kPad[kSectionAlign] = {};
+  bool ok = WriteAll(f, &header, sizeof header);
+  for (const SectionEntry& e : entries) {
+    ok = ok && WriteAll(f, &e, sizeof e);
+  }
+  size_t written = sizeof header + table_bytes;
+  for (size_t i = 0; ok && i < sections_.size(); ++i) {
+    ok = ok && WriteAll(f, kPad, entries[i].offset - written);
+    ok = ok && WriteAll(f, sections_[i].bytes.data(),
+                        sections_[i].bytes.size());
+    written = entries[i].offset + sections_[i].bytes.size();
+  }
+  if (ok) {
+    ok = WriteAll(f, kPad, cursor - written);
+  }
+  ok = std::fflush(f) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(path.c_str());
+    return Status::IOError("snapshot: short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace smartcrawl::snapshot

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file writer.h
+/// Snapshot file writer: collects (id, bytes) sections, then lays them
+/// out per the format contract in format.h — header, section table,
+/// 64-byte-aligned payloads with per-section checksums — in one pass.
+///
+/// Lifetime contract: `AddBytes`/`AddTyped` keep VIEWS of the caller's
+/// data, not copies (the big sections are whole index arrays; copying
+/// them would double peak memory during Serialize). Every added span must
+/// stay alive and unchanged until `WriteFile` returns.
+
+namespace smartcrawl::snapshot {
+
+class SnapshotWriter {
+ public:
+  /// Registers a section. Ids must be unique; duplicates are rejected at
+  /// WriteFile. Sections are written in registration order.
+  void AddBytes(uint32_t id, std::span<const std::byte> bytes) {
+    sections_.push_back({id, bytes});
+  }
+
+  /// Typed convenience: the payload is the element array's native bytes
+  /// (std::as_bytes — no casts needed on the write side).
+  template <typename T>
+  void AddTyped(uint32_t id, std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    AddBytes(id, std::as_bytes(values));
+  }
+
+  /// Writes the snapshot. The file is created or truncated; on error the
+  /// partial file is removed.
+  [[nodiscard]] Status WriteFile(const std::string& path,
+                                 uint64_t build_fingerprint) const;
+
+ private:
+  struct Pending {
+    uint32_t id;
+    std::span<const std::byte> bytes;
+  };
+  std::vector<Pending> sections_;
+};
+
+}  // namespace smartcrawl::snapshot

@@ -35,6 +35,13 @@ class TermDictionary {
 
   size_t size() const { return terms_.size(); }
 
+  /// Pre-sizes the map and the term vector for `n` terms. Used by bulk
+  /// loaders (e.g. the snapshot reader) that know the final size up front.
+  void Reserve(size_t n) {
+    ids_.reserve(n);
+    terms_.reserve(n);
+  }
+
   /// Interns every string in `tokens`.
   std::vector<TermId> InternAll(const std::vector<std::string>& tokens);
 

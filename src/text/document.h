@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "text/dictionary.h"
@@ -31,6 +32,15 @@ class Document {
   static Document FromTextFrozen(std::string_view textv,
                                  const TermDictionary& dict,
                                  const TokenizerOptions& options = {});
+
+  /// Adopts `terms` verbatim — the caller guarantees they are already
+  /// sorted ascending and unique (e.g. read back from a snapshot, where
+  /// they were written from a Document). Skips the sort/dedup pass.
+  static Document FromSortedUnique(std::vector<TermId> terms) {
+    Document d;
+    d.terms_ = std::move(terms);
+    return d;
+  }
 
   const std::vector<TermId>& terms() const { return terms_; }
   size_t size() const { return terms_.size(); }

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "util/result.h"
+
+/// \file mmap_file.h
+/// RAII read-only memory-mapped file region.
+///
+/// The snapshot reader serves `CrawlPlan` artifacts as `std::span` views
+/// straight into the mapped bytes, so the mapping must outlive every view
+/// cut from it. `MmapFile` owns exactly one mapping (movable, not
+/// copyable) and unmaps on destruction; holders of borrowed views keep a
+/// `shared_ptr<MmapFile>` alive alongside them (see
+/// `CrawlPlan::LoadSnapshot`).
+
+namespace smartcrawl::util {
+
+/// A read-only private mapping of a whole file. Empty files map to an
+/// empty span (no kernel mapping is created).
+class MmapFile {
+ public:
+  /// Opens and maps `path`. Fails with IOError if the file cannot be
+  /// opened, stat'ed, or mapped.
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// The mapped bytes. Page-aligned base (when non-empty); valid until
+  /// this object is destroyed or moved-from.
+  [[nodiscard]] std::span<const std::byte> bytes() const {
+    return {static_cast<const std::byte*>(data_), size_};
+  }
+
+  [[nodiscard]] size_t size() const { return size_; }
+
+ private:
+  MmapFile(void* data, size_t size) : data_(data), size_(size) {}
+
+  void* data_ = nullptr;  // nullptr for empty/default-constructed
+  size_t size_ = 0;
+};
+
+}  // namespace smartcrawl::util

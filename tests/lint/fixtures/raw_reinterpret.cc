@@ -1,0 +1,11 @@
+// Fixture: sc-raw-reinterpret fires on every reinterpret_cast; tokens in
+// comments and string literals never fire (the cast below in this comment
+// is inert: reinterpret_cast<int*>(p)).
+#include <cstdint>
+const int* FixturePun(const void* p, uintptr_t bits) {
+  const char* msg = "reinterpret_cast<const char*>(p)";  // inert: string
+  (void)msg;
+  const int* a = reinterpret_cast<const int*>(p);     // finding: line 8
+  auto b = reinterpret_cast<const uint8_t*>(bits);    // finding: line 9
+  return b != nullptr ? a : nullptr;
+}

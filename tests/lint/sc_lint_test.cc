@@ -119,6 +119,12 @@ TEST(ScLintRules, PlanMutationFlagsNonConstMembersAndConstCast) {
                       {"sc-plan-mutation", 21}}));
 }
 
+TEST(ScLintRules, RawReinterpretBannedOutsideAllowlist) {
+  EXPECT_EQ(RuleLines(LintFixture("raw_reinterpret.cc")),
+            (Expected{{"sc-raw-reinterpret", 8},
+                      {"sc-raw-reinterpret", 9}}));
+}
+
 TEST(ScLintSuppression, NolintFormsSuppressOnlyNamedRules) {
   // Lines 4 (same-line), 6 (NEXTLINE) and 7 (bare NOLINT) are suppressed;
   // line 8 names a different rule and must still fire.
@@ -137,10 +143,10 @@ TEST(ScLintDriver, WalkModeCoversTheWholeCorpus) {
   std::string error;
   ASSERT_TRUE(RunLint(options, &report, &error)) << error;
   // Every fixture (plus the two clean ones) is picked up by the walk.
-  EXPECT_GE(report.files_scanned, 15u);
+  EXPECT_GE(report.files_scanned, 16u);
   // The per-file expectations above sum to the corpus totals, so a rule
   // silently not firing in walk mode shows up here.
-  EXPECT_EQ(report.errors, 23u);
+  EXPECT_EQ(report.errors, 25u);
   EXPECT_EQ(report.warnings, 2u);
 }
 

@@ -1,0 +1,128 @@
+#include "util/hash.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+/// Tests for the stable content hash (HashBytes64) and its streaming
+/// companion (Fingerprint64). These values are PERSISTED — snapshot
+/// section checksums and build fingerprints are compared across processes
+/// and machines — so beyond the algebraic properties we pin a few exact
+/// digests: if the hash ever changes, these tests fail before a silently
+/// incompatible snapshot format ships.
+namespace smartcrawl {
+namespace {
+
+TEST(HashBytes64, DependsOnContent) {
+  const std::string a = "smartcrawl";
+  const std::string b = "smartcrawm";  // one byte differs
+  EXPECT_NE(HashBytes64(a.data(), a.size()), HashBytes64(b.data(), b.size()));
+}
+
+TEST(HashBytes64, DependsOnSeed) {
+  const std::string s = "payload";
+  const uint64_t h0 = HashBytes64(s.data(), s.size(), 0);
+  const uint64_t h1 = HashBytes64(s.data(), s.size(), 1);
+  const uint64_t h2 = HashBytes64(s.data(), s.size(), 2);
+  EXPECT_NE(h0, h1);
+  EXPECT_NE(h1, h2);
+  EXPECT_NE(h0, h2);
+}
+
+TEST(HashBytes64, EmptyInputIsSeedDependentAndStable) {
+  // Zero-length sections are legal in snapshots; their checksum must still
+  // bind the section id (folded in via the seed).
+  EXPECT_NE(HashBytes64(nullptr, 0, 7), HashBytes64(nullptr, 0, 8));
+  EXPECT_EQ(HashBytes64(nullptr, 0, 7), HashBytes64(nullptr, 0, 7));
+}
+
+TEST(HashBytes64, IndependentOfBufferIdentity) {
+  const std::string a = "identical bytes";
+  const std::string b = a;  // different allocation, same content
+  ASSERT_NE(static_cast<const void*>(a.data()),
+            static_cast<const void*>(b.data()));
+  EXPECT_EQ(HashBytes64(a.data(), a.size(), 42),
+            HashBytes64(b.data(), b.size(), 42));
+}
+
+TEST(HashBytes64, PinnedValues) {
+  // Golden digests. Changing the algorithm invalidates every snapshot on
+  // disk; bump snapshot::kFormatVersion if that is ever intended.
+  const std::string s = "smartcrawl";
+  EXPECT_EQ(HashBytes64(s.data(), s.size(), 0), 0x5e7c0bb8d1a92027ULL);
+  EXPECT_EQ(HashBytes64(nullptr, 0, 0), 0xf52a15e9a9b5e89bULL);
+}
+
+TEST(Fingerprint64, MatchesOneShotHash) {
+  const std::string s = "the streaming and one-shot forms must agree";
+  Fingerprint64 fp(99);
+  fp.AppendBytes(s.data(), s.size());
+  EXPECT_EQ(fp.Digest(), HashBytes64(s.data(), s.size(), 99));
+}
+
+TEST(Fingerprint64, ChunkingIsIrrelevant) {
+  // Every split point, including ones that leave a partial word pending
+  // across the Append boundary — the carry buffer must make them all equal.
+  const std::string s = "split me any way you like";
+  Fingerprint64 whole(5);
+  whole.AppendBytes(s.data(), s.size());
+  const uint64_t expected = whole.Digest();
+  for (size_t cut = 0; cut <= s.size(); ++cut) {
+    Fingerprint64 parts(5);
+    parts.AppendBytes(s.data(), cut);
+    parts.AppendBytes(s.data() + cut, s.size() - cut);
+    EXPECT_EQ(expected, parts.Digest()) << "cut=" << cut;
+  }
+}
+
+TEST(Fingerprint64, StringLengthPrefixDisambiguates) {
+  // Without length prefixes ("ab","c") and ("a","bc") would concatenate to
+  // the same byte stream.
+  Fingerprint64 a;
+  a.AppendString("ab");
+  a.AppendString("c");
+  Fingerprint64 b;
+  b.AppendString("a");
+  b.AppendString("bc");
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+TEST(Fingerprint64, OrderSensitive) {
+  Fingerprint64 a;
+  a.AppendU64(1);
+  a.AppendU64(2);
+  Fingerprint64 b;
+  b.AppendU64(2);
+  b.AppendU64(1);
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+TEST(Fingerprint64, DoubleUsesBitPattern) {
+  Fingerprint64 pos;
+  pos.AppendDouble(0.0);
+  Fingerprint64 neg;
+  neg.AppendDouble(-0.0);
+  EXPECT_NE(pos.Digest(), neg.Digest());
+}
+
+TEST(Fingerprint64, DigestIsNonFinalizing) {
+  Fingerprint64 fp(3);
+  fp.AppendU64(17);
+  const uint64_t mid = fp.Digest();
+  EXPECT_EQ(mid, fp.Digest());  // idempotent
+  fp.AppendU64(18);
+  EXPECT_NE(mid, fp.Digest());  // state kept streaming after Digest()
+}
+
+TEST(Fingerprint64, SeedSeparatesStreams) {
+  Fingerprint64 a(1);
+  a.AppendString("same content");
+  Fingerprint64 b(2);
+  b.AppendString("same content");
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+}  // namespace
+}  // namespace smartcrawl

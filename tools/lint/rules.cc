@@ -520,6 +520,31 @@ void CheckPlanMutation(const FileUnit& unit, const RuleContext&,
   }
 }
 
+// ---------------------------------------------------------------------------
+// sc-raw-reinterpret
+// ---------------------------------------------------------------------------
+
+/// Bans `reinterpret_cast` outside the allowlisted snapshot reader path.
+/// Serving typed spans straight out of an mmap'ed file needs exactly one
+/// byte-punning cast (SnapshotReader::Typed, which validates size and
+/// alignment first); everywhere else the codebase uses memcpy,
+/// std::as_bytes, std::bit_cast or static_cast from void*, all of which
+/// the compiler can check. Keeping the cast count at one makes the
+/// unsafe surface auditable. Allowlist files via
+/// `[rule.sc-raw-reinterpret] allow = [...]` in .sclint.toml.
+void CheckRawReinterpret(const FileUnit& unit, const RuleContext&,
+                         std::vector<Finding>* out) {
+  for (const Token& t : unit.code) {
+    if (t.kind == TokenKind::kIdentifier && t.text == "reinterpret_cast") {
+      Emit(out, unit, t, "sc-raw-reinterpret",
+           "reinterpret_cast is confined to the snapshot reader's audited "
+           "typed-span accessor (src/snapshot/reader.h): use memcpy, "
+           "std::bit_cast, std::as_bytes, or static_cast from void* — or "
+           "allowlist the file in .sclint.toml if it truly must pun bytes");
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleDef>& AllRules() {
@@ -554,6 +579,9 @@ const std::vector<RuleDef>& AllRules() {
       {"sc-plan-mutation", Severity::kError,
        "CrawlPlan is immutable: no non-const members, no const_cast",
        CheckPlanMutation},
+      {"sc-raw-reinterpret", Severity::kError,
+       "bans reinterpret_cast outside the snapshot reader allowlist",
+       CheckRawReinterpret},
   };
   return kRules;
 }

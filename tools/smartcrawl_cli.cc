@@ -47,6 +47,8 @@ struct CliConfig {
   std::string import_spec;
   std::string output;
   std::string curve;
+  std::string snapshot_save;
+  std::string snapshot_load;
 
   // Transport-stack knobs (see docs/architecture.md, "Transport stack").
   double fault_rate = 0.0;
@@ -203,6 +205,31 @@ int Run(const CliConfig& cfg) {
         return 1;
       }
       crawl = std::move(r).value();
+    } else if (!cfg.snapshot_load.empty()) {
+      // Snapshot path: the plan (including any sample-match state) is
+      // mmap-loaded from disk; no sample and no build work is needed.
+      auto plan_or =
+          core::CrawlPlan::LoadSnapshot(cfg.snapshot_load, &local, opt);
+      if (!plan_or.ok()) {
+        std::fprintf(stderr, "snapshot: %s\n",
+                     plan_or.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("plan loaded from snapshot %s\n", cfg.snapshot_load.c_str());
+      auto crawler_or = core::SmartCrawler::Adopt(
+          std::shared_ptr<const core::CrawlPlan>(std::move(plan_or).value()));
+      if (!crawler_or.ok()) {
+        std::fprintf(stderr, "crawler: %s\n",
+                     crawler_or.status().ToString().c_str());
+        return 1;
+      }
+      auto r = crawler_or.value()->Crawl(&iface,
+                                         static_cast<size_t>(cfg.budget));
+      if (!r.ok()) {
+        std::fprintf(stderr, "crawl: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      crawl = std::move(r).value();
     } else {
       sample::HiddenSample sample;
       if (needs_sample) {
@@ -241,6 +268,14 @@ int Run(const CliConfig& cfg) {
         std::fprintf(stderr, "crawler: %s\n",
                      crawler_or.status().ToString().c_str());
         return 1;
+      }
+      if (!cfg.snapshot_save.empty()) {
+        auto saved = crawler_or.value()->plan().Serialize(cfg.snapshot_save);
+        if (!saved.ok()) {
+          std::fprintf(stderr, "snapshot: %s\n", saved.ToString().c_str());
+          return 1;
+        }
+        std::printf("plan snapshot -> %s\n", cfg.snapshot_save.c_str());
       }
       auto r = crawler_or.value()->Crawl(&iface,
                                          static_cast<size_t>(cfg.budget));
@@ -355,6 +390,13 @@ int main(int argc, char** argv) {
                   "columns to import: <hidden-field-index>:<new-name>,...");
   flags.AddString("output", &cfg.output, "enriched CSV output path");
   flags.AddString("curve", &cfg.curve, "per-query fetch-curve CSV path");
+  flags.AddString("snapshot-save", &cfg.snapshot_save,
+                  "after building the crawl plan, persist it as a snapshot "
+                  "at this path (see docs/architecture.md, \"Snapshots\")");
+  flags.AddString("snapshot-load", &cfg.snapshot_load,
+                  "mmap-load a previously saved crawl plan instead of "
+                  "building one; rejected unless it matches the local "
+                  "table and options of this invocation");
   flags.AddDouble("fault-rate", &cfg.fault_rate,
                   "inject transient transport failures with this "
                   "probability per attempt");
