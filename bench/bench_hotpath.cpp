@@ -41,7 +41,6 @@
 #include "hidden/budget.h"
 #include "index/csr.h"
 #include "index/inverted_index.h"
-#include "index/set_kernels.h"
 #include "sample/sampler.h"
 #include "text/document.h"
 #include "util/random.h"

@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
     std::printf("service: %s\n", st.ToString().c_str());
     return 1;
   }
-  const net::CacheStats* cache = service.shared_cache_stats();
+  const std::optional<net::CacheStats> cache = service.shared_cache_stats();
   std::printf(
       "fleet done in %.1f ms: shared cache %zu hits / %zu misses "
       "(%.1f%% of tenant queries never reached the provider)\n",

@@ -16,8 +16,9 @@ CrawlService::CrawlService(hidden::KeywordSearchInterface* origin,
   }
 }
 
-const net::CacheStats* CrawlService::shared_cache_stats() const {
-  return shared_cache_ ? &shared_cache_->stats() : nullptr;
+std::optional<net::CacheStats> CrawlService::shared_cache_stats() const {
+  if (shared_cache_ == nullptr) return std::nullopt;
+  return shared_cache_->stats();
 }
 
 Status CrawlService::Drive(const std::vector<SessionSpec>& specs,
@@ -31,6 +32,9 @@ Status CrawlService::Drive(const std::vector<SessionSpec>& specs,
                                      " has no plan");
     }
   }
+  // One run at a time (see drive_mu_ in the header). Taken after argument
+  // validation so bad specs fail fast even while a run is in flight.
+  std::lock_guard<std::mutex> run_lock(drive_mu_);
 
   // Every tenant stack bottoms out in the shared cache (when enabled), so
   // one tenant's answered query is a hit for all the others.

@@ -2,6 +2,8 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "core/crawl_plan.h"
@@ -11,6 +13,7 @@
 #include "net/caching_interface.h"
 #include "net/transport_stack.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 /// \file crawl_service.h
 /// Multi-tenant crawl driver: N CrawlSessions over shared CrawlPlans,
@@ -96,9 +99,11 @@ class CrawlService {
   CrawlService& operator=(const CrawlService&) = delete;
 
   /// Batch entry point: runs every session to completion and returns the
-  /// outcomes in spec order.
+  /// outcomes in spec order. Calling from a thread that already holds
+  /// drive_mu_ (i.e. from inside a Drive callback) would deadlock —
+  /// hence SC_EXCLUDES.
   Result<std::vector<SessionOutcome>> RunAll(
-      const std::vector<SessionSpec>& specs);
+      const std::vector<SessionSpec>& specs) SC_EXCLUDES(drive_mu_);
 
   /// Streaming entry point: like RunAll, but `on_finish(index, outcome)`
   /// fires as soon as session `index` finishes — earlier-finishing
@@ -106,15 +111,21 @@ class CrawlService {
   /// order is deterministic (round order, then session index).
   using FinishCallback = std::function<void(size_t, SessionOutcome)>;
   Status Drive(const std::vector<SessionSpec>& specs,
-               const FinishCallback& on_finish);
+               const FinishCallback& on_finish) SC_EXCLUDES(drive_mu_);
 
-  /// Cumulative counters of the shared cross-tenant cache (null when
-  /// shared_cache_capacity was 0).
-  const net::CacheStats* shared_cache_stats() const;
+  /// Cumulative counters of the shared cross-tenant cache (nullopt when
+  /// shared_cache_capacity was 0). A snapshot by value: the live counters
+  /// keep moving under concurrent runs.
+  std::optional<net::CacheStats> shared_cache_stats() const;
 
  private:
   hidden::KeywordSearchInterface* origin_;
   CrawlServiceOptions options_;
+  /// Serializes whole runs: Drive assumes exclusive use of the origin and
+  /// exact per-tenant quota delta-accounting over the shared chain, which
+  /// two interleaved Drives would corrupt. Guards the run itself, not a
+  /// member — sessions live on the stack of the running Drive.
+  std::mutex drive_mu_;
   /// The shared cross-tenant cache; every tenant stack's origin.
   std::unique_ptr<net::CachingInterface> shared_cache_;
 };

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "util/hash.h"
 #include "util/random.h"
 
 namespace smartcrawl::hidden {

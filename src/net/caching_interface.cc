@@ -23,6 +23,9 @@ Result<std::vector<table::Record>> CachingInterface::Search(
     const std::vector<std::string>& keywords) {
   if (capacity_ == 0) return inner_->Search(keywords);
 
+  // Held across the inner call on purpose: the layers below are not
+  // thread-safe, and the cache is the outermost (= shared) layer.
+  std::lock_guard<std::mutex> lock(mu_);
   std::string key = NormalizedKey(keywords);
   auto it = index_.find(key);
   if (it != index_.end()) {
@@ -39,12 +42,16 @@ Result<std::vector<table::Record>> CachingInterface::Search(
   entries_.push_front(Entry{std::move(key), page});
   index_[entries_.front().key] = entries_.begin();
   ++stats_.insertions;
-  if (entries_.size() > capacity_) {
+  EvictIfOverCapacity();
+  return page;
+}
+
+void CachingInterface::EvictIfOverCapacity() {
+  while (entries_.size() > capacity_) {
     index_.erase(entries_.back().key);
     entries_.pop_back();
     ++stats_.evictions;
   }
-  return page;
 }
 
 }  // namespace smartcrawl::net

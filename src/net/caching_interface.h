@@ -2,11 +2,13 @@
 
 #include <cstddef>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "hidden/search_interface.h"
+#include "util/thread_annotations.h"
 
 /// \file caching_interface.h
 /// Bounded LRU query-result cache for the hidden-database client path.
@@ -23,6 +25,14 @@
 /// Only successful pages are cached; errors (including kUnavailable from
 /// lower layers) always pass through. In the canonical stack the cache is
 /// the OUTERMOST layer — a hit costs neither a retry attempt nor budget.
+///
+/// Thread safety: a shared cache is the one transport layer that
+/// concurrent tenants of a multi-tenant CrawlService touch at once, so
+/// the LRU state is guarded by an internal mutex (SC_GUARDED_BY below;
+/// enforced by sc-guarded-by and Clang -Wthread-safety). Search holds the
+/// lock across the inner call as well: the decorated layers beneath
+/// (budget, quota, fault injection) are deliberately unsynchronized, and
+/// serializing here keeps their bookkeeping race-free.
 
 namespace smartcrawl::net {
 
@@ -57,8 +67,16 @@ class CachingInterface : public hidden::KeywordSearchInterface {
     return inner_->num_queries_issued();
   }
 
-  const CacheStats& stats() const { return stats_; }
-  size_t size() const { return entries_.size(); }
+  /// Snapshot of the counters (by value: the referent would otherwise
+  /// mutate under concurrent Search calls while the caller reads it).
+  CacheStats stats() const SC_EXCLUDES(mu_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  size_t size() const SC_EXCLUDES(mu_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
   size_t capacity() const { return capacity_; }
 
   /// The canonical cache key for a keyword set (exposed for tests).
@@ -70,12 +88,17 @@ class CachingInterface : public hidden::KeywordSearchInterface {
     std::vector<table::Record> page;
   };
 
+  /// Drops least-recently-used entries until size() <= capacity().
+  void EvictIfOverCapacity() SC_REQUIRES(mu_);
+
   hidden::KeywordSearchInterface* inner_;
   size_t capacity_;
+  mutable std::mutex mu_;
   /// Most-recently-used at the front.
-  std::list<Entry> entries_;
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  CacheStats stats_;
+  std::list<Entry> entries_ SC_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      SC_GUARDED_BY(mu_);
+  CacheStats stats_ SC_GUARDED_BY(mu_);
 };
 
 }  // namespace smartcrawl::net

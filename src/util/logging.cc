@@ -2,11 +2,42 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace smartcrawl {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+/// The shared emission sink. The mutex buys two things: a torn-free swap
+/// of the target stream (SetLogStream may race with logging threads) and
+/// whole-line atomicity, so concurrent SC_LOGs from pool workers never
+/// interleave within a line.
+class LogSink {
+ public:
+  void Set(std::FILE* stream) SC_EXCLUDES(mu_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stream_ = stream;
+  }
+
+  void Write(const char* level, const std::string& msg) SC_EXCLUDES(mu_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::FILE* out = stream_ != nullptr ? stream_ : stderr;
+    std::fprintf(out, "[%s] %s\n", level, msg.c_str());
+    if (stream_ != nullptr) std::fflush(out);  // tests read immediately
+  }
+
+ private:
+  std::mutex mu_;
+  std::FILE* stream_ SC_GUARDED_BY(mu_) = nullptr;  // nullptr = stderr
+};
+
+LogSink& Sink() {
+  static LogSink sink;
+  return sink;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -31,10 +62,12 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void SetLogStream(std::FILE* stream) { Sink().Set(stream); }
+
 namespace internal {
 
 void EmitLog(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+  Sink().Write(LevelName(level), msg);
 }
 
 }  // namespace internal

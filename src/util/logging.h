@@ -1,11 +1,14 @@
 #pragma once
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 
 /// \file logging.h
-/// Tiny leveled logger. Writes to stderr; level settable at runtime so
-/// benchmarks can silence progress chatter.
+/// Tiny leveled logger. Writes to stderr (redirectable); level settable
+/// at runtime so benchmarks can silence progress chatter. Emission is
+/// serialized under a mutex, so lines from concurrent thread-pool workers
+/// never interleave.
 
 namespace smartcrawl {
 
@@ -14,6 +17,11 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Sets the minimum level that is emitted (default kInfo).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Redirects log output (tests capture, tools send to a file). nullptr
+/// restores the default, stderr. The stream must outlive all logging;
+/// the logger never closes it.
+void SetLogStream(std::FILE* stream);
 
 namespace internal {
 

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file thread_annotations.h
+/// Thread-safety annotation macros, double-checked by two analyzers.
+///
+/// Under Clang the macros expand to the thread-safety attributes, so
+/// compiling with `-Wthread-safety` (plus libc++'s
+/// `-D_LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS`, which annotates
+/// std::mutex and std::lock_guard) turns lock-discipline violations into
+/// compiler warnings. Everywhere else they expand to nothing.
+///
+/// Independently, sc_lint's `sc-guarded-by` rule reads the SAME spellings
+/// from its cross-TU project model and enforces them on every build, with
+/// any toolchain. The two checkers overlap deliberately and each covers
+/// the other's blind spot: Clang's analysis is flow-sensitive but only
+/// runs on Clang CI jobs and knows nothing about std::unique_lock (libc++
+/// does not annotate it); sc_lint runs everywhere and does track
+/// unique_lock, but is lexical. Keep annotations accurate for both.
+///
+/// Usage:
+///   std::mutex mu_;
+///   std::deque<Task> tasks_ SC_GUARDED_BY(mu_);
+///   void Drain() SC_REQUIRES(mu_);        // caller must hold mu_
+///   void Submit(Task t) SC_EXCLUDES(mu_); // caller must NOT hold mu_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SC_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define SC_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// On a data member: may only be read or written while `mu` is held.
+#define SC_GUARDED_BY(mu) SC_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(mu))
+
+/// On a function declaration: the caller must hold `mu` (the function
+/// itself does not lock).
+#define SC_REQUIRES(...) \
+  SC_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// On a function declaration: the caller must NOT hold `mu` (the function
+/// locks it itself; calling with it held would deadlock).
+#define SC_EXCLUDES(...) \
+  SC_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch for functions whose locking is correct but beyond the
+/// analysis (condition-variable wait loops using std::unique_lock, which
+/// libc++ does not annotate). sc_lint's lexical checker still covers the
+/// function body; use sparingly and say why at the use site.
+#define SC_NO_THREAD_SAFETY_ANALYSIS \
+  SC_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

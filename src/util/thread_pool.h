@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 /// \file thread_pool.h
 /// The parallel crawl substrate: a fixed worker pool plus deterministic
 /// fork-join helpers.
@@ -120,14 +122,17 @@ class ThreadPool {
   /// completed. Requires a non-empty worker set.
   void RunChunks(size_t count, const std::function<void(size_t)>& body);
 
-  void WorkerLoop();
+  /// Clang's analysis cannot follow the cv_.wait(unique_lock, pred) loop
+  /// (libc++ does not annotate std::unique_lock); sc_lint's sc-guarded-by
+  /// does track unique_lock lexically and still checks this body.
+  void WorkerLoop() SC_NO_THREAD_SAFETY_ANALYSIS;
 
   unsigned num_threads_ = 1;
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
-  bool stop_ = false;
+  std::deque<std::function<void()>> tasks_ SC_GUARDED_BY(mu_);
+  bool stop_ SC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace smartcrawl::util

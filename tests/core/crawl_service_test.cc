@@ -212,7 +212,7 @@ TEST(CrawlServiceTest, SharedCacheHitsAreMeteredFreeUnderDailyQuota) {
   // saw no origin traffic.
   EXPECT_EQ(a.quota_used_today, 20u);
   EXPECT_EQ(b.quota_used_today, 0u);
-  ASSERT_NE(service.shared_cache_stats(), nullptr);
+  ASSERT_TRUE(service.shared_cache_stats().has_value());
   EXPECT_GE(service.shared_cache_stats()->hits, 20u);
 }
 

@@ -6,7 +6,6 @@
 #include "datagen/yelp_gen.h"
 #include "hidden/hidden_database.h"
 #include "text/document.h"
-#include "text/tokenizer.h"
 #include "util/random.h"
 
 /// Differential test of the full hidden-database engine (tokenize → index

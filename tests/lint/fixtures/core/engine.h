@@ -1,0 +1,9 @@
+#pragma once
+
+#include "util/base.h"
+
+// Layer-DAG fixture, top layer: a DOWNWARD include (core -> util), which
+// must NOT fire sc-layer-dag.
+struct Engine {
+  Base base;
+};

@@ -1,0 +1,10 @@
+#pragma once
+
+#include "cycle_b.h"
+
+// Include-cycle fixture: cycle_a.h <-> cycle_b.h. Each side references
+// the other's type (the usual reason such cycles appear), so only
+// sc-include-cycle fires — once per sustaining edge.
+struct CycleA {
+  CycleB* peer = nullptr;
+};

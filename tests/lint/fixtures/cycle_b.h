@@ -1,0 +1,8 @@
+#pragma once
+
+#include "cycle_a.h"
+
+// Second half of the include-cycle fixture; see cycle_a.h.
+struct CycleB {
+  CycleA* peer = nullptr;
+};

@@ -1,0 +1,6 @@
+#pragma once
+
+// Unused-include fixture: nothing in unused_include.cc references this.
+struct ExtraDep {
+  int never_used = 0;
+};

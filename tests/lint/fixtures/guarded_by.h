@@ -1,0 +1,32 @@
+#pragma once
+
+#include <mutex>
+
+// Lexical stand-ins for util/thread_annotations.h: sc-guarded-by matches
+// the annotation SPELLING in the token stream, never a macro expansion,
+// so the fixture corpus stays self-contained.
+#define SC_GUARDED_BY(x)
+#define SC_REQUIRES(x)
+
+class Counter {
+ public:
+  // Fires: reads count_ with no lock in scope and no SC_REQUIRES.
+  int Bad() { return count_; }
+
+  // Does not fire: mu_ is held via a lock_guard in an enclosing scope.
+  int Good() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+  // Does not fire: the caller contractually holds mu_.
+  int AlsoGood() SC_REQUIRES(mu_) { return count_; }
+
+  // Declared here, defined (without locking) in guarded_by.cc — the
+  // cross-TU case: the annotation below must reach that definition.
+  void Reset();
+
+ private:
+  std::mutex mu_;
+  int count_ SC_GUARDED_BY(mu_) = 0;
+};

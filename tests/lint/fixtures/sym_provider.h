@@ -1,0 +1,6 @@
+#pragma once
+
+// Unused-include fixture: the symbol unused_include.cc actually consumes.
+struct Provided {
+  int value = 0;
+};

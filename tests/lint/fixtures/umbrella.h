@@ -1,0 +1,7 @@
+#pragma once
+
+// Unused-include fixture: an include-only umbrella header. It declares
+// nothing itself, so (a) its own includes are exempt from
+// sc-unused-include, and (b) a file using Provided through it is covered
+// by the transitive closure.
+#include "sym_provider.h"

@@ -1,0 +1,9 @@
+#include "extra_dep.h"
+#include "sym_provider.h"
+
+// sc-unused-include fires on line 1 (ExtraDep is never mentioned) and
+// stays quiet on line 2 (Provided is consumed below).
+int Consume() {
+  Provided p;
+  return p.value;
+}

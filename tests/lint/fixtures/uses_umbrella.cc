@@ -1,0 +1,8 @@
+#include "umbrella.h"
+
+// False-positive guard: Provided reaches this file only through the
+// umbrella header's transitive closure; the include must NOT be flagged.
+int ConsumeViaUmbrella() {
+  Provided p;
+  return p.value + 1;
+}

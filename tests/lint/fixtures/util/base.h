@@ -1,0 +1,6 @@
+#pragma once
+
+// Layer-DAG fixture, bottom layer: provides a symbol for core/engine.h.
+struct Base {
+  int id = 0;
+};

@@ -1,0 +1,10 @@
+#pragma once
+
+#include "core/engine.h"
+
+// Layer-DAG fixture: an UPWARD include (util -> core) — sc-layer-dag
+// fires on line 3. Engine is referenced so sc-unused-include stays quiet
+// and the test isolates exactly one rule.
+struct UsesCore {
+  Engine* engine = nullptr;
+};

@@ -125,6 +125,56 @@ TEST(ScLintRules, RawReinterpretBannedOutsideAllowlist) {
                       {"sc-raw-reinterpret", 9}}));
 }
 
+TEST(ScLintStructure, LayerDagFiresOnUpwardInclude) {
+  // util/ reaching into core/ points the wrong way along the layer order.
+  EXPECT_EQ(RuleLines(LintFixture("util/uses_core.h")),
+            (Expected{{"sc-layer-dag", 3}}));
+}
+
+TEST(ScLintStructure, LayerDagAllowsDownwardInclude) {
+  // core/ including util/ is the blessed direction; must stay silent.
+  EXPECT_EQ(RuleLines(LintFixture("core/engine.h")), Expected{});
+}
+
+TEST(ScLintStructure, IncludeCycleFlagsEverySustainingEdge) {
+  // Both halves of the a<->b cycle report the edge they contribute, so
+  // fixing either include clears the component.
+  EXPECT_EQ(RuleLines(LintFixture("cycle_a.h")),
+            (Expected{{"sc-include-cycle", 3}}));
+  EXPECT_EQ(RuleLines(LintFixture("cycle_b.h")),
+            (Expected{{"sc-include-cycle", 3}}));
+}
+
+TEST(ScLintStructure, GuardedByFiresOnUnlockedInClassBody) {
+  // Only Bad() fires; Good() holds mu_ via lock_guard and AlsoGood() is
+  // annotated SC_REQUIRES(mu_) — both are false-positive guards.
+  EXPECT_EQ(RuleLines(LintFixture("guarded_by.h")),
+            (Expected{{"sc-guarded-by", 14}}));
+}
+
+TEST(ScLintStructure, GuardedByCrossesTranslationUnits) {
+  // The annotation lives on the in-class declaration in guarded_by.h; the
+  // unlocked body is in guarded_by.cc. Catching this requires the pass-1
+  // project model — a single-file linter cannot see it.
+  EXPECT_EQ(RuleLines(LintFixture("guarded_by.cc")),
+            (Expected{{"sc-guarded-by", 6}}));
+}
+
+TEST(ScLintStructure, UnusedIncludeWarnsOnUnreferencedHeader) {
+  LintReport report = LintFixture("unused_include.cc");
+  EXPECT_EQ(RuleLines(report), (Expected{{"sc-unused-include", 1}}));
+  // IWYU-lite ships as a warning: the heuristic prefers misses over
+  // false alarms, and that calibration should not break builds.
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(report.warnings, 1u);
+}
+
+TEST(ScLintStructure, UnusedIncludeCreditsTransitiveClosure) {
+  // Provided reaches uses_umbrella.cc only through umbrella.h's closure;
+  // the include is justified by a re-exported symbol and must not fire.
+  EXPECT_EQ(RuleLines(LintFixture("uses_umbrella.cc")), Expected{});
+}
+
 TEST(ScLintSuppression, NolintFormsSuppressOnlyNamedRules) {
   // Lines 4 (same-line), 6 (NEXTLINE) and 7 (bare NOLINT) are suppressed;
   // line 8 names a different rule and must still fire.
@@ -142,12 +192,32 @@ TEST(ScLintDriver, WalkModeCoversTheWholeCorpus) {
   LintReport report;
   std::string error;
   ASSERT_TRUE(RunLint(options, &report, &error)) << error;
-  // Every fixture (plus the two clean ones) is picked up by the walk.
-  EXPECT_GE(report.files_scanned, 16u);
+  // Every fixture (plus the clean ones) is picked up by the walk.
+  EXPECT_GE(report.files_scanned, 28u);
   // The per-file expectations above sum to the corpus totals, so a rule
   // silently not firing in walk mode shows up here.
-  EXPECT_EQ(report.errors, 25u);
-  EXPECT_EQ(report.warnings, 2u);
+  EXPECT_EQ(report.errors, 30u);
+  EXPECT_EQ(report.warnings, 3u);
+}
+
+TEST(ScLintDriver, ParallelWalkIsByteIdenticalToSequential) {
+  // Findings are merged and sorted after the parallel pass, so the report
+  // must not depend on worker scheduling. Render both runs through the
+  // formatter and compare the bytes the user would actually see.
+  auto render = [](unsigned jobs) {
+    LintOptions options;
+    options.root = SC_LINT_FIXTURE_DIR;
+    options.jobs = jobs;
+    LintReport report;
+    std::string error;
+    EXPECT_TRUE(RunLint(options, &report, &error)) << error;
+    std::string out;
+    for (const Finding& f : report.findings) out += FormatFinding(f) + "\n";
+    return out;
+  };
+  std::string sequential = render(1);
+  EXPECT_FALSE(sequential.empty());
+  EXPECT_EQ(sequential, render(4));
 }
 
 TEST(ScLintDriver, FindingFormatIsGccStyle) {
@@ -159,6 +229,25 @@ TEST(ScLintDriver, FindingFormatIsGccStyle) {
   f.message = "msg";
   f.severity = Severity::kError;
   EXPECT_EQ(FormatFinding(f), "src/x.cc:12:3: error: [sc-banned-rand] msg");
+}
+
+TEST(ScLintDriver, GitHubFormatEmitsWorkflowCommands) {
+  Finding f;
+  f.path = "src/x.cc";
+  f.line = 12;
+  f.col = 3;
+  f.rule = "sc-banned-rand";
+  f.message = "msg";
+  f.severity = Severity::kError;
+  EXPECT_EQ(FormatFindingGitHub(f),
+            "::error file=src/x.cc,line=12,col=3,title=sc-banned-rand::msg");
+  f.severity = Severity::kWarning;
+  f.message = "50% is\nhalf\r";
+  // %, LF and CR would terminate or corrupt the workflow command; they
+  // must travel as %25 / %0A / %0D.
+  EXPECT_EQ(FormatFindingGitHub(f),
+            "::warning file=src/x.cc,line=12,col=3,title=sc-banned-rand"
+            "::50%25 is%0Ahalf%0D");
 }
 
 TEST(ScLintLexer, ClassifiesLiteralsCommentsAndDirectives) {

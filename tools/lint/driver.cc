@@ -8,6 +8,9 @@
 #include <sstream>
 #include <tuple>
 
+#include "lint/model.h"
+#include "util/thread_pool.h"
+
 namespace sclint {
 namespace {
 
@@ -114,6 +117,35 @@ bool IsSuppressed(const std::map<int, std::set<std::string>>& suppress,
   return it->second.empty() || it->second.count(f.rule) > 0;
 }
 
+/// Runs every enabled rule over one unit, applying allowlists, severity
+/// overrides and NOLINT suppressions. Pure function of immutable inputs
+/// (unit, config, model), so pass 2 calls it from worker threads freely.
+std::vector<Finding> LintUnit(const FileUnit& unit, const Config& config,
+                              const RuleContext& ctx) {
+  std::vector<Finding> findings;
+  std::map<int, std::set<std::string>> suppress = CollectNolint(unit);
+  for (const RuleDef& rule : AllRules()) {
+    std::string section = "rule." + rule.name;
+    std::string severity =
+        config.GetString(section, "severity",
+                         rule.default_severity == Severity::kError
+                             ? "error"
+                             : "warning");
+    if (severity == "off") continue;
+    if (PathInList(unit.path, config.GetList(section, "allow"))) continue;
+
+    std::vector<Finding> raw;
+    rule.check(unit, ctx, &raw);
+    for (Finding& f : raw) {
+      if (IsSuppressed(suppress, f)) continue;
+      f.severity =
+          severity == "warning" ? Severity::kWarning : Severity::kError;
+      findings.push_back(std::move(f));
+    }
+  }
+  return findings;
+}
+
 }  // namespace
 
 bool RunLint(const LintOptions& options, LintReport* report,
@@ -139,8 +171,23 @@ bool RunLint(const LintOptions& options, LintReport* report,
   if (extensions.empty()) extensions = {".h", ".hpp", ".hh", ".cc", ".cpp"};
   const std::vector<std::string>& excludes = config.GetList("lint", "exclude");
 
-  // 1. Collect files (explicit list, or a deterministic walk of the roots).
-  std::vector<fs::path> paths;
+  // Pass 1a: collect the model file set — ALWAYS the full walk of the
+  // configured roots, so cross-TU rules see the same world whether one
+  // file or everything is being linted — plus any explicitly requested
+  // files that lie outside the roots.
+  std::map<std::string, fs::path> model_files;  // rel path -> disk path
+  for (const std::string& r : roots) {
+    fs::path dir = root / r;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      if (!HasExtension(entry.path(), extensions)) continue;
+      std::string rel = RelativeTo(root, entry.path());
+      if (PathInList(rel, excludes)) continue;
+      model_files.emplace(std::move(rel), entry.path());
+    }
+  }
+  std::set<std::string> targets;  // rel paths to actually lint
   if (!options.files.empty()) {
     for (const std::string& f : options.files) {
       fs::path p(f);
@@ -149,38 +196,44 @@ bool RunLint(const LintOptions& options, LintReport* report,
         *error = "no such file: " + f;
         return false;
       }
-      paths.push_back(p);
+      std::string rel = RelativeTo(root, p);
+      model_files.emplace(rel, p);
+      targets.insert(std::move(rel));
     }
   } else {
-    for (const std::string& r : roots) {
-      fs::path dir = root / r;
-      if (!fs::exists(dir)) continue;
-      for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-        if (!entry.is_regular_file()) continue;
-        if (!HasExtension(entry.path(), extensions)) continue;
-        std::string rel = RelativeTo(root, entry.path());
-        if (PathInList(rel, excludes)) continue;
-        paths.push_back(entry.path());
-      }
-    }
+    for (const auto& [rel, _] : model_files) targets.insert(rel);
   }
-  std::sort(paths.begin(), paths.end());
-  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
-  // 2. Lex everything up front; rules and the registry need all units.
-  std::vector<FileUnit> units;
-  units.reserve(paths.size());
-  for (const fs::path& p : paths) {
+  // Pass 1b: read and lex every model file across the pool. Slots are
+  // preassigned in sorted path order, so the unit vector (and everything
+  // derived from it) is identical at any job count.
+  std::vector<fs::path> disk_paths;
+  std::vector<std::string> rel_paths;
+  for (const auto& [rel, p] : model_files) {
+    rel_paths.push_back(rel);
+    disk_paths.push_back(p);
+  }
+  std::vector<FileUnit> units(rel_paths.size());
+  std::vector<std::string> read_errors(rel_paths.size());
+  smartcrawl::util::ThreadPool pool(options.jobs);
+  pool.ParallelFor(0, rel_paths.size(), 1, [&](size_t i) {
     std::string content;
-    if (!ReadFile(p, &content)) {
-      *error = "cannot read: " + p.string();
+    if (!ReadFile(disk_paths[i], &content)) {
+      read_errors[i] = "cannot read: " + disk_paths[i].string();
+      return;
+    }
+    units[i] = MakeFileUnit(rel_paths[i], std::move(content));
+  });
+  for (const std::string& e : read_errors) {
+    if (!e.empty()) {
+      *error = e;
       return false;
     }
-    units.push_back(MakeFileUnit(RelativeTo(root, p), std::move(content)));
   }
-  report->files_scanned = units.size();
+  report->files_scanned = targets.size();
 
-  // 3. Cross-file registry of Status/Result-returning functions.
+  // Pass 1c: the cross-file context — Status-function registry and the
+  // project model (include graph, symbol index, annotations).
   RuleContext ctx;
   ctx.config = &config;
   for (const FileUnit& unit : units)
@@ -188,35 +241,27 @@ bool RunLint(const LintOptions& options, LintReport* report,
   for (const std::string& extra :
        config.GetList("rule.sc-discarded-status", "functions"))
     ctx.status_functions.insert(extra);
+  ProjectModel model = ProjectModel::Build(units);
+  ctx.model = &model;
 
-  // 4. Run every enabled rule over every unit.
-  for (const FileUnit& unit : units) {
-    std::map<int, std::set<std::string>> suppress = CollectNolint(unit);
-    for (const RuleDef& rule : AllRules()) {
-      std::string section = "rule." + rule.name;
-      std::string severity =
-          config.GetString(section, "severity",
-                           rule.default_severity == Severity::kError
-                               ? "error"
-                               : "warning");
-      if (severity == "off") continue;
-      if (PathInList(unit.path, config.GetList(section, "allow"))) continue;
-
-      std::vector<Finding> raw;
-      rule.check(unit, ctx, &raw);
-      for (Finding& f : raw) {
-        if (IsSuppressed(suppress, f)) continue;
-        f.severity =
-            severity == "warning" ? Severity::kWarning : Severity::kError;
-        report->findings.push_back(std::move(f));
-      }
-    }
+  // Pass 2: rules over the target units, one task per unit. The model is
+  // immutable now, so workers share it without synchronization — the same
+  // shared-immutable-plan discipline sc-plan-mutation enforces.
+  std::vector<std::vector<Finding>> per_unit(units.size());
+  pool.ParallelFor(0, units.size(), 1, [&](size_t i) {
+    if (targets.count(units[i].path) == 0) return;
+    per_unit[i] = LintUnit(units[i], config, ctx);
+  });
+  for (std::vector<Finding>& findings : per_unit) {
+    for (Finding& f : findings) report->findings.push_back(std::move(f));
   }
 
+  // Total order (message included as the final tiebreak) => byte-identical
+  // output regardless of job count or rule execution order.
   std::sort(report->findings.begin(), report->findings.end(),
             [](const Finding& a, const Finding& b) {
-              return std::tie(a.path, a.line, a.col, a.rule) <
-                     std::tie(b.path, b.line, b.col, b.rule);
+              return std::tie(a.path, a.line, a.col, a.rule, a.message) <
+                     std::tie(b.path, b.line, b.col, b.rule, b.message);
             });
   for (const Finding& f : report->findings) {
     if (f.severity == Severity::kError)
@@ -232,6 +277,33 @@ std::string FormatFinding(const Finding& finding) {
   out << finding.path << ':' << finding.line << ':' << finding.col << ": "
       << (finding.severity == Severity::kError ? "error" : "warning")
       << ": [" << finding.rule << "] " << finding.message;
+  return out.str();
+}
+
+std::string FormatFindingGitHub(const Finding& finding) {
+  // Workflow commands use %/CR/LF escapes in the message body.
+  std::string message;
+  message.reserve(finding.message.size());
+  for (char c : finding.message) {
+    switch (c) {
+      case '%':
+        message += "%25";
+        break;
+      case '\r':
+        message += "%0D";
+        break;
+      case '\n':
+        message += "%0A";
+        break;
+      default:
+        message.push_back(c);
+    }
+  }
+  std::ostringstream out;
+  out << "::" << (finding.severity == Severity::kError ? "error" : "warning")
+      << " file=" << finding.path << ",line=" << finding.line
+      << ",col=" << finding.col << ",title=" << finding.rule
+      << "::" << message;
   return out.str();
 }
 

@@ -6,9 +6,14 @@
 #include "lint/rules.h"
 
 /// \file driver.h
-/// Orchestrates a lint run: collects files, builds the cross-file
-/// Status-function registry, applies rules, and filters findings through
-/// per-path allowlists, severity overrides, and NOLINT suppressions.
+/// Orchestrates a lint run in two passes. Pass 1 collects and lexes every
+/// file under the configured roots and builds the cross-TU ProjectModel
+/// (include graph, symbol index, thread-safety annotations) — even when
+/// only specific files were requested, so single-file lints see the same
+/// cross-file context as a full walk. Pass 2 runs the rules over the
+/// requested files (optionally across a thread pool) and filters findings
+/// through per-path allowlists, severity overrides, and NOLINT
+/// suppressions.
 
 namespace sclint {
 
@@ -18,13 +23,19 @@ struct LintOptions {
   /// Path to `.sclint.toml`. Empty: use `<root>/.sclint.toml` when present,
   /// built-in defaults otherwise.
   std::string config_path;
-  /// Explicit files to lint (relative to root or absolute). Empty: walk
-  /// the roots configured under `[lint] roots`.
+  /// Explicit files to lint (relative to root or absolute). Empty: lint
+  /// everything under `[lint] roots`. The project model is always built
+  /// from the full root walk regardless of this list.
   std::vector<std::string> files;
+  /// Worker threads for lexing and rule execution. 1 = sequential (the
+  /// default), 0 = hardware concurrency. Output is byte-identical at any
+  /// job count: per-file results are merged in path order and the final
+  /// sort is total.
+  unsigned jobs = 1;
 };
 
 struct LintReport {
-  std::vector<Finding> findings;  // sorted by path, line, col
+  std::vector<Finding> findings;  // sorted by path, line, col, rule
   size_t files_scanned = 0;
   size_t errors = 0;
   size_t warnings = 0;
@@ -38,5 +49,10 @@ bool RunLint(const LintOptions& options, LintReport* report,
 
 /// GCC-style, editor-clickable: `path:line:col: error: [sc-rule] message`.
 std::string FormatFinding(const Finding& finding);
+
+/// GitHub Actions workflow-command style, rendered by the Checks UI as an
+/// inline annotation on the PR diff:
+/// `::error file=path,line=N,col=N,title=sc-rule::message`.
+std::string FormatFindingGitHub(const Finding& finding);
 
 }  // namespace sclint

@@ -160,6 +160,22 @@ std::vector<Token> Lex(std::string_view content) {
       continue;
     }
 
+    // Attribute specifier: `[[ ... ]]` as one opaque token. `[[` cannot
+    // start anything else in C++ (a subscript of a subscript has tokens
+    // between the brackets), so the two-char lookahead is unambiguous.
+    if (c == '[' && cur.Peek(1) == '[') {
+      int depth = 0;
+      while (!cur.AtEnd()) {
+        char b = cur.Peek();
+        if (b == '[') ++depth;
+        if (b == ']') --depth;
+        cur.Advance();
+        if (depth == 0) break;
+      }
+      emit(TokenKind::kAttribute, start, line, col);
+      continue;
+    }
+
     if (c == '"') {
       cur.Advance();
       ConsumeQuoted(cur, '"');

@@ -26,6 +26,7 @@ enum class TokenKind {
   kPunct,        // one token per operator; `::` and `->` are fused
   kComment,      // // ... or /* ... */ (one token per comment)
   kDirective,    // a whole preprocessor logical line, continuations fused
+  kAttribute,    // a whole [[...]] attribute specifier, one opaque token
 };
 
 struct Token {
@@ -42,7 +43,9 @@ struct Token {
 std::vector<Token> Lex(std::string_view content);
 
 /// True for tokens rules should match against (identifiers, numbers,
-/// punctuation) as opposed to opaque ones (comments, literals, directives).
+/// punctuation) as opposed to opaque ones (comments, literals, directives,
+/// attribute specifiers — `[[nodiscard]]` must not leak `nodiscard` into
+/// the identifier stream the symbol index and rules are built from).
 inline bool IsCodeToken(const Token& t) {
   return t.kind == TokenKind::kIdentifier || t.kind == TokenKind::kNumber ||
          t.kind == TokenKind::kPunct;

@@ -1,0 +1,430 @@
+#include "lint/model.h"
+
+#include <algorithm>
+#include <functional>
+#include <string_view>
+#include <utility>
+
+#include "lint/token_util.h"
+
+namespace sclint {
+namespace {
+
+/// Keywords that must never enter the symbol index as declared names.
+bool IsReservedWord(std::string_view s) {
+  static const std::set<std::string, std::less<>> kReserved = {
+      "alignas",    "alignof",  "auto",      "bool",      "break",
+      "case",       "catch",    "char",      "class",     "co_await",
+      "co_return",  "co_yield", "const",     "constexpr", "consteval",
+      "constinit",  "continue", "decltype",  "default",   "delete",
+      "do",         "double",   "else",      "enum",      "explicit",
+      "extern",     "false",    "final",     "float",     "for",
+      "friend",     "goto",     "if",        "inline",    "int",
+      "long",       "mutable",  "namespace", "new",       "noexcept",
+      "nullptr",    "operator", "override",  "private",   "protected",
+      "public",     "return",   "short",     "signed",    "sizeof",
+      "static",     "struct",   "switch",    "template",  "this",
+      "throw",      "true",     "try",       "typedef",   "typeid",
+      "typename",   "union",    "unsigned",  "using",     "virtual",
+      "void",       "volatile", "while",
+  };
+  return kReserved.count(s) > 0;
+}
+
+/// Keywords after which an identifier is an expression operand, not a
+/// declared name (`return x;` must not index `x`).
+bool IsStatementKeyword(std::string_view s) {
+  static const std::set<std::string, std::less<>> kStmt = {
+      "return", "if",    "while",     "for",      "switch",  "case",
+      "new",    "delete", "throw",    "else",     "do",      "sizeof",
+      "alignof", "goto",  "co_return", "co_await", "co_yield",
+  };
+  return kStmt.count(s) > 0;
+}
+
+/// Lexically normalizes a forward-slash path: resolves `.` and `..`
+/// segments without touching the filesystem.
+std::string NormalizePath(std::string_view path) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (start <= path.size()) {
+    size_t slash = path.find('/', start);
+    if (slash == std::string_view::npos) slash = path.size();
+    std::string_view part = path.substr(start, slash - start);
+    if (part == "..") {
+      if (!parts.empty() && parts.back() != "..")
+        parts.pop_back();
+      else
+        parts.push_back(part);
+    } else if (!part.empty() && part != ".") {
+      parts.push_back(part);
+    }
+    start = slash + 1;
+  }
+  std::string out;
+  for (std::string_view part : parts) {
+    if (!out.empty()) out.push_back('/');
+    out.append(part);
+  }
+  return out;
+}
+
+std::string Dirname(std::string_view path) {
+  size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? std::string()
+                                         : std::string(path.substr(0, slash));
+}
+
+/// Resolves a quoted include against the scanned file set. Candidates, in
+/// order: sibling of the including file, then the repo's include roots
+/// (src/, tools/, tests/ — matching the -I dirs in CMakeLists), then the
+/// target as-is (fixture trees lint with root = the fixture dir itself).
+std::string ResolveInclude(const std::map<std::string, FileNode>& files,
+                           const std::string& includer,
+                           const std::string& target) {
+  std::vector<std::string> candidates;
+  std::string dir = Dirname(includer);
+  if (!dir.empty()) candidates.push_back(NormalizePath(dir + "/" + target));
+  candidates.push_back("src/" + target);
+  candidates.push_back("tools/" + target);
+  candidates.push_back("tests/" + target);
+  candidates.push_back(NormalizePath(target));
+  for (const std::string& c : candidates) {
+    if (files.count(c) > 0) return c;
+  }
+  return std::string();
+}
+
+}  // namespace
+
+std::vector<ClassRegion> FindClassRegions(const std::vector<Token>& code) {
+  std::vector<ClassRegion> regions;
+  for (size_t i = 0; i + 1 < code.size(); ++i) {
+    std::string_view kw = code[i].text;
+    if (kw != "class" && kw != "struct" && kw != "union") continue;
+    if (i > 0 && TokenIs(code[i - 1], "enum")) continue;  // enum class
+    if (!TokenIsIdent(code, i + 1)) continue;             // anonymous
+    std::string name(code[i + 1].text);
+    size_t after = i + 2;
+    if (TokenAt(code, after, "final")) ++after;
+    if (!TokenAt(code, after, "{") && !TokenAt(code, after, ":")) continue;
+    // Scan to the body's `{`, skipping template args in base specifiers.
+    size_t open = after;
+    while (open < code.size() && !TokenIs(code[open], "{")) {
+      if (TokenIs(code[open], ";")) break;
+      if (TokenIs(code[open], "<")) open = SkipAngles(code, open);
+      ++open;
+    }
+    if (!TokenAt(code, open, "{")) continue;
+    size_t close = MatchForward(code, open);
+    if (close >= code.size()) continue;
+    regions.push_back(ClassRegion{std::move(name), open, close});
+  }
+  return regions;
+}
+
+const ClassRegion* InnermostRegion(const std::vector<ClassRegion>& regions,
+                                   size_t i) {
+  const ClassRegion* best = nullptr;
+  for (const ClassRegion& r : regions) {
+    if (i <= r.open || i >= r.close) continue;
+    if (best == nullptr || r.close - r.open < best->close - best->open)
+      best = &r;
+  }
+  return best;
+}
+
+std::vector<std::string> ParenArgNames(const std::vector<Token>& code,
+                                       size_t open, size_t close) {
+  std::vector<std::string> names;
+  std::string last;
+  int depth = 0;
+  for (size_t i = open + 1; i < close; ++i) {
+    std::string_view t = code[i].text;
+    if (t == "(" || t == "[") ++depth;
+    if (t == ")" || t == "]") --depth;
+    if (depth == 0 && t == ",") {
+      if (!last.empty()) names.push_back(std::move(last));
+      last.clear();
+      continue;
+    }
+    if (code[i].kind == TokenKind::kIdentifier) last = std::string(t);
+  }
+  if (!last.empty()) names.push_back(std::move(last));
+  return names;
+}
+
+namespace {
+
+/// Harvests SC_GUARDED_BY / SC_REQUIRES annotations from every class body
+/// in the unit into the cross-TU class index.
+void HarvestAnnotations(const FileUnit& unit,
+                        std::map<std::string, ClassAnnotations>* classes) {
+  const std::vector<Token>& code = unit.code;
+  std::vector<ClassRegion> regions = FindClassRegions(code);
+  if (regions.empty()) return;
+
+  for (size_t i = 0; i + 1 < code.size(); ++i) {
+    std::string_view t = code[i].text;
+    bool guarded = t == "SC_GUARDED_BY";
+    bool requires_mu = t == "SC_REQUIRES";
+    if (!guarded && !requires_mu) continue;
+    if (!TokenAt(code, i + 1, "(")) continue;
+    const ClassRegion* region = InnermostRegion(regions, i);
+    if (region == nullptr) continue;  // out-of-line use; declaration rules
+    size_t close = MatchForward(code, i + 1);
+    if (close >= code.size()) continue;
+    std::vector<std::string> mutexes = ParenArgNames(code, i + 1, close);
+    if (mutexes.empty()) continue;
+
+    if (guarded) {
+      // `int count_ SC_GUARDED_BY(mu_) = 0;` — member is the identifier
+      // directly before the macro.
+      if (i == 0 || code[i - 1].kind != TokenKind::kIdentifier) continue;
+      (*classes)[region->name].guarded_members[std::string(code[i - 1].text)] =
+          mutexes.front();
+    } else {
+      // `void Reset() SC_REQUIRES(mu_);` — walk back over the parameter
+      // list (and trailing const/noexcept) to the method name.
+      size_t j = i;
+      while (j > 0 && (TokenIs(code[j - 1], "const") ||
+                       TokenIs(code[j - 1], "noexcept") ||
+                       TokenIs(code[j - 1], "override") ||
+                       TokenIs(code[j - 1], "final")))
+        --j;
+      if (j == 0 || !TokenIs(code[j - 1], ")")) continue;
+      size_t params_open = 0;
+      if (!MatchBackward(code, j - 1, &params_open) || params_open == 0)
+        continue;
+      if (code[params_open - 1].kind != TokenKind::kIdentifier) continue;
+      std::set<std::string>& mu_set =
+          (*classes)[region->name]
+              .required_mutexes[std::string(code[params_open - 1].text)];
+      mu_set.insert(mutexes.begin(), mutexes.end());
+    }
+  }
+}
+
+/// Marks every code-token index that lies inside a function (or control
+/// statement) body: any `{...}` group directly following a `)` and its
+/// qualifiers. Locals declared there (`i`, `out`, `min`, ...) are not part
+/// of a file's API, and harvesting them would mark nearly every header as
+/// used by nearly every file.
+std::vector<char> FunctionBodyMask(const std::vector<Token>& code) {
+  std::vector<char> mask(code.size(), 0);
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (!TokenIs(code[i], ")")) continue;
+    // Generous qualifier walk (over-masking only trims the harvest):
+    // const/noexcept/ref-qualifiers, trailing return types, annotation
+    // macros with their own paren groups.
+    size_t q = i + 1;
+    while (q < code.size()) {
+      std::string_view t = code[q].text;
+      if (t == "{") break;
+      if (t == "const" || t == "noexcept" || t == "override" ||
+          t == "final" || t == "&" || t == "->" || t == "::" ||
+          code[q].kind == TokenKind::kIdentifier) {
+        ++q;
+        if (TokenAt(code, q, "(")) {
+          q = MatchForward(code, q);
+          if (q >= code.size()) break;
+          ++q;
+        }
+        continue;
+      }
+      if (t == "<") {
+        size_t g = SkipAngles(code, q);
+        if (g == q) break;
+        q = g + 1;
+        continue;
+      }
+      break;
+    }
+    if (q >= code.size() || !TokenIs(code[q], "{")) continue;
+    size_t close = MatchForward(code, q);
+    if (close >= code.size()) continue;
+    for (size_t k = q; k <= close; ++k) mask[k] = 1;
+    i = q;  // inner bodies re-mask harmlessly
+  }
+  return mask;
+}
+
+/// Harvests the names a file declares, for sc-unused-include's "does the
+/// including file mention anything the header provides" check. The harvest
+/// deliberately over-approximates (extra symbols only suppress findings,
+/// never create them): type/macro/alias names exactly, function and
+/// variable names by local token-shape heuristics at namespace/class
+/// scope (function bodies are masked out).
+std::set<std::string> HarvestSymbols(const FileUnit& unit) {
+  std::set<std::string> out(unit.defines.begin(), unit.defines.end());
+  const std::vector<Token>& code = unit.code;
+  std::vector<char> in_body = FunctionBodyMask(code);
+  for (size_t i = 0; i < code.size(); ++i) {
+    std::string_view t = code[i].text;
+
+    // class/struct/union/enum [class|struct] Name — definitions AND
+    // forward declarations both count as providing the name. Namespace
+    // names deliberately do NOT: every file reopens `namespace
+    // smartcrawl`, so counting them would mark every header as used
+    // everywhere and blind sc-unused-include completely.
+    if (t == "class" || t == "struct" || t == "union") {
+      if (TokenIsIdent(code, i + 1) && !IsReservedWord(code[i + 1].text))
+        out.insert(std::string(code[i + 1].text));
+      continue;
+    }
+    if (t == "enum") {
+      size_t j = i + 1;
+      if (TokenAt(code, j, "class") || TokenAt(code, j, "struct")) ++j;
+      if (TokenIsIdent(code, j)) out.insert(std::string(code[j].text));
+      continue;
+    }
+    // using Alias = ...;
+    if (t == "using" && TokenIsIdent(code, i + 1) &&
+        TokenAt(code, i + 2, "=")) {
+      out.insert(std::string(code[i + 1].text));
+      continue;
+    }
+
+    if (code[i].kind != TokenKind::kIdentifier || IsReservedWord(t) ||
+        i == 0 || in_body[i] != 0)
+      continue;
+    const Token& prev = code[i - 1];
+    bool prev_declish =
+        (prev.kind == TokenKind::kIdentifier &&
+         !IsStatementKeyword(prev.text)) ||
+        prev.text == ">" || prev.text == "*" || prev.text == "&";
+    if (!prev_declish) continue;
+    // `Type Name(` — function (or variable with ctor args; both declared).
+    // `Type name =` / `Type name;` / `Type name[` — variable.
+    std::string_view next = i + 1 < code.size() ? code[i + 1].text : "";
+    if (next == "(" || next == "=" || next == ";" || next == "[")
+      out.insert(std::string(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+ProjectModel ProjectModel::Build(const std::vector<FileUnit>& units) {
+  ProjectModel model;
+  for (const FileUnit& unit : units) {
+    FileNode& node = model.files_[unit.path];
+    node.unit = &unit;
+    node.declared_symbols = HarvestSymbols(unit);
+    HarvestAnnotations(unit, &model.classes_);
+  }
+  for (auto& [path, node] : model.files_) {
+    const std::vector<IncludeDirective>& incs = node.unit->includes;
+    for (size_t i = 0; i < incs.size(); ++i) {
+      if (incs[i].angled) continue;  // system headers are outside the model
+      std::string resolved = ResolveInclude(model.files_, path, incs[i].target);
+      if (!resolved.empty())
+        node.resolved_includes.emplace_back(i, std::move(resolved));
+    }
+  }
+
+  // Tarjan's SCC over the resolved include graph. Components pop in
+  // reverse topological order, so when one pops, the closures of every
+  // file it reaches outside the component are already final — the
+  // component's closure is its members' symbols plus those.
+  struct TarjanState {
+    size_t index = 0;
+    size_t lowlink = 0;
+    bool on_stack = false;
+    bool visited = false;
+  };
+  std::map<std::string, TarjanState> state;
+  std::vector<std::string> stack;
+  size_t next_index = 0;
+
+  std::function<void(const std::string&)> strongconnect =
+      [&](const std::string& path) {
+        TarjanState& st = state[path];
+        st.index = st.lowlink = next_index++;
+        st.visited = true;
+        st.on_stack = true;
+        stack.push_back(path);
+
+        const FileNode& node = model.files_.at(path);
+        bool self_edge = false;
+        for (const auto& [_, target] : node.resolved_includes) {
+          if (target == path) self_edge = true;
+          TarjanState& ts = state[target];
+          if (!ts.visited) {
+            strongconnect(target);
+            st.lowlink = std::min(st.lowlink, state[target].lowlink);
+          } else if (ts.on_stack) {
+            st.lowlink = std::min(st.lowlink, ts.index);
+          }
+        }
+
+        if (st.lowlink != st.index) return;
+        // Pop one complete SCC.
+        std::vector<std::string> members;
+        while (true) {
+          std::string m = stack.back();
+          stack.pop_back();
+          state[m].on_stack = false;
+          members.push_back(std::move(m));
+          if (members.back() == path) break;
+        }
+        std::sort(members.begin(), members.end());
+
+        std::set<std::string> closure;
+        std::set<std::string> in_scc(members.begin(), members.end());
+        for (const std::string& m : members) {
+          const FileNode& mn = model.files_.at(m);
+          closure.insert(mn.declared_symbols.begin(),
+                         mn.declared_symbols.end());
+          for (const auto& [_, target] : mn.resolved_includes) {
+            if (in_scc.count(target) > 0) continue;
+            const std::set<std::string>& sub = model.closures_[target];
+            closure.insert(sub.begin(), sub.end());
+          }
+        }
+        bool cyclic = members.size() > 1 || self_edge;
+        if (cyclic) {
+          size_t id = model.cycles_.size();
+          for (const std::string& m : members) model.cycle_of_[m] = id;
+          model.cycles_.push_back(members);
+        }
+        for (const std::string& m : members) model.closures_[m] = closure;
+      };
+
+  for (const auto& [path, _] : model.files_) {
+    if (!state[path].visited) strongconnect(path);
+  }
+  return model;
+}
+
+const FileNode* ProjectModel::Node(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+const ClassAnnotations* ProjectModel::Class(const std::string& name) const {
+  auto it = classes_.find(name);
+  return it == classes_.end() ? nullptr : &it->second;
+}
+
+const std::set<std::string>& ProjectModel::ClosureSymbols(
+    const std::string& path) const {
+  static const std::set<std::string> kEmpty;
+  auto it = closures_.find(path);
+  return it == closures_.end() ? kEmpty : it->second;
+}
+
+const std::vector<std::string>* ProjectModel::CycleOf(
+    const std::string& path) const {
+  auto it = cycle_of_.find(path);
+  return it == cycle_of_.end() ? nullptr : &cycles_[it->second];
+}
+
+std::vector<std::string> ProjectModel::AnnotatedClasses() const {
+  std::vector<std::string> names;
+  names.reserve(classes_.size());
+  for (const auto& [name, _] : classes_) names.push_back(name);
+  return names;
+}
+
+}  // namespace sclint

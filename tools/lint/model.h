@@ -1,0 +1,109 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/rules.h"
+
+/// \file model.h
+/// The pass-1 cross-translation-unit project model.
+///
+/// sc_lint used to be a single-pass, per-file scanner; the structural
+/// invariants added with the multi-tenant CrawlService (one immutable
+/// CrawlPlan shared by N concurrent sessions) need facts no single file
+/// contains: which header includes which, which class members are
+/// annotated SC_GUARDED_BY which mutex, and which symbols a header
+/// actually provides. Pass 1 builds this model over every scanned file;
+/// pass 2 runs the cross-file rules (sc-layer-dag, sc-include-cycle,
+/// sc-guarded-by, sc-unused-include) against it.
+///
+/// Everything here is immutable after Build(), so pass 2 can run over the
+/// model from many lint worker threads without synchronization — the same
+/// shared-immutable-artifact discipline the model exists to enforce.
+
+namespace sclint {
+
+/// A class/struct/union *definition* found in a code-token stream;
+/// `open`/`close` are the token indices of its body braces.
+struct ClassRegion {
+  std::string name;
+  size_t open = 0;
+  size_t close = 0;
+};
+
+/// Finds every class definition and its body extent. `template <class T>`
+/// parameters, forward declarations and elaborated type specifiers in
+/// declarations (`struct tm t;`) are all skipped: a definition is
+/// recognized by `{`, `:` (base clause) or `final` directly after the name.
+std::vector<ClassRegion> FindClassRegions(const std::vector<Token>& code);
+
+/// Innermost region containing code index `i`, or null.
+const ClassRegion* InnermostRegion(const std::vector<ClassRegion>& regions,
+                                   size_t i);
+
+/// Last identifier of each top-level comma-separated argument inside the
+/// paren group [open, close] — the mutex names in SC_GUARDED_BY(mu) /
+/// std::scoped_lock l(a, b). "Last identifier" so `impl_->mu` names `mu`.
+std::vector<std::string> ParenArgNames(const std::vector<Token>& code,
+                                       size_t open, size_t close);
+
+/// Per-class facts harvested from `class`/`struct` bodies anywhere in the
+/// scanned tree. Keyed by the class's unqualified name: annotations live
+/// in headers while the member-function bodies that must honor them live
+/// in .cc files, which is exactly why this index is cross-TU.
+struct ClassAnnotations {
+  /// Data member name -> the mutex named in its SC_GUARDED_BY(mu).
+  std::map<std::string, std::string> guarded_members;
+  /// Member-function name -> mutexes named in SC_REQUIRES(...) on its
+  /// in-class declaration (out-of-line definitions may not repeat the
+  /// annotation; the model carries it to them).
+  std::map<std::string, std::set<std::string>> required_mutexes;
+};
+
+/// One file in the include graph.
+struct FileNode {
+  const FileUnit* unit = nullptr;
+  /// For each quoted include that resolves to a scanned file: index into
+  /// unit->includes and the resolved repo-relative path.
+  std::vector<std::pair<size_t, std::string>> resolved_includes;
+  /// Symbols this file declares (classes, functions, variables, macros).
+  std::set<std::string> declared_symbols;
+};
+
+class ProjectModel {
+ public:
+  /// Builds the model over all lexed units. The units vector must outlive
+  /// the model (FileNode keeps pointers into it).
+  static ProjectModel Build(const std::vector<FileUnit>& units);
+
+  /// Node for a repo-relative path, or null when the path was not scanned.
+  const FileNode* Node(const std::string& path) const;
+
+  /// Annotations for an unqualified class name, or null when the class has
+  /// no SC_GUARDED_BY/SC_REQUIRES annotations anywhere in the tree.
+  const ClassAnnotations* Class(const std::string& name) const;
+
+  /// Union of declared_symbols over `path` and its transitive resolved
+  /// includes (empty set for unscanned paths). Precomputed in Build.
+  const std::set<std::string>& ClosureSymbols(const std::string& path) const;
+
+  /// When `path` is part of a non-trivial include SCC (a cycle), the
+  /// sorted member paths of that SCC; null otherwise.
+  const std::vector<std::string>* CycleOf(const std::string& path) const;
+
+  /// All annotated class names (exposed for tests).
+  std::vector<std::string> AnnotatedClasses() const;
+
+ private:
+  std::map<std::string, FileNode> files_;
+  std::map<std::string, ClassAnnotations> classes_;
+  std::map<std::string, std::set<std::string>> closures_;
+  /// path -> cycle id, and cycle id -> sorted members, for files in
+  /// include SCCs of size > 1 (or with a self-edge).
+  std::map<std::string, size_t> cycle_of_;
+  std::vector<std::vector<std::string>> cycles_;
+};
+
+}  // namespace sclint

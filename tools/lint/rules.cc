@@ -3,59 +3,41 @@
 #include <algorithm>
 #include <cctype>
 #include <cstddef>
+#include <map>
+
+#include "lint/model.h"
+#include "lint/token_util.h"
 
 namespace sclint {
 namespace {
 
-bool TextIs(const Token& t, std::string_view s) { return t.text == s; }
+// Thin aliases for the shared matchers (token_util.h) under the names the
+// rule bodies here have always used. MatchForward/MatchBackward/SkipAngles
+// are used under their shared names directly.
+bool TextIs(const Token& t, std::string_view s) { return TokenIs(t, s); }
 
-/// code[i].text == s, with bounds check.
 bool At(const std::vector<Token>& code, size_t i, std::string_view s) {
-  return i < code.size() && code[i].text == s;
+  return TokenAt(code, i, s);
 }
 
 bool IsIdent(const std::vector<Token>& code, size_t i) {
-  return i < code.size() && code[i].kind == TokenKind::kIdentifier;
+  return TokenIsIdent(code, i);
 }
 
-void Emit(std::vector<Finding>* out, const FileUnit& unit, const Token& tok,
-          std::string rule, std::string message) {
+void EmitAt(std::vector<Finding>* out, const FileUnit& unit, int line,
+            int col, std::string rule, std::string message) {
   Finding f;
   f.path = unit.path;
-  f.line = tok.line;
-  f.col = tok.col;
+  f.line = line;
+  f.col = col;
   f.rule = std::move(rule);
   f.message = std::move(message);
   out->push_back(std::move(f));
 }
 
-/// Index of the matching close paren/brace/bracket for the opener at `i`,
-/// or code.size() when unbalanced.
-size_t MatchForward(const std::vector<Token>& code, size_t i) {
-  std::string_view open = code[i].text;
-  std::string_view close = open == "(" ? ")" : open == "{" ? "}" : "]";
-  int depth = 0;
-  for (size_t j = i; j < code.size(); ++j) {
-    if (code[j].text == open) ++depth;
-    if (code[j].text == close && --depth == 0) return j;
-  }
-  return code.size();
-}
-
-/// Index of the matching opener for the closer at `i`, or npos-like 0 with
-/// `ok=false` when unbalanced.
-bool MatchBackward(const std::vector<Token>& code, size_t i, size_t* opener) {
-  std::string_view close = code[i].text;
-  std::string_view open = close == ")" ? "(" : close == "}" ? "{" : "[";
-  int depth = 0;
-  for (size_t j = i + 1; j-- > 0;) {
-    if (code[j].text == close) ++depth;
-    if (code[j].text == open && --depth == 0) {
-      *opener = j;
-      return true;
-    }
-  }
-  return false;
+void Emit(std::vector<Finding>* out, const FileUnit& unit, const Token& tok,
+          std::string rule, std::string message) {
+  EmitAt(out, unit, tok.line, tok.col, std::move(rule), std::move(message));
 }
 
 // ---------------------------------------------------------------------------
@@ -390,8 +372,8 @@ void CheckDirectInclude(const FileUnit& unit, const RuleContext& ctx,
     }
     bool satisfied = false;
     for (const std::string& h : headers) {
-      for (const std::string& inc : unit.includes)
-        if (inc == h) satisfied = true;
+      for (const IncludeDirective& inc : unit.includes)
+        if (inc.target == h) satisfied = true;
       if (unit.path == h) satisfied = true;  // the defining header itself
     }
     if (satisfied) continue;
@@ -545,6 +527,324 @@ void CheckRawReinterpret(const FileUnit& unit, const RuleContext&,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Structure rules (cross-TU; need the pass-1 project model)
+// ---------------------------------------------------------------------------
+
+/// The layer a repo-relative path belongs to: the directory under src/ or
+/// tools/, else the first path segment (covers bench/ and fixture trees
+/// whose root is the layer dir itself).
+std::string LayerOf(const std::string& path) {
+  std::string_view rest = path;
+  size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return std::string();
+  std::string_view first = rest.substr(0, slash);
+  if (first == "src" || first == "tools") {
+    rest = rest.substr(slash + 1);
+    slash = rest.find('/');
+    if (slash == std::string_view::npos) return std::string();
+    first = rest.substr(0, slash);
+  }
+  return std::string(first);
+}
+
+/// Layer ranks from `[rule.sc-layer-dag] order`, plus `alias` entries of
+/// the form "name=layer" mapped onto the aliased layer's rank. Paths in
+/// unranked layers (tests/, examples/, fixtures) are simply not checked.
+std::map<std::string, size_t> LayerRanks(const Config& config) {
+  std::map<std::string, size_t> ranks;
+  const std::vector<std::string>& order =
+      config.GetList("rule.sc-layer-dag", "order");
+  for (size_t i = 0; i < order.size(); ++i) ranks[order[i]] = i;
+  for (const std::string& alias :
+       config.GetList("rule.sc-layer-dag", "alias")) {
+    size_t eq = alias.find('=');
+    if (eq == std::string::npos) continue;
+    auto it = ranks.find(alias.substr(eq + 1));
+    if (it != ranks.end()) ranks[alias.substr(0, eq)] = it->second;
+  }
+  return ranks;
+}
+
+/// Rejects includes that point *up* the configured layer order: a layer
+/// may depend only on itself and layers below it. This is the lint-time
+/// twin of the link-time dependency order in src/CMakeLists.txt — the
+/// linker only catches upward deps that reach undefined symbols; header
+/// cycles and type-only upward includes sail through it.
+void CheckLayerDag(const FileUnit& unit, const RuleContext& ctx,
+                   std::vector<Finding>* out) {
+  if (ctx.model == nullptr) return;
+  const FileNode* node = ctx.model->Node(unit.path);
+  if (node == nullptr) return;
+  std::map<std::string, size_t> ranks = LayerRanks(*ctx.config);
+  if (ranks.empty()) return;
+  auto my = ranks.find(LayerOf(unit.path));
+  if (my == ranks.end()) return;
+  for (const auto& [idx, target] : node->resolved_includes) {
+    auto theirs = ranks.find(LayerOf(target));
+    if (theirs == ranks.end() || theirs->second <= my->second) continue;
+    const IncludeDirective& d = unit.includes[idx];
+    EmitAt(out, unit, d.line, d.col, "sc-layer-dag",
+           "#include \"" + d.target + "\" reaches up the layer DAG: '" +
+               my->first + "' may depend only on layers at or below it, "
+               "but '" + theirs->first +
+               "' is above (see [rule.sc-layer-dag] order in .sclint.toml)");
+  }
+}
+
+/// Rejects cycles in the include graph. Every file in a non-trivial
+/// strongly connected component reports each of its includes that stays
+/// inside the component, so a cycle is flagged at every edge that sustains
+/// it and fixing any one edge clears the whole component.
+void CheckIncludeCycle(const FileUnit& unit, const RuleContext& ctx,
+                       std::vector<Finding>* out) {
+  if (ctx.model == nullptr) return;
+  const std::vector<std::string>* cycle = ctx.model->CycleOf(unit.path);
+  if (cycle == nullptr) return;
+  const FileNode* node = ctx.model->Node(unit.path);
+  std::string members;
+  for (const std::string& m : *cycle) {
+    if (!members.empty()) members += " <-> ";
+    members += m;
+  }
+  for (const auto& [idx, target] : node->resolved_includes) {
+    bool in_cycle =
+        target == unit.path ||
+        std::binary_search(cycle->begin(), cycle->end(), target);
+    if (!in_cycle) continue;
+    const IncludeDirective& d = unit.includes[idx];
+    EmitAt(out, unit, d.line, d.col, "sc-include-cycle",
+           "#include \"" + d.target + "\" closes an include cycle (" +
+               members +
+               "): break it with a forward declaration or by hoisting the "
+               "shared types into a lower layer");
+  }
+}
+
+/// Enforces SC_GUARDED_BY: inside the member functions of an annotated
+/// class, a guarded member may be touched only while its mutex is held —
+/// lexically via std::lock_guard/unique_lock/scoped_lock in an enclosing
+/// scope, or contractually via SC_REQUIRES on the method. The annotations
+/// live on the in-class declarations (usually a header); the bodies
+/// checked here are usually in the .cc — which is why this rule needs the
+/// cross-TU class index and a single-file linter could not do it.
+void CheckGuardedBy(const FileUnit& unit, const RuleContext& ctx,
+                    std::vector<Finding>* out) {
+  if (ctx.model == nullptr) return;
+  const std::vector<Token>& code = unit.code;
+  std::vector<ClassRegion> regions = FindClassRegions(code);
+
+  for (size_t i = 0; i + 1 < code.size(); ++i) {
+    // A function definition: `name ( params ) quals {`.
+    if (code[i].kind != TokenKind::kIdentifier || !At(code, i + 1, "("))
+      continue;
+    std::string_view fn = code[i].text;
+    if (fn == "if" || fn == "while" || fn == "for" || fn == "switch" ||
+        fn == "catch" || fn == "return" || fn == "sizeof")
+      continue;
+    // The annotation macros are themselves `IDENT ( ... )` and, when they
+    // qualify an inline definition, are directly followed by its `{` —
+    // which would read as a phantom function named SC_REQUIRES with no
+    // assumed mutexes. The real definition was already handled when the
+    // scan passed its actual name.
+    if (fn == "SC_REQUIRES" || fn == "SC_EXCLUDES" ||
+        fn == "SC_GUARDED_BY" || fn == "SC_NO_THREAD_SAFETY_ANALYSIS")
+      continue;
+    size_t params_close = MatchForward(code, i + 1);
+    if (params_close >= code.size()) continue;
+    // Walk the qualifier region after ')' with a strict allowlist; any
+    // unexpected token means this was a call or declaration, not a
+    // definition with a body, and we skip it (never guess).
+    size_t q = params_close + 1;
+    bool is_definition = false;
+    while (q < code.size()) {
+      std::string_view t = code[q].text;
+      if (t == "{") {
+        is_definition = true;
+        break;
+      }
+      if (t == "const" || t == "noexcept" || t == "override" ||
+          t == "final" || t == "&") {
+        ++q;
+        continue;
+      }
+      if (t == "SC_REQUIRES" || t == "SC_EXCLUDES" ||
+          t == "SC_NO_THREAD_SAFETY_ANALYSIS") {
+        ++q;
+        if (At(code, q, "(")) {
+          q = MatchForward(code, q);
+          if (q >= code.size()) break;
+          ++q;
+        }
+        continue;
+      }
+      break;
+    }
+    if (!is_definition) continue;
+    size_t body_open = q;
+    size_t body_close = MatchForward(code, body_open);
+    if (body_close >= code.size()) continue;
+
+    // Which class does this body belong to? Out-of-line `C::fn`, else the
+    // innermost class region (in-class definition), else a free function.
+    std::string cls;
+    if (i >= 2 && TextIs(code[i - 1], "::") &&
+        code[i - 2].kind == TokenKind::kIdentifier) {
+      cls = std::string(code[i - 2].text);
+    } else if (const ClassRegion* r = InnermostRegion(regions, i)) {
+      cls = r->name;
+    }
+    if (cls.empty()) continue;
+    const ClassAnnotations* ann = ctx.model->Class(cls);
+    if (ann == nullptr) continue;
+    // Constructors and the destructor run before/after any sharing is
+    // possible; the annotations do not apply there.
+    if (fn == cls || (i > 0 && TextIs(code[i - 1], "~"))) continue;
+
+    // Mutexes this body may assume held: SC_REQUIRES from the in-class
+    // declaration (carried cross-TU by the model) plus any SC_REQUIRES
+    // repeated on this definition.
+    std::set<std::string> assumed;
+    auto req = ann->required_mutexes.find(std::string(fn));
+    if (req != ann->required_mutexes.end()) assumed = req->second;
+    for (size_t k = params_close + 1; k < body_open; ++k) {
+      if (TextIs(code[k], "SC_REQUIRES") && At(code, k + 1, "(")) {
+        size_t e = MatchForward(code, k + 1);
+        for (std::string& m : ParenArgNames(code, k + 1, e))
+          assumed.insert(std::move(m));
+      }
+    }
+
+    // Walk the body tracking RAII locks per lexical scope.
+    std::vector<std::vector<std::string>> scopes(1);
+    auto held = [&](const std::string& mu) {
+      if (assumed.count(mu) > 0) return true;
+      for (const auto& scope : scopes)
+        for (const std::string& m : scope)
+          if (m == mu) return true;
+      return false;
+    };
+    for (size_t j = body_open + 1; j < body_close; ++j) {
+      std::string_view t = code[j].text;
+      if (t == "{") {
+        scopes.emplace_back();
+        continue;
+      }
+      if (t == "}") {
+        if (scopes.size() > 1) scopes.pop_back();
+        continue;
+      }
+      if (code[j].kind != TokenKind::kIdentifier) continue;
+      if (t == "lock_guard" || t == "unique_lock" || t == "scoped_lock") {
+        // `lock_guard<...> name(mu[, ...])` or brace-init. The guard's
+        // lifetime is its enclosing scope, so the mutexes count as held
+        // until that scope closes.
+        size_t k = j + 1;
+        if (At(code, k, "<")) {
+          size_t g = SkipAngles(code, k);
+          if (g == k) continue;  // `<` never balanced — not a declaration
+          k = g + 1;
+        }
+        if (!IsIdent(code, k)) continue;
+        if (!At(code, k + 1, "(") && !At(code, k + 1, "{")) continue;
+        size_t e = MatchForward(code, k + 1);
+        if (e >= code.size()) continue;
+        for (std::string& m : ParenArgNames(code, k + 1, e))
+          scopes.back().push_back(std::move(m));
+        continue;
+      }
+      auto g = ann->guarded_members.find(std::string(t));
+      if (g == ann->guarded_members.end()) continue;
+      // `other.member_` goes through a different object whose lock state
+      // this rule cannot see; only unqualified and this-> accesses count.
+      if (j > 0) {
+        std::string_view prev = code[j - 1].text;
+        if (prev == ".") continue;
+        if (prev == "->" && !(j >= 2 && TextIs(code[j - 2], "this")))
+          continue;
+      }
+      if (held(g->second)) continue;
+      Emit(out, unit, code[j], "sc-guarded-by",
+           "'" + g->first + "' is SC_GUARDED_BY(" + g->second + ") but '" +
+               g->second +
+               "' is not held here: take a std::lock_guard/std::scoped_lock "
+               "in an enclosing scope, or annotate the method SC_REQUIRES(" +
+               g->second + ")");
+    }
+  }
+}
+
+/// IWYU-lite: a project include must provide at least one symbol the
+/// including file mentions. "Provides" is judged against the header's
+/// whole transitive closure, so umbrella headers included for re-exported
+/// names do not fire; symbol harvesting over-approximates; and a header
+/// whose closure declares nothing recognizable is never judged. All three
+/// biases point the same way — misses over false alarms — which is why
+/// this ships as a warning, not an error.
+void CheckUnusedInclude(const FileUnit& unit, const RuleContext& ctx,
+                        std::vector<Finding>* out) {
+  if (ctx.model == nullptr) return;
+  const FileNode* node = ctx.model->Node(unit.path);
+  if (node == nullptr) return;
+  // Include-only files (umbrella headers) exist to re-export; exempt.
+  if (unit.code.empty()) return;
+
+  std::set<std::string, std::less<>> used;
+  for (const Token& t : unit.tokens) {
+    if (t.kind == TokenKind::kIdentifier) {
+      used.insert(std::string(t.text));
+    } else if (t.kind == TokenKind::kDirective) {
+      // Macros referenced in #if/#ifdef lines are uses too.
+      std::string_view text = t.text;
+      size_t k = 0;
+      while (k < text.size()) {
+        if (std::isalpha(static_cast<unsigned char>(text[k])) != 0 ||
+            text[k] == '_') {
+          size_t start = k;
+          while (k < text.size() &&
+                 (std::isalnum(static_cast<unsigned char>(text[k])) != 0 ||
+                  text[k] == '_'))
+            ++k;
+          used.insert(std::string(text.substr(start, k - start)));
+        } else {
+          ++k;
+        }
+      }
+    }
+  }
+
+  auto stem = [](const std::string& path) {
+    size_t slash = path.rfind('/');
+    size_t from = slash == std::string::npos ? 0 : slash + 1;
+    size_t dot = path.rfind('.');
+    if (dot == std::string::npos || dot < from) dot = path.size();
+    return path.substr(from, dot - from);
+  };
+  std::string my_stem = stem(unit.path);
+
+  for (const auto& [idx, target] : node->resolved_includes) {
+    // A .cc's primary header is included for interface conformance, not
+    // for symbols the .cc consumes.
+    if (!unit.is_header && stem(target) == my_stem) continue;
+    const std::set<std::string>& closure = ctx.model->ClosureSymbols(target);
+    if (closure.empty()) continue;
+    bool referenced = false;
+    for (const std::string& sym : closure) {
+      if (used.count(sym) > 0) {
+        referenced = true;
+        break;
+      }
+    }
+    if (referenced) continue;
+    const IncludeDirective& d = unit.includes[idx];
+    EmitAt(out, unit, d.line, d.col, "sc-unused-include",
+           "nothing declared by \"" + d.target +
+               "\" (or anything it includes) is referenced in this file: "
+               "drop the include, or move it next to the code that needs "
+               "it");
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleDef>& AllRules() {
@@ -582,6 +882,16 @@ const std::vector<RuleDef>& AllRules() {
       {"sc-raw-reinterpret", Severity::kError,
        "bans reinterpret_cast outside the snapshot reader allowlist",
        CheckRawReinterpret},
+      {"sc-layer-dag", Severity::kError,
+       "includes must respect the configured layer order", CheckLayerDag},
+      {"sc-include-cycle", Severity::kError,
+       "the project include graph must be acyclic", CheckIncludeCycle},
+      {"sc-guarded-by", Severity::kError,
+       "SC_GUARDED_BY members need their mutex held (or SC_REQUIRES)",
+       CheckGuardedBy},
+      {"sc-unused-include", Severity::kWarning,
+       "project includes must provide a symbol the file references",
+       CheckUnusedInclude},
   };
   return kRules;
 }
@@ -598,14 +908,31 @@ FileUnit MakeFileUnit(std::string path, std::string content) {
   unit.is_header = ext == ".h" || ext == ".hpp" || ext == ".hh";
   for (const Token& t : unit.tokens) {
     if (t.kind != TokenKind::kDirective) continue;
-    if (DirectiveKeyword(t.text) != "include") continue;
+    std::string_view kw = DirectiveKeyword(t.text);
     std::string_view text = t.text;
-    size_t open = text.find_first_of("\"<");
-    if (open == std::string_view::npos) continue;
-    char close = text[open] == '"' ? '"' : '>';
-    size_t end = text.find(close, open + 1);
-    if (end == std::string_view::npos) continue;
-    unit.includes.emplace_back(text.substr(open + 1, end - open - 1));
+    if (kw == "include") {
+      size_t open = text.find_first_of("\"<");
+      if (open == std::string_view::npos) continue;
+      char close = text[open] == '"' ? '"' : '>';
+      size_t end = text.find(close, open + 1);
+      if (end == std::string_view::npos) continue;
+      IncludeDirective d;
+      d.target = std::string(text.substr(open + 1, end - open - 1));
+      d.line = t.line;
+      d.col = t.col;
+      d.angled = text[open] == '<';
+      unit.includes.push_back(std::move(d));
+    } else if (kw == "define") {
+      size_t at = text.find("define") + 6;
+      while (at < text.size() && (text[at] == ' ' || text[at] == '\t')) ++at;
+      size_t end = at;
+      while (end < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[end])) != 0 ||
+              text[end] == '_'))
+        ++end;
+      if (end > at)
+        unit.defines.emplace_back(text.substr(at, end - at));
+    }
   }
   return unit;
 }

@@ -11,14 +11,19 @@
 /// \file rules.h
 /// The sc_lint rule registry.
 ///
-/// Each rule is data + a matcher over the token stream of one file. Rules
-/// enforce three families of project invariants (see
+/// Each rule is data + a matcher over the token stream of one file, plus
+/// (for the cross-TU rules) the project model built in pass 1 over every
+/// scanned file. Rules enforce four families of project invariants (see
 /// docs/static-analysis.md):
 ///   determinism  — no ambient randomness, wall clocks, or real sleeps;
 ///   status       — no silently discarded Status/Result values, no
 ///                  ownerless TODOs;
 ///   hygiene      — include guards, no `using namespace` in headers,
-///                  direct includes for designated tokens.
+///                  direct includes for designated tokens, no unused
+///                  project includes;
+///   structure    — the layer DAG (`sc-layer-dag`), include-cycle freedom
+///                  (`sc-include-cycle`), and mutex discipline over
+///                  SC_GUARDED_BY-annotated members (`sc-guarded-by`).
 ///
 /// Severity and per-path allowlists come from `.sclint.toml`; inline
 /// escapes are `// NOLINT(sc-<rule>)` and `// NOLINTNEXTLINE(sc-<rule>)`.
@@ -36,15 +41,27 @@ struct Finding {
   Severity severity = Severity::kError;
 };
 
+/// One `#include` directive with its position, for rules that report on
+/// the include line itself (layer DAG, cycles, unused includes).
+struct IncludeDirective {
+  std::string target;  // as written between the delimiters
+  int line = 0;
+  int col = 0;
+  bool angled = false;  // <...> (system) vs "..." (project)
+};
+
 /// One lexed translation unit plus derived facts rules need.
 struct FileUnit {
   std::string path;     // normalized, forward slashes, relative to root
   std::string content;  // owns the bytes the token views point into
   std::vector<Token> tokens;  // full stream (comments, directives, ...)
   std::vector<Token> code;    // identifiers/numbers/punctuation only
-  std::vector<std::string> includes;  // `#include` targets, as written
+  std::vector<IncludeDirective> includes;  // `#include` targets, in order
+  std::vector<std::string> defines;        // `#define` macro names
   bool is_header = false;
 };
+
+class ProjectModel;  // model.h — the pass-1 cross-TU project model
 
 /// Cross-file facts shared by all rules.
 struct RuleContext {
@@ -53,6 +70,10 @@ struct RuleContext {
   /// Result<...>, harvested from every scanned file (plus any extras from
   /// `[rule.sc-discarded-status] functions`).
   std::set<std::string> status_functions;
+  /// Pass-1 project model (include graph, symbol index, annotations);
+  /// null only in unit tests that drive a single rule directly, in which
+  /// case the cross-TU rules stay silent.
+  const ProjectModel* model = nullptr;
 };
 
 using RuleFn = std::function<void(const FileUnit&, const RuleContext&,

@@ -1,3 +1,4 @@
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -8,19 +9,26 @@
 /// \file sc_lint.cc
 /// CLI for the project linter. See docs/static-analysis.md.
 ///
-///   sc_lint [--root=DIR] [--config=FILE] [--list-rules] [files...]
+///   sc_lint [--root=DIR] [--config=FILE] [--jobs=N] [--format=gcc|github]
+///           [--list-rules] [files...]
 ///
 /// With no files, walks the roots from `.sclint.toml` ([lint] roots,
-/// default src/ tools/ bench/). Exit status: 0 clean (warnings allowed),
-/// 1 at least one error-severity finding, 2 operational failure.
+/// default src/ tools/ bench/). The cross-TU project model is always built
+/// from the full walk, even when specific files are given. Exit status:
+/// 0 clean (warnings allowed), 1 at least one error-severity finding,
+/// 2 operational failure.
 
 namespace {
 
 int Usage(std::ostream& out, int code) {
-  out << "usage: sc_lint [--root=DIR] [--config=FILE] [--list-rules]"
-         " [files...]\n"
+  out << "usage: sc_lint [--root=DIR] [--config=FILE] [--jobs=N]"
+         " [--format=gcc|github] [--list-rules] [files...]\n"
          "Project static analysis: enforces smartcrawl's determinism,\n"
-         "status-discipline and header-hygiene invariants.\n"
+         "status-discipline, header-hygiene and structure invariants.\n"
+         "  --jobs=N     lex and lint on N threads (0 = all cores);\n"
+         "               output is byte-identical at any job count\n"
+         "  --format     gcc (default, editor-clickable) or github\n"
+         "               (::error workflow commands for PR annotations)\n"
          "Suppress one finding: // NOLINT(sc-<rule>)  or  "
          "// NOLINTNEXTLINE(sc-<rule>)\n";
   return code;
@@ -30,12 +38,29 @@ int Usage(std::ostream& out, int code) {
 
 int main(int argc, char** argv) {
   sclint::LintOptions options;
+  bool github_format = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--root=", 0) == 0) {
       options.root = arg.substr(7);
     } else if (arg.rfind("--config=", 0) == 0) {
       options.config_path = arg.substr(9);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      char* end = nullptr;
+      unsigned long jobs = std::strtoul(arg.c_str() + 7, &end, 10);
+      if (end == nullptr || *end != '\0') {
+        std::cerr << "sc_lint: bad --jobs value: " << arg << '\n';
+        return Usage(std::cerr, 2);
+      }
+      options.jobs = static_cast<unsigned>(jobs);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      std::string format = arg.substr(9);
+      if (format == "github") {
+        github_format = true;
+      } else if (format != "gcc") {
+        std::cerr << "sc_lint: unknown format: " << format << '\n';
+        return Usage(std::cerr, 2);
+      }
     } else if (arg == "--list-rules") {
       for (const sclint::RuleDef& rule : sclint::AllRules())
         std::cout << rule.name << ": " << rule.summary << '\n';
@@ -57,7 +82,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   for (const sclint::Finding& finding : report.findings)
-    std::cout << sclint::FormatFinding(finding) << '\n';
+    std::cout << (github_format ? sclint::FormatFindingGitHub(finding)
+                                : sclint::FormatFinding(finding))
+              << '\n';
   std::cerr << "sc_lint: " << report.files_scanned << " files, "
             << report.errors << " error(s), " << report.warnings
             << " warning(s)\n";

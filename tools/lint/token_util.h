@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.h"
+
+/// \file token_util.h
+/// Token-stream matching helpers shared by the per-file rules (rules.cc)
+/// and the cross-TU model builder (model.cc). All functions operate on the
+/// code-token stream (comments/literals/directives pre-filtered).
+
+namespace sclint {
+
+inline bool TokenIs(const Token& t, std::string_view s) { return t.text == s; }
+
+/// code[i].text == s, with bounds check.
+inline bool TokenAt(const std::vector<Token>& code, size_t i,
+                    std::string_view s) {
+  return i < code.size() && code[i].text == s;
+}
+
+inline bool TokenIsIdent(const std::vector<Token>& code, size_t i) {
+  return i < code.size() && code[i].kind == TokenKind::kIdentifier;
+}
+
+/// Index of the matching close paren/brace/bracket for the opener at `i`,
+/// or code.size() when unbalanced.
+inline size_t MatchForward(const std::vector<Token>& code, size_t i) {
+  std::string_view open = code[i].text;
+  std::string_view close = open == "(" ? ")" : open == "{" ? "}" : "]";
+  int depth = 0;
+  for (size_t j = i; j < code.size(); ++j) {
+    if (code[j].text == open) ++depth;
+    if (code[j].text == close && --depth == 0) return j;
+  }
+  return code.size();
+}
+
+/// Index of the matching opener for the closer at `i`; false when
+/// unbalanced.
+inline bool MatchBackward(const std::vector<Token>& code, size_t i,
+                          size_t* opener) {
+  std::string_view close = code[i].text;
+  std::string_view open = close == ")" ? "(" : close == "}" ? "{" : "[";
+  int depth = 0;
+  for (size_t j = i + 1; j-- > 0;) {
+    if (code[j].text == close) ++depth;
+    if (code[j].text == open && --depth == 0) {
+      *opener = j;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// For a `<` at `i` that opens a template-argument list, the index of its
+/// matching `>`. Returns `i` (no advance) when the angles do not balance
+/// before a `;`/`{`/`}` — i.e. when `<` was a comparison, not a template.
+inline size_t SkipAngles(const std::vector<Token>& code, size_t i) {
+  int depth = 0;
+  for (size_t j = i; j < code.size(); ++j) {
+    std::string_view t = code[j].text;
+    if (t == "<") ++depth;
+    if (t == ">" && --depth == 0) return j;
+    if (t == ";" || t == "{" || t == "}") break;
+    // Parenthesized groups may contain unpaired angle tokens (operator<,
+    // shifts); skip them wholesale.
+    if (t == "(") j = MatchForward(code, j);
+  }
+  return i;
+}
+
+}  // namespace sclint
