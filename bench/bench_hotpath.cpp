@@ -16,6 +16,15 @@
 ///                                vector<vector> rows (the old RemoveRecords
 ///                                loop); Csr walks the precomputed
 ///                                forward-aligned decrement array.
+///   * BM_KernelMergeCount/BM_KernelGallopCount/BM_KernelBitmapAnd —
+///                                the raw set kernels by dispatch tier
+///                                (arg 0 = scalar, 1 = SSE4.2, 2 = AVX2);
+///                                tiers the host lacks are not registered.
+///   * BM_PqRepairDrain_*       — the greedy drain loop over the fan-out
+///                                model: point repair (MarkDirty +
+///                                recompute-on-pop) vs batched eager
+///                                frontier repair on a 1- or 4-thread
+///                                dedicated pool.
 ///   * BM_CrawlerInit / BM_EndToEndCrawl — macro check that the substrate
 ///                                helps a real crawl, not just microloops.
 ///
@@ -29,6 +38,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -41,9 +51,12 @@
 #include "hidden/budget.h"
 #include "index/csr.h"
 #include "index/inverted_index.h"
+#include "index/lazy_priority_queue.h"
+#include "index/set_kernels.h"
 #include "sample/sampler.h"
 #include "text/document.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -145,6 +158,106 @@ void BM_IntersectPostings_MultiTerm(benchmark::State& state) {
   state.counters["docs"] = static_cast<double>(n);
 }
 BENCHMARK(BM_IntersectPostings_MultiTerm);
+
+// ---- Raw set kernels by dispatch tier -----------------------------------
+//
+// Same densities as the index fixture above, but as bare lists so the
+// benchmark isolates the kernel from CSR lookup and tier selection. The
+// tier is the benchmark arg (0 = scalar, 1 = SSE4.2, 2 = AVX2) and only
+// tiers the host actually supports are registered (see main), so the
+// committed numbers always compare real vector units against the scalar
+// baseline on the same machine.
+
+struct KernelLists {
+  std::vector<uint32_t> merge_a, merge_b;        // ~N/37 x ~N/50: merge
+  std::vector<uint32_t> gallop_small, gallop_large;  // ~N/2000 vs ~N/37
+  std::vector<uint64_t> bitmap_a, bitmap_b;      // N/64 words, half full
+};
+
+const KernelLists& BuildKernelLists() {
+  static KernelLists* k = nullptr;
+  if (k != nullptr) return *k;
+  k = new KernelLists();
+  const size_t n = ScaledN(100000);
+  Rng rng(4242);
+  auto make = [&](size_t stride) {
+    std::vector<uint32_t> v;
+    v.reserve(n / stride + 1);
+    for (uint32_t d = 0; d < n; ++d) {
+      if (rng.UniformIndex(stride) == 0) v.push_back(d);
+    }
+    return v;
+  };
+  k->merge_a = make(37);
+  k->merge_b = make(50);
+  k->gallop_small = make(2000);
+  k->gallop_large = make(37);
+  const size_t words = (n + 63) / 64;
+  k->bitmap_a.resize(words);
+  k->bitmap_b.resize(words);
+  for (size_t i = 0; i < words; ++i) {
+    k->bitmap_a[i] = rng.Next();
+    k->bitmap_b[i] = rng.Next();
+  }
+  return *k;
+}
+
+void BM_KernelMergeCount(benchmark::State& state) {
+  const KernelLists& k = BuildKernelLists();
+  const auto tier = static_cast<index::SimdTier>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index::SimdMergeCountDispatch(k.merge_a, k.merge_b, tier));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(k.merge_a.size() + k.merge_b.size()));
+}
+
+void BM_KernelGallopCount(benchmark::State& state) {
+  const KernelLists& k = BuildKernelLists();
+  const auto tier = static_cast<index::SimdTier>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index::SimdGallopCountDispatch(k.gallop_small, k.gallop_large, tier));
+  }
+  // The gallop never touches most of the large list; per-item throughput
+  // is still reported against both inputs so tiers stay comparable.
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(k.gallop_small.size() + k.gallop_large.size()));
+}
+
+void BM_KernelBitmapAnd(benchmark::State& state) {
+  const KernelLists& k = BuildKernelLists();
+  const auto tier = static_cast<index::SimdTier>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index::SimdBitmapAndCountDispatch(k.bitmap_a, k.bitmap_b, tier));
+  }
+  // Items = set bits represented, i.e. 64 per word of one side.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(k.bitmap_a.size() * 64));
+}
+
+/// Tier args are registered at runtime: asking an SSE-only box to run the
+/// AVX2 variant must be impossible, not a SIGILL. Called from main after
+/// benchmark::Initialize.
+void RegisterKernelTierBenchmarks() {
+  const int max_tier = static_cast<int>(index::ActiveSimdTier());
+  for (int t = 0; t <= max_tier; ++t) {
+    benchmark::RegisterBenchmark("BM_KernelMergeCount", BM_KernelMergeCount)
+        ->Arg(t);
+    benchmark::RegisterBenchmark("BM_KernelGallopCount", BM_KernelGallopCount)
+        ->Arg(t);
+    // The bitmap kernel has no SSE variant (dispatch falls through to the
+    // scalar word loop below AVX2), so tier 1 would duplicate tier 0.
+    if (t != static_cast<int>(index::SimdTier::kSse42)) {
+      benchmark::RegisterBenchmark("BM_KernelBitmapAnd", BM_KernelBitmapAnd)
+          ->Arg(t);
+    }
+  }
+}
 
 // ---- RemoveRecords fan-out: ContainsAll re-evaluation vs delta walk -----
 
@@ -277,6 +390,104 @@ void BM_RemoveRecordsFanout_Csr(benchmark::State& state) {
 }
 BENCHMARK(BM_RemoveRecordsFanout_Csr);
 
+// ---- Priority-queue repair: point (lazy) vs batched (eager) -------------
+//
+// The deep-drain regime over the fan-out model above — the shape batched
+// repair is built for: a bulk retirement dirties most of the queue (every
+// record's delta decrements land before the next selection), then the
+// greedy drain pops many winners. Point repair marks each dirtied id and
+// pays recompute + re-push + re-pop at the top of the heap, inside the
+// drain loop, in heap order; batched repair re-estimates the deduplicated
+// frontier once, eagerly, in canonical index order (optionally on a
+// dedicated pool, grain 256 — the same constants as
+// CrawlSession::RepairBatch), after which the drain pops clean entries.
+// Selection is bit-identical across all three variants by construction
+// (asserted by BatchedRepairTest); this benchmark prices that identity.
+// In shallow-pop regimes (one pop per small frontier) lazy point repair
+// does strictly fewer recomputes — see bench/README.md for when each mode
+// wins; the crawler defaults to batched for determinism at any thread
+// count.
+
+void PqRepairDrainBench(benchmark::State& state, bool batched,
+                        unsigned threads) {
+  const FanoutFixture& f = BuildFanoutFixture();
+  const auto queries = static_cast<uint32_t>(f.inter0.size());
+  constexpr size_t kRepairGrain = 256;  // mirrors CrawlSession::RepairBatch
+  std::span<const uint32_t> fwd = f.forward.values();
+  std::unique_ptr<util::ThreadPool> pool;
+  if (batched && threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
+
+  std::vector<uint32_t> inter;
+  std::vector<uint32_t> frontier;
+  std::vector<double> buf;
+  std::vector<uint8_t> stamp(queries, 0);
+  size_t recomputes = 0;
+  size_t popped = 0;
+  for (auto _ : state) {
+    inter = f.inter0;
+    index::LazyPriorityQueue pq(
+        [&](uint32_t q) { return static_cast<double>(inter[q]); });
+    for (uint32_t q = 0; q < queries; ++q) {
+      pq.Push(q, static_cast<double>(inter[q]));
+    }
+    // Bulk retirement: every record's decrements, one dedup'd frontier.
+    frontier.clear();
+    for (uint32_t d : f.order) {
+      auto [lo, hi] = f.forward.row_bounds(d);
+      for (size_t i = lo; i < hi; ++i) {
+        const uint32_t q = fwd[i];
+        inter[q] -= std::min(f.dec[i], inter[q]);
+        if (stamp[q] == 0) {
+          stamp[q] = 1;
+          frontier.push_back(q);
+        }
+      }
+    }
+    for (uint32_t q : frontier) stamp[q] = 0;
+    if (!batched) {
+      for (uint32_t q : frontier) pq.MarkDirty(q);
+    } else {
+      std::sort(frontier.begin(), frontier.end());
+      buf.resize(frontier.size());
+      if (pool != nullptr && frontier.size() > kRepairGrain) {
+        pool->ParallelFor(0, frontier.size(), kRepairGrain, [&](size_t i) {
+          buf[i] = static_cast<double>(inter[frontier[i]]);
+        });
+      } else {
+        for (size_t i = 0; i < frontier.size(); ++i) {
+          buf[i] = static_cast<double>(inter[frontier[i]]);
+        }
+      }
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        pq.Update(frontier[i], buf[i]);
+      }
+      recomputes += frontier.size();
+    }
+    // Deep drain: pop every query in repaired order.
+    uint32_t id = 0;
+    double p = 0.0;
+    while (pq.PopMax(&id, &p)) ++popped;
+    recomputes += pq.num_recomputes();  // point mode: lazy on-pop repairs
+  }
+  const auto iters =
+      static_cast<double>(std::max<int64_t>(1, state.iterations()));
+  state.counters["recomputes"] = static_cast<double>(recomputes) / iters;
+  state.counters["popped"] = static_cast<double>(popped) / iters;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries));
+}
+
+void BM_PqRepairDrain_Point(benchmark::State& state) {
+  PqRepairDrainBench(state, /*batched=*/false, /*threads=*/1);
+}
+BENCHMARK(BM_PqRepairDrain_Point);
+
+void BM_PqRepairDrain_Batched(benchmark::State& state) {
+  PqRepairDrainBench(state, /*batched=*/true,
+                     static_cast<unsigned>(state.range(0)));
+}
+BENCHMARK(BM_PqRepairDrain_Batched)->Arg(1)->Arg(4);
+
 // ---- Macro benchmarks ---------------------------------------------------
 
 struct CrawlFixture {
@@ -362,6 +573,7 @@ int main(int argc, char** argv) {
 
   int pruned_argc = static_cast<int>(args.size());
   benchmark::Initialize(&pruned_argc, args.data());
+  RegisterKernelTierBenchmarks();  // after Initialize: needs g_scale + CPU
   if (benchmark::ReportUnrecognizedArguments(pruned_argc, args.data())) {
     return 1;
   }

@@ -60,6 +60,13 @@ struct CrawlStats {
   size_t kernel_galloping = 0;
   size_t kernel_merge = 0;
   size_t kernel_bitmap = 0;
+  /// Vectorized-kernel share of the same construction mix (exclusive with
+  /// the three scalar tallies above): block-merge / vector-gallop /
+  /// 512-bit-blocked bitmap AND. All zero when the host lacks the tier or
+  /// SC_DISABLE_SIMD is set — how a crawl log shows which tier ran.
+  size_t kernel_simd_merge = 0;
+  size_t kernel_simd_gallop = 0;
+  size_t kernel_bitmap_blocked = 0;
   /// |q(D) ∩~ q(Hs)| decrements applied by RemoveRecords THIS session via
   /// the precomputed delta adjacency — each one replaces a ContainsAll
   /// re-evaluation the pre-CSR implementation performed per

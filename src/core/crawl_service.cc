@@ -56,8 +56,19 @@ Status CrawlService::Drive(const std::vector<SessionSpec>& specs,
     on_finish(i, std::move(outcome));
   };
 
+  // Batched repair gets its own pool: Phase B below runs
+  // ProcessPendingPage on `workers`, and a pool must not be re-entered
+  // from its own workers. Concurrent ParallelFor calls from different
+  // Phase-B workers onto this one pool are safe (per-run chunk state).
+  std::unique_ptr<util::ThreadPool> repair_pool;
+  if (options_.pq_repair == PqRepairMode::kBatched &&
+      util::ResolveNumThreads(options_.repair_threads) > 1) {
+    repair_pool = std::make_unique<util::ThreadPool>(options_.repair_threads);
+  }
+
   for (size_t i = 0; i < n; ++i) {
     sessions[i] = std::make_unique<CrawlSession>(*specs[i].plan);
+    sessions[i]->ConfigureRepair(options_.pq_repair, repair_pool.get());
     sessions[i]->AttachTransport(shared_origin, specs[i].transport);
     Status begun = sessions[i]->Begin(
         sessions[i]->transport()->top()->top_k(), specs[i].budget);

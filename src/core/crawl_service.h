@@ -57,6 +57,19 @@ struct CrawlServiceOptions {
   /// Capacity of the shared cross-tenant LRU query cache sitting between
   /// every tenant's stack and the origin; 0 disables sharing.
   size_t shared_cache_capacity = 4096;
+
+  /// How sessions repair dirtied priority-queue entries (see
+  /// CrawlSession::ConfigureRepair). Selection is bit-identical in both
+  /// modes; only repair cost and the pq_recomputes accounting differ.
+  PqRepairMode pq_repair = PqRepairMode::kBatched;
+
+  /// Threads of the DEDICATED batched-repair pool (same 0/1/n convention
+  /// as num_threads; ignored under kPoint). Dedicated because Phase B
+  /// already runs ProcessPendingPage on the worker pool and a
+  /// util::ThreadPool must not be re-entered from its own workers; with
+  /// 1 the frontier re-estimation runs inline on whichever thread
+  /// processes the page. Bit-identical at any value.
+  unsigned repair_threads = 1;
 };
 
 /// One tenant: which plan to crawl with, how many queries it may issue,

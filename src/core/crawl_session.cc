@@ -6,6 +6,7 @@
 
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 /// \file crawl_session.cc
 /// The crawl loop of SmartCrawler::Crawl, decomposed into Begin /
@@ -35,6 +36,13 @@ CrawlSession::CrawlSession(const CrawlPlan& plan)
 void CrawlSession::AttachTransport(hidden::KeywordSearchInterface* origin,
                                    const net::TransportOptions& options) {
   transport_ = std::make_unique<net::TransportStack>(origin, options);
+}
+
+void CrawlSession::ConfigureRepair(PqRepairMode mode,
+                                   util::ThreadPool* repair_pool) {
+  assert(!pending_ && "reconfigure repair between crawls, not mid-step");
+  repair_mode_ = mode;
+  repair_pool_ = mode == PqRepairMode::kBatched ? repair_pool : nullptr;
 }
 
 double CrawlSession::PriorityOf(QueryIdx q) const {
@@ -105,6 +113,37 @@ void CrawlSession::RemoveRecords(const std::vector<table::RecordId>& ids,
         dirtied->push_back(q);
       }
     }
+  }
+}
+
+void CrawlSession::RepairBatch(const std::vector<QueryIdx>& dirtied) {
+  // Retired queries (popped and never re-pushed) need no repair; filter
+  // them out so the parallel sweep only spends work on live entries.
+  repair_ids_.clear();
+  for (QueryIdx q : dirtied) {
+    if (pq_->IsLive(q)) repair_ids_.push_back(q);
+  }
+  const size_t n = repair_ids_.size();
+  if (n == 0) return;
+  repair_buf_.resize(n);
+  // PriorityOf reads only session state that is quiescent here (the
+  // removal fan-out above already finished), so the chunks are pure and
+  // the buffer slots disjoint — any thread count produces the same bytes.
+  constexpr size_t kRepairGrain = 256;
+  if (repair_pool_ != nullptr && n > kRepairGrain) {
+    repair_pool_->ParallelFor(0, n, kRepairGrain, [this](size_t i) {
+      repair_buf_[i] = PriorityOf(repair_ids_[i]);
+    });
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      repair_buf_[i] = PriorityOf(repair_ids_[i]);
+    }
+  }
+  batch_recomputes_ += n;
+  // Canonical writeback: repair_ids_ is sorted ascending (inherited from
+  // the deduplicated frontier), so heap mutation order is scheduling-free.
+  for (size_t i = 0; i < n; ++i) {
+    pq_->Update(repair_ids_[i], repair_buf_[i]);
   }
 }
 
@@ -280,12 +319,16 @@ void CrawlSession::ProcessPendingPage() {
 
   // A batch of removed records dirties the same query many times; the
   // priority queue repairs each entry at most once, so deduplicate before
-  // marking (and count the fan-out as the queue actually sees it).
+  // repairing (and count the fan-out as the queue actually sees it).
   std::sort(dirtied.begin(), dirtied.end());
   dirtied.erase(std::unique(dirtied.begin(), dirtied.end()), dirtied.end());
   result_.stats.fanout_updates += dirtied.size();
   result_.stats.records_fetched += page.size();
-  for (QueryIdx dq : dirtied) pq_->MarkDirty(dq);
+  if (repair_mode_ == PqRepairMode::kBatched) {
+    RepairBatch(dirtied);
+  } else {
+    for (QueryIdx dq : dirtied) pq_->MarkDirty(dq);
+  }
 
   pending_ = false;
   pending_page_.clear();
@@ -299,10 +342,18 @@ CrawlResult CrawlSession::TakeResult() {
   }
   const index::KernelStats& kernels = plan_->build_kernel_stats();
   result_.stats.pool_size = plan_->pool().size();
-  result_.stats.pq_recomputes = pq_ ? pq_->num_recomputes() : 0;
+  // Lifetime repair work under either mode: on-pop repairs (kPoint, and
+  // any MarkDirty traffic predating a mode switch) plus eager frontier
+  // recomputes (kBatched).
+  result_.stats.pq_recomputes =
+      (pq_ ? pq_->num_recomputes() : 0) +
+      static_cast<size_t>(batch_recomputes_);
   result_.stats.kernel_galloping = kernels.galloping;
   result_.stats.kernel_merge = kernels.merge;
   result_.stats.kernel_bitmap = kernels.bitmap;
+  result_.stats.kernel_simd_merge = kernels.simd_merge;
+  result_.stats.kernel_simd_gallop = kernels.simd_gallop;
+  result_.stats.kernel_bitmap_blocked = kernels.bitmap_blocked;
   result_.stats.delta_decrements =
       static_cast<size_t>(delta_decrements_total_ - decrements_at_start_);
   finished_ = true;

@@ -124,11 +124,13 @@ size_t InvertedIndex::IntersectionSize(
   if (n == 2) {
     const std::span<const uint64_t> wb = BitmapOf(refs[1].term);
     if (!wb.empty()) {
-      counters_.CountBitmap();
       const std::span<const uint64_t> wa = BitmapOf(refs[0].term);
-      // Both dense: word-wise AND/popcount beats any list walk. Only the
-      // larger dense: O(1) bit probes driven by the smaller list.
-      if (!wa.empty()) return BitmapAndCount(wa, wb);
+      // Both dense: word-wise AND/popcount beats any list walk (blocked
+      // SIMD when wide enough — the counters-aware overload tallies the
+      // variant). Only the larger dense: O(1) bit probes driven by the
+      // smaller list.
+      if (!wa.empty()) return BitmapAndCount(wa, wb, &counters_);
+      counters_.CountBitmap();
       return BitmapListCount(wb, refs[0].list);
     }
     return PairCount(refs[0].list, refs[1].list, &counters_);

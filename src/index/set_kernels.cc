@@ -1,0 +1,104 @@
+#include "index/set_kernels.h"
+
+#include "index/simd_kernels.h"
+#include "util/cpuid.h"
+
+namespace smartcrawl::index {
+
+namespace {
+
+/// Hardware/OS tier after the SC_DISABLE_SIMD kill switch — computed once
+/// (CpuFeatures::Get caches and logs the detection).
+SimdTier DetectedTier() {
+  static const SimdTier tier = [] {
+    const util::CpuFeatures& f = util::CpuFeatures::Get();
+    if (f.simd_disabled_by_env) return SimdTier::kScalar;
+#if SC_HAVE_X86_SIMD
+    if (f.avx2) return SimdTier::kAvx2;
+    if (f.sse42) return SimdTier::kSse42;
+#endif
+    return SimdTier::kScalar;
+  }();
+  return tier;
+}
+
+/// Test override as an int (-1 = none). Relaxed is enough: the hook is
+/// documented as quiescent-only, the atomic just keeps TSan happy about
+/// the read in ActiveSimdTier.
+std::atomic<int> g_dispatch_override{-1};
+
+}  // namespace
+
+SimdTier ActiveSimdTier() {
+  const SimdTier detected = DetectedTier();
+  const int ov = g_dispatch_override.load(std::memory_order_relaxed);
+  if (ov < 0) return detected;
+  // The override can only lower the tier, never raise it past what the
+  // host supports — forcing kAvx2 on an SSE-only box must not SIGILL.
+  return std::min(detected, static_cast<SimdTier>(ov));
+}
+
+void SetKernelDispatchOverride(std::optional<SimdTier> tier) {
+  g_dispatch_override.store(
+      tier.has_value() ? static_cast<int>(*tier) : -1,
+      std::memory_order_relaxed);
+}
+
+#if SC_HAVE_X86_SIMD
+
+size_t SimdMergeCountDispatch(std::span<const uint32_t> a,
+                              std::span<const uint32_t> b, SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kAvx2:
+      return simd::SimdMergeCountAvx2(a, b);
+    case SimdTier::kSse42:
+      return simd::SimdMergeCountSse(a, b);
+    case SimdTier::kScalar:
+      break;
+  }
+  return MergeCount(a, b);
+}
+
+size_t SimdGallopCountDispatch(std::span<const uint32_t> small,
+                               std::span<const uint32_t> large,
+                               SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kAvx2:
+      return simd::SimdGallopCountAvx2(small, large);
+    case SimdTier::kSse42:
+      return simd::SimdGallopCountSse(small, large);
+    case SimdTier::kScalar:
+      break;
+  }
+  return GallopCount(small, large);
+}
+
+size_t SimdBitmapAndCountDispatch(std::span<const uint64_t> a,
+                                  std::span<const uint64_t> b,
+                                  SimdTier tier) {
+  if (tier == SimdTier::kAvx2) return simd::SimdBitmapAndCountAvx2(a, b);
+  return BitmapAndCount(a, b);
+}
+
+#else  // !SC_HAVE_X86_SIMD
+
+// Non-x86: DetectedTier() is always kScalar so these are unreachable, but
+// the symbols must exist for the inline dispatch in set_kernels.h to link.
+size_t SimdMergeCountDispatch(std::span<const uint32_t> a,
+                              std::span<const uint32_t> b, SimdTier) {
+  return MergeCount(a, b);
+}
+
+size_t SimdGallopCountDispatch(std::span<const uint32_t> small,
+                               std::span<const uint32_t> large, SimdTier) {
+  return GallopCount(small, large);
+}
+
+size_t SimdBitmapAndCountDispatch(std::span<const uint64_t> a,
+                                  std::span<const uint64_t> b, SimdTier) {
+  return BitmapAndCount(a, b);
+}
+
+#endif  // SC_HAVE_X86_SIMD
+
+}  // namespace smartcrawl::index

@@ -1,0 +1,322 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+/// \file simd_kernels.h
+/// Explicitly vectorized twins of the scalar set kernels in set_kernels.h:
+///
+///   * SimdMergeCount{Sse,Avx2}   — block-wise intersection count for the
+///     merge regime. Both sides advance in blocks (4 wide under SSE, 8
+///     wide under AVX2); every cross pair inside the current block pair is
+///     compared at once via lane rotations + cmpeq, and the block whose
+///     maximum is smaller advances (the classic shuffling intersection of
+///     Katsogridakis et al. / Lemire's SIMDCompressionAndIntersection,
+///     count-only). Inputs are sorted unique u32 lists, so each element
+///     matches at most once and popcount(movemask) is an exact tally.
+///
+///   * SimdGallopCount{Sse,Avx2}  — galloping intersection for skewed
+///     pairs: the exponential probe runs in vector-width strides and the
+///     final <=width window is resolved with one broadcast compare
+///     instead of the last binary-search levels.
+///
+///   * SimdBitmapAndCountAvx2     — 512-bit-blocked bitmap AND+popcount:
+///     two 256-bit ANDs per block and the Mula nibble-lookup popcount
+///     (pshufb + sad_epu8) accumulated in 64-bit lanes.
+///
+/// Every function computes EXACTLY the same value as its scalar twin
+/// (differentially tested across a size/skew/density grid in
+/// tests/index/simd_kernels_test.cc); only CPU cost differs. Nothing here
+/// dispatches — set_kernels.h owns kernel selection via
+/// index::ActiveSimdTier(), so these bodies can assume their ISA is
+/// available. Each function carries a per-function target attribute,
+/// which keeps the whole library buildable (and these paths merely
+/// unreachable) on baseline x86-64; on non-x86 the header defines
+/// nothing and the dispatcher never selects a SIMD tier.
+///
+/// This is the ONLY file that may include <immintrin.h> (enforced by the
+/// sc-intrinsic-include lint rule): intrinsics stay behind the dispatch
+/// boundary instead of leaking across the tree.
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SC_HAVE_X86_SIMD 1
+
+#include <immintrin.h>
+
+namespace smartcrawl::index::simd {
+
+#if defined(__clang__) || defined(__GNUC__)
+#define SC_TARGET_SSE42 __attribute__((target("sse4.2")))
+#define SC_TARGET_AVX2 __attribute__((target("avx2")))
+#else
+#define SC_TARGET_SSE42
+#define SC_TARGET_AVX2
+#endif
+
+/// Minimum list length for the block-merge kernels: below one full block
+/// per side the scalar merge is strictly cheaper.
+inline constexpr size_t kSseBlock = 4;
+inline constexpr size_t kAvx2Block = 8;
+
+/// Scalar merge tail shared by the block kernels (identical to
+/// index::MergeCount but over raw cursors).
+inline size_t ScalarMergeTail(const uint32_t* a, size_t i, size_t na,
+                              const uint32_t* b, size_t j, size_t nb) {
+  size_t count = 0;
+  while (i < na && j < nb) {
+    const uint32_t x = a[i];
+    const uint32_t y = b[j];
+    count += static_cast<size_t>(x == y);
+    i += static_cast<size_t>(x <= y);
+    j += static_cast<size_t>(y <= x);
+  }
+  return count;
+}
+
+/// |a ∩ b| via 4x4 block compares (SSE4.2 tier). Sorted unique inputs.
+SC_TARGET_SSE42 inline size_t SimdMergeCountSse(std::span<const uint32_t> a,
+                                                std::span<const uint32_t> b) {
+  const uint32_t* pa = a.data();
+  const uint32_t* pb = b.data();
+  const size_t na = a.size();
+  const size_t nb = b.size();
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  if (na >= kSseBlock && nb >= kSseBlock) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(pa));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(pb));
+    while (true) {
+      // Compare va against all four rotations of vb: every cross pair of
+      // the two blocks is tested, so advancing the lower-max block never
+      // skips a match.
+      const __m128i r0 = _mm_cmpeq_epi32(va, vb);
+      const __m128i r1 = _mm_cmpeq_epi32(
+          va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1)));
+      const __m128i r2 = _mm_cmpeq_epi32(
+          va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2)));
+      const __m128i r3 = _mm_cmpeq_epi32(
+          va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3)));
+      const __m128i any =
+          _mm_or_si128(_mm_or_si128(r0, r1), _mm_or_si128(r2, r3));
+      count += static_cast<size_t>(
+          _mm_popcnt_u32(static_cast<unsigned>(
+              _mm_movemask_ps(_mm_castsi128_ps(any)))));
+      const uint32_t amax = pa[i + kSseBlock - 1];
+      const uint32_t bmax = pb[j + kSseBlock - 1];
+      bool reload_a = false;
+      bool reload_b = false;
+      if (amax <= bmax) {
+        i += kSseBlock;
+        if (i + kSseBlock > na) break;
+        reload_a = true;
+      }
+      if (bmax <= amax) {
+        j += kSseBlock;
+        if (j + kSseBlock > nb) break;
+        reload_b = true;
+      }
+      if (reload_a) {
+        va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(pa + i));
+      }
+      if (reload_b) {
+        vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(pb + j));
+      }
+    }
+  }
+  return count + ScalarMergeTail(pa, i, na, pb, j, nb);
+}
+
+/// |a ∩ b| via 8x8 block compares (AVX2 tier). Sorted unique inputs.
+SC_TARGET_AVX2 inline size_t SimdMergeCountAvx2(std::span<const uint32_t> a,
+                                                std::span<const uint32_t> b) {
+  const uint32_t* pa = a.data();
+  const uint32_t* pb = b.data();
+  const size_t na = a.size();
+  const size_t nb = b.size();
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  if (na >= kAvx2Block && nb >= kAvx2Block) {
+    // Cross-lane rotations of vb by r lanes; index vectors are loop
+    // invariants the compiler hoists into registers.
+    const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+    __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pa));
+    __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb));
+    while (true) {
+      __m256i rotated = vb;
+      __m256i any = _mm256_cmpeq_epi32(va, vb);
+      for (int r = 1; r < static_cast<int>(kAvx2Block); ++r) {
+        rotated = _mm256_permutevar8x32_epi32(rotated, rot1);
+        any = _mm256_or_si256(any, _mm256_cmpeq_epi32(va, rotated));
+      }
+      count += static_cast<size_t>(
+          _mm_popcnt_u32(static_cast<unsigned>(
+              _mm256_movemask_ps(_mm256_castsi256_ps(any)))));
+      const uint32_t amax = pa[i + kAvx2Block - 1];
+      const uint32_t bmax = pb[j + kAvx2Block - 1];
+      bool reload_a = false;
+      bool reload_b = false;
+      if (amax <= bmax) {
+        i += kAvx2Block;
+        if (i + kAvx2Block > na) break;
+        reload_a = true;
+      }
+      if (bmax <= amax) {
+        j += kAvx2Block;
+        if (j + kAvx2Block > nb) break;
+        reload_b = true;
+      }
+      if (reload_a) {
+        va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pa + i));
+      }
+      if (reload_b) {
+        vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb + j));
+      }
+    }
+  }
+  return count + ScalarMergeTail(pa, i, na, pb, j, nb);
+}
+
+/// First position in [it, end) with *pos >= x: exponential probe in
+/// 4-lane strides, then one broadcast compare over the final window.
+SC_TARGET_SSE42 inline const uint32_t* SimdGallopLowerBoundSse(
+    const uint32_t* it, const uint32_t* end, uint32_t x) {
+  size_t step = kSseBlock;
+  while (it + step < end && it[step - 1] < x) {
+    it += step;
+    step <<= 1;
+  }
+  const uint32_t* hi = (it + step < end) ? it + step : end;
+  while (static_cast<size_t>(hi - it) > kSseBlock) {
+    const uint32_t* mid = it + static_cast<size_t>(hi - it) / 2;
+    if (*mid < x) {
+      it = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (static_cast<size_t>(end - it) >= kSseBlock) {
+    // Unsigned v >= x as max(v, x) == v; the first set lane is the lower
+    // bound even past `hi` (the list stays sorted there).
+    const __m128i vx = _mm_set1_epi32(static_cast<int>(x));
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(it));
+    const __m128i ge = _mm_cmpeq_epi32(_mm_max_epu32(v, vx), v);
+    const unsigned mask =
+        static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(ge)));
+    if (mask != 0) return it + __builtin_ctz(mask);
+    return it + kSseBlock;
+  }
+  return std::lower_bound(it, end, x);
+}
+
+/// 8-lane variant of SimdGallopLowerBoundSse.
+SC_TARGET_AVX2 inline const uint32_t* SimdGallopLowerBoundAvx2(
+    const uint32_t* it, const uint32_t* end, uint32_t x) {
+  size_t step = kAvx2Block;
+  while (it + step < end && it[step - 1] < x) {
+    it += step;
+    step <<= 1;
+  }
+  const uint32_t* hi = (it + step < end) ? it + step : end;
+  while (static_cast<size_t>(hi - it) > kAvx2Block) {
+    const uint32_t* mid = it + static_cast<size_t>(hi - it) / 2;
+    if (*mid < x) {
+      it = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (static_cast<size_t>(end - it) >= kAvx2Block) {
+    const __m256i vx = _mm256_set1_epi32(static_cast<int>(x));
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(it));
+    const __m256i ge = _mm256_cmpeq_epi32(_mm256_max_epu32(v, vx), v);
+    const unsigned mask =
+        static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(ge)));
+    if (mask != 0) return it + __builtin_ctz(mask);
+    return it + kAvx2Block;
+  }
+  return std::lower_bound(it, end, x);
+}
+
+/// |small ∩ large| with a moving vectorized-gallop cursor (SSE4.2 tier).
+SC_TARGET_SSE42 inline size_t SimdGallopCountSse(
+    std::span<const uint32_t> small, std::span<const uint32_t> large) {
+  size_t count = 0;
+  const uint32_t* it = large.data();
+  const uint32_t* const end = large.data() + large.size();
+  for (uint32_t x : small) {
+    it = SimdGallopLowerBoundSse(it, end, x);
+    if (it == end) break;
+    count += static_cast<size_t>(*it == x);
+  }
+  return count;
+}
+
+/// |small ∩ large| with a moving vectorized-gallop cursor (AVX2 tier).
+SC_TARGET_AVX2 inline size_t SimdGallopCountAvx2(
+    std::span<const uint32_t> small, std::span<const uint32_t> large) {
+  size_t count = 0;
+  const uint32_t* it = large.data();
+  const uint32_t* const end = large.data() + large.size();
+  for (uint32_t x : small) {
+    it = SimdGallopLowerBoundAvx2(it, end, x);
+    if (it == end) break;
+    count += static_cast<size_t>(*it == x);
+  }
+  return count;
+}
+
+/// popcount(a AND b) over 512-bit blocks: two 256-bit ANDs per block and
+/// the Mula nibble-lookup popcount accumulated in epi64 lanes (sad_epu8
+/// sums per 8 bytes, so the accumulator never overflows for any realistic
+/// bitmap). Trailing words fall back to scalar popcount.
+SC_TARGET_AVX2 inline size_t SimdBitmapAndCountAvx2(
+    std::span<const uint64_t> a, std::span<const uint64_t> b) {
+  const size_t n = std::min(a.size(), b.size());
+  const __m256i lookup = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  size_t w = 0;
+  for (; w + 8 <= n; w += 8) {
+    for (size_t half = 0; half < 2; ++half) {
+      const size_t off = w + half * 4;
+      const __m256i va = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(a.data() + off));
+      const __m256i vb = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(b.data() + off));
+      const __m256i v = _mm256_and_si256(va, vb);
+      const __m256i lo = _mm256_and_si256(v, low_mask);
+      const __m256i hi =
+          _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+      const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                          _mm256_shuffle_epi8(lookup, hi));
+      acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, zero));
+    }
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  size_t count = static_cast<size_t>(lanes[0] + lanes[1] + lanes[2] +
+                                     lanes[3]);
+  for (; w < n; ++w) {
+    count += static_cast<size_t>(_mm_popcnt_u64(a[w] & b[w]));
+  }
+  return count;
+}
+
+#undef SC_TARGET_SSE42
+#undef SC_TARGET_AVX2
+
+}  // namespace smartcrawl::index::simd
+
+#else  // !x86
+#define SC_HAVE_X86_SIMD 0
+#endif

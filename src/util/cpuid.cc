@@ -1,0 +1,77 @@
+#include "util/cpuid.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace smartcrawl::util {
+
+namespace {
+
+/// True when SC_DISABLE_SIMD is set to anything but "" or "0".
+bool SimdDisabledByEnv() {
+  const char* v = std::getenv("SC_DISABLE_SIMD");
+  if (v == nullptr || v[0] == '\0') return false;
+  return std::strcmp(v, "0") != 0;
+}
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+  f.simd_disabled_by_env = SimdDisabledByEnv();
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned eax = 0;
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+  unsigned edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return f;
+  f.sse42 = (ecx & bit_SSE4_2) != 0;
+
+  // AVX2 needs three yeses: the AVX bit, OSXSAVE (the OS exposes xgetbv),
+  // and XCR0 confirming the OS saves XMM+YMM state across context
+  // switches. Skipping the XCR0 check is how you crash in a VM that masks
+  // YMM state; see Intel SDM Vol.1 §14.3.
+  const bool osxsave = (ecx & bit_OSXSAVE) != 0;
+  const bool avx = (ecx & bit_AVX) != 0;
+  if (osxsave && avx) {
+    // xgetbv(0) via asm: the _xgetbv intrinsic needs -mxsave at the TU
+    // level, and <immintrin.h> is confined to index/simd_kernels.h.
+    unsigned xcr0_lo = 0;
+    unsigned xcr0_hi = 0;
+    __asm__ volatile("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0u));
+    const bool ymm_saved =
+        (xcr0_lo & 0x6) == 0x6;  // XMM (bit 1) + YMM (bit 2)
+    if (ymm_saved && __get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+      f.avx2 = (ebx & bit_AVX2) != 0;
+    }
+  }
+#endif
+  return f;
+}
+
+}  // namespace
+
+const char* CpuFeatures::TierName() const {
+  if (simd_disabled_by_env) return "scalar";
+  if (avx2) return "AVX2";
+  if (sse42) return "SSE4.2";
+  return "scalar";
+}
+
+const CpuFeatures& CpuFeatures::Get() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f = Detect();
+    SC_LOG(kInfo) << "cpu: SIMD dispatch tier " << f.TierName()
+                  << (f.simd_disabled_by_env ? " (SC_DISABLE_SIMD set)" : "")
+                  << " [sse4.2=" << (f.sse42 ? 1 : 0)
+                  << " avx2=" << (f.avx2 ? 1 : 0) << "]";
+    return f;
+  }();
+  return features;
+}
+
+}  // namespace smartcrawl::util

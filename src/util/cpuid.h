@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file cpuid.h
+/// Runtime CPU feature detection for the SIMD set kernels.
+///
+/// The vectorized kernels in index/simd_kernels.h are compiled with
+/// per-function target attributes, so the binary always contains them —
+/// whether they may be *executed* is a runtime question answered here once
+/// per process. Detection runs `cpuid` on x86 (including the OSXSAVE/XCR0
+/// dance that checks the OS actually saves YMM state); on other
+/// architectures every tier reports false and the scalar kernels are the
+/// only ones ever dispatched.
+///
+/// `SC_DISABLE_SIMD` (any non-empty value except "0") forces the scalar
+/// tier regardless of hardware — the production kill switch mirrored by
+/// the finer-grained test hook index::SetKernelDispatchOverride(). The
+/// detected tier is logged once at first use so a crawl log always records
+/// which kernels could have run.
+
+namespace smartcrawl::util {
+
+struct CpuFeatures {
+  /// SSE4.2 (and everything below it) is available.
+  bool sse42 = false;
+  /// AVX2 is available AND the OS saves the 256-bit register state.
+  bool avx2 = false;
+  /// SC_DISABLE_SIMD was set in the environment at first detection.
+  bool simd_disabled_by_env = false;
+
+  /// Detects once (thread-safe, cached) and logs the tier on first call.
+  static const CpuFeatures& Get();
+
+  /// Human-readable dispatch tier after the env override: "scalar",
+  /// "SSE4.2" or "AVX2".
+  const char* TierName() const;
+};
+
+}  // namespace smartcrawl::util

@@ -1,0 +1,175 @@
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/crawl_service.h"
+#include "core/smart_crawler.h"
+#include "datagen/scenario.h"
+#include "index/lazy_priority_queue.h"
+#include "sample/sampler.h"
+#include "util/hash.h"
+
+/// Batched-repair determinism suite.
+///
+/// The claim under test (see crawl_session.h): replacing per-query
+/// MarkDirty + recompute-on-pop with an eager batched re-estimation of the
+/// dirty frontier changes only WHEN priorities are recomputed, never which
+/// query is selected — so a whole multi-tenant fleet must be bit-identical
+/// between point repair, batched repair on 1 thread and batched repair on
+/// a 4-thread dedicated pool.
+namespace smartcrawl::core {
+namespace {
+
+uint64_t Fingerprint(const CrawlResult& r) {
+  size_t h = 0x5c5c5c5cULL;
+  for (const auto& it : r.iterations) {
+    HashCombine(h, Fnv1a(it.query));
+    HashCombine(h, it.page_size);
+    HashCombine(h, std::bit_cast<uint64_t>(it.estimated_benefit));
+    for (table::EntityId e : it.page_entities) HashCombine(h, e);
+  }
+  for (table::RecordId d : r.covered_local_ids) HashCombine(h, d);
+  return h;
+}
+
+// ----- LazyPriorityQueue::Update unit semantics -------------------------
+
+TEST(BatchedRepairTest, UpdateSupersedesOldEntriesAndKeepsPopOrder) {
+  index::LazyPriorityQueue pq([](uint32_t) { return 0.0; });
+  pq.Push(0, 10.0);
+  pq.Push(1, 20.0);
+  pq.Push(2, 30.0);
+  // Batched repair lowers 2 below 0: the stale 30.0 entry must be skipped
+  // and 1 must win, then 0, then 2's fresh value.
+  pq.Update(2, 5.0);
+  uint32_t id = 0;
+  double p = 0.0;
+  ASSERT_TRUE(pq.PopMax(&id, &p));
+  EXPECT_EQ(id, 1u);
+  EXPECT_EQ(p, 20.0);
+  ASSERT_TRUE(pq.PopMax(&id, &p));
+  EXPECT_EQ(id, 0u);
+  ASSERT_TRUE(pq.PopMax(&id, &p));
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(p, 5.0);
+  EXPECT_FALSE(pq.PopMax(&id, &p));
+  // No lazy recomputes happened — repair was eager.
+  EXPECT_EQ(pq.num_recomputes(), 0u);
+}
+
+TEST(BatchedRepairTest, UpdateIgnoresRetiredAndUnchangedIds) {
+  index::LazyPriorityQueue pq([](uint32_t) { return 0.0; });
+  pq.Push(0, 10.0);
+  pq.Push(1, 8.0);
+  uint32_t id = 0;
+  double p = 0.0;
+  ASSERT_TRUE(pq.PopMax(&id, &p));
+  ASSERT_EQ(id, 0u);
+  EXPECT_FALSE(pq.IsLive(0));
+  // Updating a retired id must not resurrect it...
+  pq.Update(0, 99.0);
+  // ...and an unchanged value must not enqueue a duplicate.
+  pq.Update(1, 8.0);
+  EXPECT_EQ(pq.size(), 1u);
+  ASSERT_TRUE(pq.PopMax(&id, &p));
+  EXPECT_EQ(id, 1u);
+  EXPECT_FALSE(pq.PopMax(&id, &p));
+}
+
+TEST(BatchedRepairTest, RePushAfterPopIsPoppableAgain) {
+  // The kBound policy re-pushes a partially matched query at a lower
+  // priority; lazy deletion must not eat the fresh entry.
+  index::LazyPriorityQueue pq([](uint32_t) { return 0.0; });
+  pq.Push(0, 10.0);
+  pq.Update(0, 7.0);  // leaves a dead 10.0 duplicate behind
+  uint32_t id = 0;
+  double p = 0.0;
+  ASSERT_TRUE(pq.PopMax(&id, &p));
+  EXPECT_EQ(p, 7.0);
+  pq.Push(0, 7.0);  // re-push at the same value the pop returned
+  ASSERT_TRUE(pq.PopMax(&id, &p));
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(p, 7.0);
+  EXPECT_FALSE(pq.PopMax(&id, &p));
+}
+
+// ----- fleet-level bit-identity -----------------------------------------
+
+TEST(BatchedRepairTest, EightSessionFleetBitIdenticalAcrossRepairModes) {
+  datagen::DblpScenarioConfig cfg;
+  cfg.corpus.corpus_size = 4000;
+  cfg.corpus.db_community_fraction = 0.5;
+  cfg.hidden_size = 1500;
+  cfg.local_size = 250;
+  cfg.top_k = 50;
+  cfg.error_rate = 0.2;
+  cfg.seed = 71;
+  auto s = datagen::BuildDblpScenario(cfg);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  auto sample = sample::BernoulliSample(*s->hidden, 0.025, 13);
+
+  SmartCrawlOptions opt;
+  opt.policy = SelectionPolicy::kEstBiased;
+  opt.local_text_fields = s->local_text_fields;
+  opt.num_threads = 1;
+  opt.er.mode = match::ErMode::kJaccard;
+  opt.er.jaccard_threshold = 0.6;
+  auto plan_or = CrawlPlan::Build(&s->local, std::move(opt), &sample);
+  ASSERT_TRUE(plan_or.ok()) << plan_or.status().ToString();
+  std::shared_ptr<const CrawlPlan> plan = std::move(plan_or).value();
+
+  const size_t budgets[] = {5, 30, 12, 7, 30, 18, 25, 3};
+  std::vector<SessionSpec> specs;
+  for (size_t b : budgets) {
+    SessionSpec spec;
+    spec.plan = plan;
+    spec.budget = b;
+    specs.push_back(std::move(spec));
+  }
+
+  auto run = [&](PqRepairMode repair, unsigned repair_threads) {
+    CrawlServiceOptions sopt;
+    sopt.num_threads = 2;  // Phase B on workers: repair pool is separate
+    sopt.pq_repair = repair;
+    sopt.repair_threads = repair_threads;
+    CrawlService service(s->hidden.get(), sopt);
+    auto outcomes = service.RunAll(specs);
+    EXPECT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+    return std::move(outcomes).value();
+  };
+
+  const auto point = run(PqRepairMode::kPoint, 1);
+  const auto batched1 = run(PqRepairMode::kBatched, 1);
+  const auto batched4 = run(PqRepairMode::kBatched, 4);
+  ASSERT_EQ(point.size(), specs.size());
+  ASSERT_EQ(batched1.size(), specs.size());
+  ASSERT_EQ(batched4.size(), specs.size());
+
+  for (size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE("session " + std::to_string(i));
+    ASSERT_TRUE(point[i].status.ok()) << point[i].status.ToString();
+    ASSERT_TRUE(batched1[i].status.ok()) << batched1[i].status.ToString();
+    ASSERT_TRUE(batched4[i].status.ok()) << batched4[i].status.ToString();
+    // Selection bit-identity: point == batched@1 == batched@4.
+    EXPECT_EQ(point[i].result.queries_issued,
+              batched1[i].result.queries_issued);
+    EXPECT_EQ(point[i].result.stopped_early,
+              batched1[i].result.stopped_early);
+    EXPECT_EQ(Fingerprint(point[i].result), Fingerprint(batched1[i].result));
+    EXPECT_EQ(Fingerprint(point[i].result), Fingerprint(batched4[i].result));
+    // The eager recompute count is itself deterministic in the repair
+    // pool size (index-addressed buffer + canonical writeback).
+    EXPECT_EQ(batched1[i].result.stats.pq_recomputes,
+              batched4[i].result.stats.pq_recomputes);
+    // Both modes saw the same dedup'd dirty frontier.
+    EXPECT_EQ(point[i].result.stats.fanout_updates,
+              batched1[i].result.stats.fanout_updates);
+  }
+}
+
+}  // namespace
+}  // namespace smartcrawl::core

@@ -74,6 +74,9 @@ TEST(SetKernelsTest, AllKernelsAgreeOnRandomPairs) {
 }
 
 TEST(SetKernelsTest, PairCountSelectsKernelByRatioAndTallies) {
+  // Force the scalar tier so the regime tallies are deterministic across
+  // hosts; the SIMD-variant tallies are covered by SimdKernels tests.
+  SetKernelDispatchOverride(SimdTier::kScalar);
   KernelCounters counters;
   // 2 * kGallopRatio < 128: skewed enough to gallop.
   std::vector<uint32_t> small{10, 500};
@@ -86,6 +89,19 @@ TEST(SetKernelsTest, PairCountSelectsKernelByRatioAndTallies) {
   EXPECT_EQ(s.galloping, 1u);
   EXPECT_EQ(s.merge, 1u);
   EXPECT_EQ(s.bitmap, 0u);
+  EXPECT_EQ(s.simd_gallop, 0u);
+  EXPECT_EQ(s.simd_merge, 0u);
+  SetKernelDispatchOverride(std::nullopt);
+
+  // At the ambient tier the same inputs land in the same REGIMES; which
+  // variant column gets the tally depends on the host, but the per-regime
+  // sums are tier-independent.
+  KernelCounters ambient;
+  EXPECT_EQ(PairCount(small, large, &ambient), 2u);
+  EXPECT_EQ(PairCount(large, large, &ambient), 1000u);
+  KernelStats a = ambient.Snapshot();
+  EXPECT_EQ(a.galloping + a.simd_gallop, 1u);
+  EXPECT_EQ(a.merge + a.simd_merge, 1u);
 }
 
 TEST(SetKernelsTest, BitmapHelpers) {

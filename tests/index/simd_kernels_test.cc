@@ -1,0 +1,298 @@
+#include "index/simd_kernels.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/set_kernels.h"
+#include "util/cpuid.h"
+#include "util/random.h"
+
+/// Differential suite for the vectorized set kernels: every SIMD body must
+/// agree with its scalar twin EXACTLY on a randomized size/skew/density
+/// grid (the grid straddles the dispatch floors and the block widths on
+/// purpose: empty lists, sub-block tails, aligned multiples, adversarial
+/// all-equal and disjoint inputs). Suite name is `SimdKernels*` — the CI
+/// simd-kernels job runs exactly this filter.
+///
+/// On a host without the corresponding tier the body tests are skipped
+/// (never silently passed — CI builds with -march=x86-64-v3 and guards
+/// against an empty filter match); the dispatch-level tests run anywhere.
+
+namespace smartcrawl::index {
+namespace {
+
+/// Sorted unique list of roughly `len` elements drawn from [0, universe):
+/// `universe` close to `len` gives dense lists (many matches), a large
+/// universe gives sparse ones.
+std::vector<uint32_t> MakeSortedList(smartcrawl::Rng& rng, size_t len,
+                                     uint32_t universe) {
+  std::vector<uint32_t> v;
+  v.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    v.push_back(static_cast<uint32_t>(rng.UniformIndex(universe)));
+  }
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+bool HostHasSse42() {
+#if SC_HAVE_X86_SIMD
+  return util::CpuFeatures::Get().sse42;
+#else
+  return false;
+#endif
+}
+
+bool HostHasAvx2() {
+#if SC_HAVE_X86_SIMD
+  return util::CpuFeatures::Get().avx2;
+#else
+  return false;
+#endif
+}
+
+/// The size/skew grid every differential test sweeps: list lengths from
+/// empty through sub-block tails to a few thousand, crossed with dense
+/// and sparse universes.
+constexpr size_t kSizes[] = {0, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17,
+                             31, 33, 64, 100, 257, 1000, 4096};
+constexpr uint32_t kDensityInv[] = {1, 2, 8, 64};  // universe = len * this
+
+#if SC_HAVE_X86_SIMD
+
+TEST(SimdKernelsTest, MergeCountMatchesScalarAcrossGrid) {
+  const bool sse = HostHasSse42();
+  const bool avx2 = HostHasAvx2();
+  if (!sse && !avx2) GTEST_SKIP() << "host has no SIMD tier";
+  smartcrawl::Rng rng(0x51u);
+  for (size_t na : kSizes) {
+    for (size_t nb : kSizes) {
+      for (uint32_t dinv : kDensityInv) {
+        const uint32_t universe = static_cast<uint32_t>(
+            std::max<size_t>(1, std::max(na, nb) * dinv));
+        std::vector<uint32_t> a = MakeSortedList(rng, na, universe);
+        std::vector<uint32_t> b = MakeSortedList(rng, nb, universe);
+        const size_t want = MergeCount(a, b);
+        if (sse) {
+          EXPECT_EQ(simd::SimdMergeCountSse(a, b), want)
+              << "sse na=" << na << " nb=" << nb << " dinv=" << dinv;
+        }
+        if (avx2) {
+          EXPECT_EQ(simd::SimdMergeCountAvx2(a, b), want)
+              << "avx2 na=" << na << " nb=" << nb << " dinv=" << dinv;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, MergeCountAdversarialShapes) {
+  const bool sse = HostHasSse42();
+  const bool avx2 = HostHasAvx2();
+  if (!sse && !avx2) GTEST_SKIP() << "host has no SIMD tier";
+  // Identical lists, fully disjoint interleaved lists, and one list
+  // entirely below the other: the block-advance logic's corner cases.
+  std::vector<uint32_t> base(513);
+  for (uint32_t i = 0; i < base.size(); ++i) base[i] = 2 * i;
+  std::vector<uint32_t> odd(513);
+  for (uint32_t i = 0; i < odd.size(); ++i) odd[i] = 2 * i + 1;
+  std::vector<uint32_t> high(64);
+  for (uint32_t i = 0; i < high.size(); ++i) high[i] = 100000 + i;
+  const std::pair<std::vector<uint32_t>, std::vector<uint32_t>> cases[] = {
+      {base, base}, {base, odd}, {base, high}, {high, base}};
+  for (const auto& [a, b] : cases) {
+    const size_t want = MergeCount(a, b);
+    if (sse) {
+      EXPECT_EQ(simd::SimdMergeCountSse(a, b), want);
+    }
+    if (avx2) {
+      EXPECT_EQ(simd::SimdMergeCountAvx2(a, b), want);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, GallopCountMatchesScalarAcrossGrid) {
+  const bool sse = HostHasSse42();
+  const bool avx2 = HostHasAvx2();
+  if (!sse && !avx2) GTEST_SKIP() << "host has no SIMD tier";
+  smartcrawl::Rng rng(0x52u);
+  for (size_t nsmall : {0, 1, 2, 5, 8, 17, 50}) {
+    for (size_t nlarge : kSizes) {
+      for (uint32_t dinv : kDensityInv) {
+        const uint32_t universe = static_cast<uint32_t>(
+            std::max<size_t>(1, std::max(nsmall, nlarge) * dinv));
+        std::vector<uint32_t> small =
+            MakeSortedList(rng, nsmall, universe);
+        std::vector<uint32_t> large =
+            MakeSortedList(rng, nlarge, universe);
+        const size_t want = GallopCount(small, large);
+        if (sse) {
+          EXPECT_EQ(simd::SimdGallopCountSse(small, large), want)
+              << "sse nsmall=" << nsmall << " nlarge=" << nlarge
+              << " dinv=" << dinv;
+        }
+        if (avx2) {
+          EXPECT_EQ(simd::SimdGallopCountAvx2(small, large), want)
+              << "avx2 nsmall=" << nsmall << " nlarge=" << nlarge
+              << " dinv=" << dinv;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, GallopLowerBoundMatchesStdLowerBound) {
+  const bool sse = HostHasSse42();
+  const bool avx2 = HostHasAvx2();
+  if (!sse && !avx2) GTEST_SKIP() << "host has no SIMD tier";
+  smartcrawl::Rng rng(0x53u);
+  for (size_t n : kSizes) {
+    std::vector<uint32_t> v =
+        MakeSortedList(rng, n, static_cast<uint32_t>(4 * n + 8));
+    const uint32_t* const begin = v.data();
+    const uint32_t* const end = v.data() + v.size();
+    // Probe every present value, its neighbors, and the extremes.
+    std::vector<uint32_t> probes{0, 1, 0xffffffffu};
+    for (uint32_t x : v) {
+      probes.push_back(x);
+      if (x > 0) probes.push_back(x - 1);
+      probes.push_back(x + 1);
+    }
+    for (uint32_t x : probes) {
+      const uint32_t* want = std::lower_bound(begin, end, x);
+      if (sse) {
+        EXPECT_EQ(simd::SimdGallopLowerBoundSse(begin, end, x), want)
+            << "sse n=" << n << " x=" << x;
+      }
+      if (avx2) {
+        EXPECT_EQ(simd::SimdGallopLowerBoundAvx2(begin, end, x), want)
+            << "avx2 n=" << n << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, BitmapAndCountMatchesScalarAcrossGrid) {
+  if (!HostHasAvx2()) GTEST_SKIP() << "host has no AVX2";
+  smartcrawl::Rng rng(0x54u);
+  // Word counts straddling the 8-word (512-bit) block: tails of every
+  // length, plus dense/sparse/empty fill.
+  for (size_t words : {0, 1, 7, 8, 9, 15, 16, 17, 64, 129}) {
+    for (double fill : {0.0, 0.03, 0.5, 1.0}) {
+      std::vector<uint64_t> a(words, 0);
+      std::vector<uint64_t> b(words, 0);
+      for (size_t w = 0; w < words; ++w) {
+        for (int bit = 0; bit < 64; ++bit) {
+          if (rng.Bernoulli(fill)) a[w] |= uint64_t{1} << bit;
+          if (rng.Bernoulli(fill)) b[w] |= uint64_t{1} << bit;
+        }
+      }
+      EXPECT_EQ(simd::SimdBitmapAndCountAvx2(a, b), BitmapAndCount(a, b))
+          << "words=" << words << " fill=" << fill;
+    }
+  }
+}
+
+#endif  // SC_HAVE_X86_SIMD
+
+// ----- dispatch-level tests (run on every architecture) -----------------
+
+TEST(SimdKernelsTest, ActiveTierFollowsCpuFeaturesAndOverride) {
+  const util::CpuFeatures& f = util::CpuFeatures::Get();
+  SetKernelDispatchOverride(std::nullopt);
+  const SimdTier ambient = ActiveSimdTier();
+  if (f.simd_disabled_by_env) {
+    EXPECT_EQ(ambient, SimdTier::kScalar);
+  } else if (HostHasAvx2()) {
+    EXPECT_EQ(ambient, SimdTier::kAvx2);
+  } else if (HostHasSse42()) {
+    EXPECT_EQ(ambient, SimdTier::kSse42);
+  } else {
+    EXPECT_EQ(ambient, SimdTier::kScalar);
+  }
+
+  // The override lowers the tier and never raises it past the host.
+  SetKernelDispatchOverride(SimdTier::kScalar);
+  EXPECT_EQ(ActiveSimdTier(), SimdTier::kScalar);
+  SetKernelDispatchOverride(SimdTier::kAvx2);
+  EXPECT_EQ(ActiveSimdTier(), ambient);
+  SetKernelDispatchOverride(std::nullopt);
+  EXPECT_EQ(ActiveSimdTier(), ambient);
+}
+
+TEST(SimdKernelsTest, PairCountIdenticalAcrossTiersAndTalliesVariant) {
+  smartcrawl::Rng rng(0x55u);
+  // One merge-regime pair and one gallop-regime pair, both above the SIMD
+  // floors so a non-scalar tier actually dispatches vector bodies.
+  std::vector<uint32_t> a = MakeSortedList(rng, 800, 3000);
+  std::vector<uint32_t> b = MakeSortedList(rng, 900, 3000);
+  std::vector<uint32_t> tiny = MakeSortedList(rng, 8, 40000);
+  std::vector<uint32_t> huge = MakeSortedList(rng, 4000, 40000);
+
+  SetKernelDispatchOverride(SimdTier::kScalar);
+  KernelCounters scalar_counters;
+  const size_t merge_want = PairCount(a, b, &scalar_counters);
+  const size_t gallop_want = PairCount(tiny, huge, &scalar_counters);
+  EXPECT_EQ(scalar_counters.Snapshot().merge, 1u);
+  EXPECT_EQ(scalar_counters.Snapshot().galloping, 1u);
+
+  SetKernelDispatchOverride(std::nullopt);
+  KernelCounters ambient_counters;
+  EXPECT_EQ(PairCount(a, b, &ambient_counters), merge_want);
+  EXPECT_EQ(PairCount(tiny, huge, &ambient_counters), gallop_want);
+  const KernelStats s = ambient_counters.Snapshot();
+  if (ActiveSimdTier() != SimdTier::kScalar) {
+    EXPECT_EQ(s.simd_merge, 1u);
+    EXPECT_EQ(s.simd_gallop, 1u);
+    EXPECT_EQ(s.merge, 0u);
+    EXPECT_EQ(s.galloping, 0u);
+  } else {
+    EXPECT_EQ(s.merge, 1u);
+    EXPECT_EQ(s.galloping, 1u);
+  }
+}
+
+TEST(SimdKernelsTest, CountersAwareBitmapAndTalliesVariant) {
+  std::vector<uint64_t> a(32, 0x0f0f0f0f0f0f0f0fULL);
+  std::vector<uint64_t> b(32, 0xff00ff00ff00ff00ULL);
+  const size_t want = BitmapAndCount(a, b);
+
+  SetKernelDispatchOverride(SimdTier::kScalar);
+  KernelCounters scalar_counters;
+  EXPECT_EQ(BitmapAndCount(a, b, &scalar_counters), want);
+  EXPECT_EQ(scalar_counters.Snapshot().bitmap, 1u);
+  EXPECT_EQ(scalar_counters.Snapshot().bitmap_blocked, 0u);
+
+  SetKernelDispatchOverride(std::nullopt);
+  KernelCounters ambient_counters;
+  EXPECT_EQ(BitmapAndCount(a, b, &ambient_counters), want);
+  const KernelStats s = ambient_counters.Snapshot();
+  if (ActiveSimdTier() == SimdTier::kAvx2) {
+    EXPECT_EQ(s.bitmap_blocked, 1u);
+    EXPECT_EQ(s.bitmap, 0u);
+  } else {
+    EXPECT_EQ(s.bitmap, 1u);
+    EXPECT_EQ(s.bitmap_blocked, 0u);
+  }
+}
+
+TEST(SimdKernelsTest, SubFloorInputsStayScalarEvenWithSimd) {
+  // Below the dispatch floors the scalar kernels run regardless of tier —
+  // the floor constants are part of the dispatch contract.
+  SetKernelDispatchOverride(std::nullopt);
+  KernelCounters counters;
+  std::vector<uint32_t> a{1, 2, 3};
+  std::vector<uint32_t> b{2, 3, 4};
+  EXPECT_EQ(PairCount(a, b, &counters), 2u);
+  const KernelStats s = counters.Snapshot();
+  EXPECT_EQ(s.merge, 1u);
+  EXPECT_EQ(s.simd_merge, 0u);
+}
+
+}  // namespace
+}  // namespace smartcrawl::index

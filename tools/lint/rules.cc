@@ -845,6 +845,38 @@ void CheckUnusedInclude(const FileUnit& unit, const RuleContext& ctx,
   }
 }
 
+// ---------------------------------------------------------------------------
+// sc-intrinsic-include: CPU intrinsic headers stay behind the dispatch
+// boundary
+// ---------------------------------------------------------------------------
+
+/// Flags #include of the x86 intrinsic headers (<immintrin.h> and the
+/// whole *intrin.h family) anywhere but the allowlisted SIMD kernel
+/// header. Everything else must call the dispatch entry points in
+/// index/set_kernels.h, so vector code remains runtime-dispatched,
+/// differentially tested, and buildable on baseline hardware. <cpuid.h>
+/// is deliberately NOT restricted: feature *detection* is portable glue,
+/// only instruction *emission* is confined.
+void CheckIntrinsicInclude(const FileUnit& unit, const RuleContext&,
+                           std::vector<Finding>* out) {
+  constexpr std::string_view kSuffix = "intrin.h";
+  for (const IncludeDirective& d : unit.includes) {
+    // Basename of the include target ("immintrin.h", "x86/avx2intrin.h").
+    size_t slash = d.target.rfind('/');
+    std::string_view base = std::string_view(d.target).substr(
+        slash == std::string::npos ? 0 : slash + 1);
+    if (base.size() < kSuffix.size() ||
+        base.substr(base.size() - kSuffix.size()) != kSuffix) {
+      continue;
+    }
+    EmitAt(out, unit, d.line, d.col, "sc-intrinsic-include",
+           "\"" + d.target +
+               "\" is a CPU intrinsic header: include it only in the "
+               "allowlisted SIMD kernel header and go through the "
+               "runtime dispatch in index/set_kernels.h everywhere else");
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleDef>& AllRules() {
@@ -876,6 +908,9 @@ const std::vector<RuleDef>& AllRules() {
       {"sc-direct-include", Severity::kError,
        "configured tokens must be backed by a direct include",
        CheckDirectInclude},
+      {"sc-intrinsic-include", Severity::kError,
+       "CPU intrinsic headers only in the allowlisted SIMD kernel header",
+       CheckIntrinsicInclude},
       {"sc-plan-mutation", Severity::kError,
        "CrawlPlan is immutable: no non-const members, no const_cast",
        CheckPlanMutation},
