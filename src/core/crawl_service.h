@@ -17,7 +17,7 @@
 
 /// \file crawl_service.h
 /// Multi-tenant crawl driver: N CrawlSessions over shared CrawlPlans,
-/// advanced in lock step behind one shared query cache.
+/// advanced in rounds behind one shared, sharded query cache.
 ///
 /// The north-star deployment is one hidden database serving many
 /// enrichment users. Two things make that affordable:
@@ -30,17 +30,37 @@
 ///    metering (which charges by the delta of queries the layers BELOW it
 ///    actually accepted) such hits are metered-free.
 ///
-/// Determinism: the driver advances sessions in rounds. Phase A walks
-/// sessions in index order on the calling thread and lets each issue at
-/// most one accepted query (all transport and shared-cache mutation is
-/// serialized here — the sequential walk is also what keeps per-tenant
-/// quota delta-accounting exact over the shared inner chain). Phase B
-/// processes the returned pages on the worker pool; each session touches
-/// only its own state plus const plans, and no result crosses sessions.
-/// The schedule therefore never depends on worker timing, and every
-/// per-session CrawlResult is bit-identical at any thread count — the
-/// same simulated-clock discipline the rest of the codebase follows
-/// (pinned by tests/core/crawl_service_test.cc).
+/// Each round has an issue half (Phase A: every live session issues at
+/// most one accepted query, in session-index order, all transport and
+/// shared-cache mutation serialized on one thread) and a compute half
+/// (Phase B: the fetched pages are matched/removed/repaired on the worker
+/// pool; each session touches only its own state plus const plans). Two
+/// drive modes schedule those halves (DriveMode):
+///
+///  * kRoundBased — the reference implementation: Phase A and Phase B
+///    alternate with a full barrier between them, both on the calling
+///    thread's round loop.
+///  * kPipelined (default) — a dedicated issuer thread runs Phase A for
+///    round r+1 while the worker pool runs Phase B for round r, handing
+///    rounds off through a double-buffered util::RoundHandoff with
+///    reusable scratch. A util::EpochGate encodes the one real
+///    dependency at per-session granularity — session i may issue in
+///    round r+1 only after ITS round-r page was processed — so the
+///    issuer chases the workers through a round instead of waiting for
+///    the barrier.
+///
+/// Determinism (the pipelined mode's headline claim, pinned by
+/// tests/core/crawl_service_test.cc): both modes execute the SAME total
+/// order of transport calls — session-index order within a round, rounds
+/// increasing, all on one thread — and a session's issue decisions read
+/// only its own state (complete through its previous round, by the epoch
+/// gate) plus the transport chain (whose state is a function of the
+/// identical call prefix). Phase B never touches transport and no result
+/// crosses sessions, so overlapping it with the next round's Phase A
+/// reorders nothing observable: every per-session CrawlResult, finish
+/// order, quota and cache counter is bit-identical across modes, worker
+/// counts, repair widths and shard counts (shard counts assuming no
+/// eviction; see docs/architecture.md §6).
 ///
 /// RunAll() is the batch surface (all outcomes at once, spec order);
 /// Drive() is the streaming surface (a callback fires the moment a
@@ -49,14 +69,34 @@
 
 namespace smartcrawl::core {
 
+/// How Drive schedules the issue and compute halves of a round (see file
+/// comment). Results are bit-identical in both modes; only overlap — and
+/// therefore throughput — differs.
+enum class DriveMode : uint8_t {
+  kRoundBased = 0,
+  kPipelined = 1,
+};
+
 struct CrawlServiceOptions {
   /// Worker threads for the page-processing phase: 0 = hardware
   /// concurrency, 1 = sequential. Results are bit-identical either way.
   unsigned num_threads = 1;
 
+  /// Phase scheduling (see DriveMode). Pipelined is the default; the
+  /// round-based driver is kept as the always-correct reference the
+  /// equivalence tests compare against.
+  DriveMode drive_mode = DriveMode::kPipelined;
+
   /// Capacity of the shared cross-tenant LRU query cache sitting between
   /// every tenant's stack and the origin; 0 disables sharing.
   size_t shared_cache_capacity = 4096;
+
+  /// Stripe count of the shared cache (see net::CachingInterface):
+  /// independently locked shards routed by normalized-key hash, so
+  /// issuer-side lookups do not funnel through one mutex. Capacity is
+  /// split across shards, so with an eviction-free working set results
+  /// AND cache counters are shard-count-invariant.
+  size_t shared_cache_shards = 8;
 
   /// How sessions repair dirtied priority-queue entries (see
   /// CrawlSession::ConfigureRepair). Selection is bit-identical in both
@@ -107,6 +147,7 @@ class CrawlService {
   /// queries (must outlive the service).
   CrawlService(hidden::KeywordSearchInterface* origin,
                CrawlServiceOptions options);
+  ~CrawlService();
 
   CrawlService(const CrawlService&) = delete;
   CrawlService& operator=(const CrawlService&) = delete;
@@ -121,24 +162,50 @@ class CrawlService {
   /// Streaming entry point: like RunAll, but `on_finish(index, outcome)`
   /// fires as soon as session `index` finishes — earlier-finishing
   /// tenants get their results while the rest keep crawling. Callback
-  /// order is deterministic (round order, then session index).
+  /// order is deterministic (round order, then session index) and
+  /// identical in both drive modes; the callback always runs on the
+  /// calling thread.
   using FinishCallback = std::function<void(size_t, SessionOutcome)>;
   Status Drive(const std::vector<SessionSpec>& specs,
                const FinishCallback& on_finish) SC_EXCLUDES(drive_mu_);
 
   /// Cumulative counters of the shared cross-tenant cache (nullopt when
-  /// shared_cache_capacity was 0). A snapshot by value: the live counters
-  /// keep moving under concurrent runs.
+  /// shared_cache_capacity was 0), summed over the shards with one short
+  /// lock per shard — never a global lock. A snapshot by value: the live
+  /// counters keep moving under concurrent runs.
   std::optional<net::CacheStats> shared_cache_stats() const;
 
+  /// Per-shard counters + occupancy of the shared cache, in shard order
+  /// (empty when sharing is disabled). Used by bench_service to report
+  /// stripe balance.
+  std::vector<net::CachingInterface::ShardSnapshot> shared_cache_shard_stats()
+      const;
+
  private:
+  /// Per-run state both drive modes share, hoisted into a member so its
+  /// buffers (done/pending flags, round slots, epoch table, outcome
+  /// staging) are allocated once and reused across rounds AND runs.
+  struct RoundScratch;
+
+  /// The mode-specific round loops; Drive() does the shared setup
+  /// (session construction, transport attachment, Begin) and dispatches.
+  /// `running` is the number of sessions still live after setup (> 0).
+  Status DriveRoundBased(const FinishCallback& on_finish, size_t running,
+                         util::ThreadPool* workers) SC_REQUIRES(drive_mu_);
+  Status DrivePipelined(const FinishCallback& on_finish, size_t running,
+                        util::ThreadPool* workers) SC_REQUIRES(drive_mu_);
+
   hidden::KeywordSearchInterface* origin_;
   CrawlServiceOptions options_;
   /// Serializes whole runs: Drive assumes exclusive use of the origin and
   /// exact per-tenant quota delta-accounting over the shared chain, which
-  /// two interleaved Drives would corrupt. Guards the run itself, not a
-  /// member — sessions live on the stack of the running Drive.
+  /// two interleaved Drives would corrupt. Guards the run itself plus the
+  /// scratch below — sessions live in the scratch of the running Drive.
   std::mutex drive_mu_;
+  /// Reused run state (see RoundScratch). Inside a pipelined run the
+  /// issuer thread and the workers access disjoint parts of it under the
+  /// pipeline's own hand-off protocol; drive_mu_ guards it between runs.
+  std::unique_ptr<RoundScratch> scratch_ SC_GUARDED_BY(drive_mu_);
   /// The shared cross-tenant cache; every tenant stack's origin.
   std::unique_ptr<net::CachingInterface> shared_cache_;
 };

@@ -267,7 +267,8 @@ void CrawlSession::ProcessPendingPage() {
   std::vector<table::RecordId> covered_now = MatchPage(q, page);
   for (table::RecordId d : covered_now) covered_[d] = 1;
 
-  std::vector<QueryIdx> dirtied;
+  dirty_frontier_.clear();  // reused scratch: no per-page allocation
+  std::vector<QueryIdx>& dirtied = dirty_frontier_;
   // ctx_.k was pinned to the interface's top-k by Begin(), so solidity is
   // decidable without touching the interface from this (worker) thread.
   const bool page_solid = page.size() < ctx_.k;
@@ -331,8 +332,9 @@ void CrawlSession::ProcessPendingPage() {
   }
 
   pending_ = false;
+  // clear() keeps the capacity: the next IssueNext move-assigns a fresh
+  // page anyway, and steady-state rounds must not churn the allocator.
   pending_page_.clear();
-  pending_page_.shrink_to_fit();
 }
 
 CrawlResult CrawlSession::TakeResult() {

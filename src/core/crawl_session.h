@@ -199,6 +199,9 @@ class CrawlSession {
   /// disjoint slots and the writeback order is canonical.
   std::vector<double> repair_buf_;
   std::vector<QueryIdx> repair_ids_;
+  /// Scratch for ProcessPendingPage's dirty frontier, reused across pages
+  /// so steady-state page processing allocates nothing per round.
+  std::vector<QueryIdx> dirty_frontier_;
   /// Crawled-record dedup across calls (keep_crawled_records).
   std::unordered_map<uint64_t, size_t> crawled_keys_;
   std::vector<table::Record> crawled_records_;

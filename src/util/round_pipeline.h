@@ -1,0 +1,219 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+/// \file round_pipeline.h
+/// Synchronization primitives for software-pipelined round drivers
+/// (built for core::CrawlService, reusable by any single-producer /
+/// single-consumer round loop).
+///
+/// A pipelined driver splits each round into an issue half (produced by a
+/// dedicated issuer thread) and a compute half (consumed by the worker
+/// pool) and overlaps round r+1's issue with round r's compute. Two
+/// primitives make that deterministic:
+///
+///  * RoundHandoff<Round> — a double-buffered SPSC hand-off. The producer
+///    acquires the slot for round r (blocking until the consumer released
+///    round r-2, which bounds the pipeline depth at two in-flight rounds
+///    and lets both slots' payloads be REUSED forever — no per-round
+///    allocation), fills it, and publishes; the consumer acquires rounds
+///    strictly in order. Ownership of a slot's payload alternates between
+///    the two threads, so the payload itself needs no lock: the publish /
+///    release edges are the synchronization points.
+///
+///  * EpochGate — one monotonic epoch per index. Workers Advance(i, e)
+///    after finishing item i's round e-1 compute; the producer
+///    AwaitAtLeast(i, e) before touching item i in round e. This encodes
+///    the ONLY cross-phase dependency a round pipeline has (an item's next
+///    issue needs that item's previous compute) at per-item granularity,
+///    which is exactly what lets the issuer chase the workers through a
+///    round instead of waiting for a full barrier.
+///
+/// Both primitives support Abort(): every current and future wait returns
+/// immediately with a failure indication, so an exception on either side
+/// of the pipeline can unwind without deadlocking the other (see
+/// CrawlService's pipelined driver for the join-on-unwind pattern).
+///
+/// Blocking uses mutex + condition_variable only — no spinning, no timed
+/// waits, no wall clock — so the primitives obey the repo's determinism
+/// discipline: they order work, they never time it.
+
+namespace smartcrawl::util {
+
+/// Per-index monotonic epochs with blocking waits (see file comment).
+/// Epochs only move forward; Reset(n) re-arms the gate for a new run.
+class EpochGate {
+ public:
+  EpochGate() = default;
+
+  /// Re-arms for `n` indices with every epoch at 0 and the abort flag
+  /// cleared. Call between runs, not during one (a waiter from the
+  /// previous run would silently re-wait on the new epochs).
+  void Reset(size_t n) SC_EXCLUDES(mu_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    epochs_.assign(n, 0);
+    aborted_ = false;
+  }
+
+  /// Sets index `i`'s epoch to `epoch` (monotonic: lower values are
+  /// ignored) and wakes waiters — but ONLY waiters this advance can
+  /// actually satisfy. Advance runs once per item per round on the hot
+  /// path, while a waiter (the issuer) waits on ONE specific index;
+  /// blindly notifying would pay a futex wake per processed item, which
+  /// at small page sizes costs as much as the issue work itself.
+  void Advance(size_t i, uint64_t epoch) SC_EXCLUDES(mu_) {
+    bool wake;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (epochs_[i] < epoch) epochs_[i] = epoch;
+      // Skip the notify when provably irrelevant: no waiter at all, or a
+      // single waiter (slot valid) parked on a different index / still
+      // unsatisfied target. With multiple waiters the slot is ambiguous,
+      // so fall back to always waking.
+      wake = num_waiters_ > 0 &&
+             (!waiter_slot_valid_ ||
+              (waiter_index_ == i && epochs_[i] >= waiter_epoch_));
+    }
+    if (wake) cv_.notify_all();
+  }
+
+  /// Blocks until index `i`'s epoch reaches `epoch` (true) or the gate is
+  /// aborted (false).
+  /// Clang's analysis cannot follow cv_.wait(unique_lock, pred) — libc++
+  /// does not annotate std::unique_lock — but sc-guarded-by tracks
+  /// unique_lock lexically and still checks this body.
+  bool AwaitAtLeast(size_t i, uint64_t epoch) SC_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (aborted_) return false;
+    if (epochs_[i] >= epoch) return true;
+    ++num_waiters_;
+    if (num_waiters_ == 1) {
+      // Sole waiter: publish what would satisfy it so Advance can skip
+      // wake-ups that cannot. A second concurrent waiter invalidates the
+      // slot (and it stays invalid until all waiters drain — a stale
+      // slot must never suppress a wake for a still-parked thread).
+      waiter_index_ = i;
+      waiter_epoch_ = epoch;
+      waiter_slot_valid_ = true;
+    } else {
+      waiter_slot_valid_ = false;
+    }
+    cv_.wait(lock, [&] { return aborted_ || epochs_[i] >= epoch; });
+    --num_waiters_;
+    if (num_waiters_ == 0) waiter_slot_valid_ = false;
+    return !aborted_;
+  }
+
+  /// Fails every current and future wait. Sticky until Reset.
+  void Abort() SC_EXCLUDES(mu_) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      aborted_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const SC_EXCLUDES(mu_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return epochs_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<uint64_t> epochs_ SC_GUARDED_BY(mu_);
+  bool aborted_ SC_GUARDED_BY(mu_) = false;
+  /// Waiter bookkeeping for Advance's notify-elision (see Advance).
+  size_t num_waiters_ SC_GUARDED_BY(mu_) = 0;
+  size_t waiter_index_ SC_GUARDED_BY(mu_) = 0;
+  uint64_t waiter_epoch_ SC_GUARDED_BY(mu_) = 0;
+  bool waiter_slot_valid_ SC_GUARDED_BY(mu_) = false;
+};
+
+/// Double-buffered single-producer/single-consumer round hand-off (see
+/// file comment). Round numbers start at 0 and must be acquired /
+/// published / released strictly in order by their respective side.
+template <typename Round>
+class RoundHandoff {
+ public:
+  RoundHandoff() = default;
+
+  /// Clears the protocol counters for a new run. The slot payloads are
+  /// deliberately KEPT — their buffers are the allocation being reused
+  /// across runs. Call between runs, not during one.
+  void Reset() SC_EXCLUDES(mu_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    published_through_ = 0;
+    released_through_ = 0;
+    aborted_ = false;
+  }
+
+  /// Producer: returns round `round`'s slot once it is free (round-2
+  /// released), or nullptr on abort. The payload may hold stale data from
+  /// round-2; the producer overwrites it.
+  Round* AcquireForProduce(uint64_t round) SC_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return aborted_ || released_through_ + 2 > round; });
+    if (aborted_) return nullptr;
+    return &slots_[round % 2];
+  }
+
+  /// Producer: makes round `round` visible to the consumer. All payload
+  /// writes before Publish happen-before the consumer's reads (the mutex
+  /// is the edge).
+  void Publish(uint64_t round) SC_EXCLUDES(mu_) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      published_through_ = round + 1;
+    }
+    cv_.notify_all();
+  }
+
+  /// Consumer: returns round `round`'s slot once published, or nullptr on
+  /// abort.
+  Round* AcquireForConsume(uint64_t round) SC_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return aborted_ || published_through_ > round; });
+    if (aborted_) return nullptr;
+    return &slots_[round % 2];
+  }
+
+  /// Consumer: returns round `round`'s slot to the producer.
+  void Release(uint64_t round) SC_EXCLUDES(mu_) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_through_ = round + 1;
+    }
+    cv_.notify_all();
+  }
+
+  /// Fails every current and future Acquire on both sides. Sticky until
+  /// Reset — the unwinding side calls Abort, then joins the other.
+  void Abort() SC_EXCLUDES(mu_) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      aborted_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  /// Payloads are NOT guarded by mu_: a slot is owned by exactly one side
+  /// at a time (producer in [release of round-2, publish of round],
+  /// consumer in [publish, release]) and the counter updates under mu_
+  /// carry the happens-before edges at the ownership switches.
+  Round slots_[2];
+  uint64_t published_through_ SC_GUARDED_BY(mu_) = 0;
+  uint64_t released_through_ SC_GUARDED_BY(mu_) = 0;
+  bool aborted_ SC_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace smartcrawl::util

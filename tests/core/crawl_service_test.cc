@@ -216,5 +216,152 @@ TEST(CrawlServiceTest, SharedCacheHitsAreMeteredFreeUnderDailyQuota) {
   EXPECT_GE(service.shared_cache_stats()->hits, 20u);
 }
 
+TEST(CrawlServiceTest, PipelinedIsTheDefaultDriveMode) {
+  // The ISSUE-10 contract: pipelining is on by default; the round-based
+  // reference stays selectable. A default flip would silently change
+  // what every caller (and bench baseline) measures, so pin it.
+  CrawlServiceOptions defaults;
+  EXPECT_EQ(defaults.drive_mode, DriveMode::kPipelined);
+  EXPECT_EQ(defaults.shared_cache_shards, 8u);
+}
+
+TEST(CrawlServiceTest, FleetMatrixBitIdenticalAcrossModesThreadsShards) {
+  // The headline determinism claim: pipelined vs round-based at {1,4}
+  // worker threads x {1,8} cache shards x point/batched repair all
+  // produce the same finish order, per-session results (bit for bit),
+  // quota consumption and shared-cache counters. The reference for each
+  // repair mode is round-based / 1 thread / 1 shard — the configuration
+  // closest to the paper's sequential crawler.
+  auto s = BuildGoldenScenario();
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  auto sample = sample::BernoulliSample(*s->hidden, 0.025, 13);
+  auto plan_or =
+      CrawlPlan::Build(&s->local,
+                       GoldenOptions(*s, SelectionPolicy::kEstBiased,
+                                     match::ErMode::kJaccard),
+                       &sample);
+  ASSERT_TRUE(plan_or.ok()) << plan_or.status().ToString();
+  std::shared_ptr<const CrawlPlan> plan = std::move(plan_or).value();
+
+  // Varying budgets spread finishes across rounds (so the pipelined
+  // mid-round finish staging is really exercised); per-tenant daily
+  // quotas make quota_used_today a meaningful comparison axis.
+  const size_t budgets[] = {5, 30, 12, 7, 30, 18, 25, 3};
+  std::vector<SessionSpec> specs;
+  for (size_t b : budgets) {
+    SessionSpec spec;
+    spec.plan = plan;
+    spec.budget = b;
+    spec.transport.daily_quota = 100;  // never rejects; meters deltas
+    specs.push_back(std::move(spec));
+  }
+
+  struct RunResult {
+    std::vector<SessionOutcome> outcomes;
+    std::vector<size_t> finish_order;
+    net::CacheStats cache;
+  };
+  auto run = [&](DriveMode mode, unsigned threads, size_t shards,
+                 PqRepairMode repair) {
+    CrawlServiceOptions sopt;
+    sopt.drive_mode = mode;
+    sopt.num_threads = threads;
+    sopt.shared_cache_shards = shards;  // default capacity: no evictions
+    sopt.pq_repair = repair;
+    sopt.repair_threads =
+        repair == PqRepairMode::kBatched && threads == 4 ? 2 : 1;
+    CrawlService service(s->hidden.get(), sopt);
+    RunResult rr;
+    rr.outcomes.resize(specs.size());
+    Status st = service.Drive(specs, [&](size_t i, SessionOutcome out) {
+      rr.finish_order.push_back(i);
+      rr.outcomes[i] = std::move(out);
+    });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    rr.cache = *service.shared_cache_stats();
+    return rr;
+  };
+
+  for (PqRepairMode repair : {PqRepairMode::kPoint, PqRepairMode::kBatched}) {
+    RunResult ref = run(DriveMode::kRoundBased, 1, 1, repair);
+    ASSERT_EQ(ref.finish_order.size(), specs.size());
+    for (DriveMode mode : {DriveMode::kRoundBased, DriveMode::kPipelined}) {
+      for (unsigned threads : {1u, 4u}) {
+        for (size_t shards : {size_t{1}, size_t{8}}) {
+          SCOPED_TRACE("repair=" +
+                       std::to_string(static_cast<int>(repair)) + " mode=" +
+                       std::to_string(static_cast<int>(mode)) +
+                       " threads=" + std::to_string(threads) +
+                       " shards=" + std::to_string(shards));
+          RunResult got = run(mode, threads, shards, repair);
+          EXPECT_EQ(got.finish_order, ref.finish_order);
+          // Cache traffic is shard-count-invariant because the default
+          // capacity never evicts on this workload.
+          EXPECT_EQ(got.cache.hits, ref.cache.hits);
+          EXPECT_EQ(got.cache.misses, ref.cache.misses);
+          EXPECT_EQ(got.cache.evictions, 0u);
+          ASSERT_EQ(got.outcomes.size(), ref.outcomes.size());
+          for (size_t i = 0; i < ref.outcomes.size(); ++i) {
+            SCOPED_TRACE("session " + std::to_string(i));
+            ASSERT_TRUE(got.outcomes[i].status.ok())
+                << got.outcomes[i].status.ToString();
+            EXPECT_EQ(got.outcomes[i].result.queries_issued,
+                      ref.outcomes[i].result.queries_issued);
+            EXPECT_EQ(got.outcomes[i].quota_used_today,
+                      ref.outcomes[i].quota_used_today);
+            // pq_recomputes counts repair WORK, which by design differs
+            // between point and batched — compare within the repair mode
+            // only (the fingerprint pins the selected queries either way).
+            EXPECT_EQ(got.outcomes[i].result.stats.pq_recomputes,
+                      ref.outcomes[i].result.stats.pq_recomputes);
+            EXPECT_EQ(Fingerprint(got.outcomes[i].result),
+                      Fingerprint(ref.outcomes[i].result));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CrawlServiceTest, ReusedServiceScratchIsStatelessAcrossRuns) {
+  // One service driving two consecutive fleets reuses its RoundScratch
+  // (and keeps its warm shared cache). Reuse must not leak state:
+  // selections stay bit-identical, only the metering moves to the cache.
+  auto s = BuildGoldenScenario();
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  auto plan_or = CrawlPlan::Build(
+      &s->local,
+      GoldenOptions(*s, SelectionPolicy::kSimple, match::ErMode::kJaccard));
+  ASSERT_TRUE(plan_or.ok()) << plan_or.status().ToString();
+  std::shared_ptr<const CrawlPlan> plan = std::move(plan_or).value();
+
+  std::vector<SessionSpec> specs(3);
+  for (SessionSpec& spec : specs) {
+    spec.plan = plan;
+    spec.budget = 15;
+    spec.transport.daily_quota = 100;
+  }
+
+  CrawlService service(s->hidden.get(), CrawlServiceOptions{});
+  auto first = service.RunAll(specs);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = service.RunAll(specs);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_EQ(first->size(), second->size());
+  for (size_t i = 0; i < first->size(); ++i) {
+    SCOPED_TRACE("session " + std::to_string(i));
+    ASSERT_TRUE((*second)[i].status.ok()) << (*second)[i].status.ToString();
+    EXPECT_EQ((*first)[i].result.queries_issued,
+              (*second)[i].result.queries_issued);
+    EXPECT_EQ(Fingerprint((*first)[i].result),
+              Fingerprint((*second)[i].result));
+  }
+  // Run 2 was answered entirely out of the cache run 1 warmed, so its
+  // tenants paid no quota at all — cross-RUN answer sharing, not just
+  // cross-tenant.
+  EXPECT_GT((*first)[0].quota_used_today, 0u);
+  EXPECT_EQ((*second)[0].quota_used_today, 0u);
+}
+
 }  // namespace
 }  // namespace smartcrawl::core

@@ -1,0 +1,185 @@
+#include "util/round_pipeline.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+/// Contract tests for the SPSC round-pipeline primitives behind
+/// core::CrawlService's pipelined drive mode: epoch monotonicity and
+/// wake-ups, strict round ordering through the double buffer, payload
+/// buffer reuse across Reset, and abort unblocking both sides. No sleeps
+/// and no timed waits anywhere — every blocking claim is phrased as "the
+/// blocked thread eventually proceeds once the unblocking call happens",
+/// which the joins prove.
+namespace smartcrawl::util {
+namespace {
+
+TEST(EpochGateTest, AwaitPassesImmediatelyAtOrBelowCurrentEpoch) {
+  EpochGate gate;
+  gate.Reset(3);
+  EXPECT_EQ(gate.size(), 3u);
+  // Epochs start at 0: awaiting 0 never blocks (this is what makes round
+  // 0 of a pipelined drive start without any Advance).
+  EXPECT_TRUE(gate.AwaitAtLeast(0, 0));
+  gate.Advance(1, 5);
+  EXPECT_TRUE(gate.AwaitAtLeast(1, 5));
+  EXPECT_TRUE(gate.AwaitAtLeast(1, 3));
+}
+
+TEST(EpochGateTest, AdvanceIsMonotonic) {
+  EpochGate gate;
+  gate.Reset(1);
+  gate.Advance(0, 5);
+  gate.Advance(0, 3);  // lower value: ignored
+  EXPECT_TRUE(gate.AwaitAtLeast(0, 5));
+}
+
+TEST(EpochGateTest, AwaitWakesWhenAnotherThreadAdvances) {
+  EpochGate gate;
+  gate.Reset(2);
+  std::atomic<int> passed{0};
+  std::thread waiter([&] {
+    if (gate.AwaitAtLeast(1, 7)) passed.fetch_add(1);
+  });
+  // Advancing the OTHER index must not satisfy the wait; advancing index
+  // 1 past the target must. (If the gate confused indices the waiter
+  // would pass early; if it lost wake-ups the join would hang.)
+  gate.Advance(0, 100);
+  gate.Advance(1, 7);
+  waiter.join();
+  EXPECT_EQ(passed.load(), 1);
+}
+
+TEST(EpochGateTest, AbortFailsCurrentAndFutureWaits) {
+  EpochGate gate;
+  gate.Reset(1);
+  std::atomic<int> failed{0};
+  std::thread waiter([&] {
+    if (!gate.AwaitAtLeast(0, 1)) failed.fetch_add(1);
+  });
+  gate.Abort();
+  waiter.join();
+  EXPECT_EQ(failed.load(), 1);
+  // Sticky until Reset — even an already-satisfied wait reports abort.
+  EXPECT_FALSE(gate.AwaitAtLeast(0, 0));
+  gate.Reset(1);
+  EXPECT_TRUE(gate.AwaitAtLeast(0, 0));
+}
+
+struct TestRound {
+  std::vector<uint64_t> values;
+};
+
+TEST(RoundHandoffTest, DeliversRoundsInOrderThroughTwoSlots) {
+  RoundHandoff<TestRound> handoff;
+  handoff.Reset();
+  constexpr uint64_t kRounds = 64;
+
+  std::thread producer([&] {
+    for (uint64_t r = 0; r < kRounds; ++r) {
+      TestRound* slot = handoff.AcquireForProduce(r);
+      ASSERT_NE(slot, nullptr);
+      slot->values.assign(3, r);
+      handoff.Publish(r);
+    }
+  });
+
+  const TestRound* slot_of_even = nullptr;
+  for (uint64_t r = 0; r < kRounds; ++r) {
+    TestRound* slot = handoff.AcquireForConsume(r);
+    ASSERT_NE(slot, nullptr);
+    // Double buffering: all even rounds land in one slot, all odd rounds
+    // in the other.
+    if (r % 2 == 0) {
+      if (slot_of_even == nullptr) slot_of_even = slot;
+      EXPECT_EQ(slot, slot_of_even);
+    } else {
+      EXPECT_NE(slot, slot_of_even);
+    }
+    EXPECT_EQ(slot->values, std::vector<uint64_t>(3, r));
+    handoff.Release(r);
+  }
+  producer.join();
+}
+
+TEST(RoundHandoffTest, ProducerBlocksUntilRoundMinusTwoIsReleased) {
+  RoundHandoff<TestRound> handoff;
+  handoff.Reset();
+  // Fill both slots without releasing anything.
+  ASSERT_NE(handoff.AcquireForProduce(0), nullptr);
+  handoff.Publish(0);
+  ASSERT_NE(handoff.AcquireForProduce(1), nullptr);
+  handoff.Publish(1);
+
+  std::atomic<bool> acquired_round2{false};
+  std::thread producer([&] {
+    // Blocks: round 0 (= 2 - 2) has not been released yet.
+    TestRound* slot = handoff.AcquireForProduce(2);
+    ASSERT_NE(slot, nullptr);
+    acquired_round2.store(true);
+  });
+  ASSERT_NE(handoff.AcquireForConsume(0), nullptr);
+  handoff.Release(0);  // frees round 2's slot
+  producer.join();
+  EXPECT_TRUE(acquired_round2.load());
+}
+
+TEST(RoundHandoffTest, AbortUnblocksBothSides) {
+  RoundHandoff<TestRound> handoff;
+  handoff.Reset();
+  std::atomic<int> aborted_waits{0};
+  // Consumer waits on an unpublished round; producer waits on a full
+  // pipeline. Abort must fail both with nullptr.
+  std::thread consumer([&] {
+    if (handoff.AcquireForConsume(0) == nullptr) aborted_waits.fetch_add(1);
+  });
+  ASSERT_NE(handoff.AcquireForProduce(0), nullptr);
+  // Don't publish round 0 — the consumer above stays blocked; meanwhile
+  // overfill the producer side from this thread via a helper.
+  std::thread producer([&] {
+    handoff.Publish(0);
+    if (handoff.AcquireForProduce(1) != nullptr) handoff.Publish(1);
+    // The consumer never calls Release, so without the abort this wait
+    // could never end: reaching the increment proves Abort unblocked it
+    // (or arrived first — both interleavings count).
+    if (handoff.AcquireForProduce(2) == nullptr) aborted_waits.fetch_add(1);
+  });
+  // Publishing round 0 races the abort: the consumer may consume round 0
+  // or see the abort — both are legal, so only the producer's abort is
+  // asserted strictly (the joins themselves prove nothing deadlocked).
+  handoff.Abort();
+  consumer.join();
+  producer.join();
+  EXPECT_GE(aborted_waits.load(), 1);
+  EXPECT_EQ(handoff.AcquireForProduce(2), nullptr);   // sticky
+  EXPECT_EQ(handoff.AcquireForConsume(0), nullptr);  // both sides
+}
+
+TEST(RoundHandoffTest, ResetKeepsPayloadBuffersButClearsProtocol) {
+  RoundHandoff<TestRound> handoff;
+  handoff.Reset();
+  TestRound* slot = handoff.AcquireForProduce(0);
+  ASSERT_NE(slot, nullptr);
+  slot->values.assign(1024, 7);
+  const uint64_t* data = slot->values.data();
+  handoff.Publish(0);
+  ASSERT_NE(handoff.AcquireForConsume(0), nullptr);
+  handoff.Release(0);
+
+  handoff.Reset();
+  // A new run starts at round 0 again...
+  TestRound* again = handoff.AcquireForProduce(0);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(again, slot);
+  // ...and the slot's vector still owns its old allocation: this is the
+  // "reusable scratch, no per-round allocation churn" claim.
+  again->values.clear();
+  again->values.resize(1024);
+  EXPECT_EQ(again->values.data(), data);
+}
+
+}  // namespace
+}  // namespace smartcrawl::util
